@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file common.h
+/// Shared scaffolding for the experiment harnesses in bench/. Each binary
+/// regenerates one table or figure of the paper (see DESIGN.md §4) and
+/// prints the same rows/series the paper reports, normalized the same way
+/// (original design = 1.0). Absolute units are synthetic-technology ps/um;
+/// the comparisons, ratios and crossovers are the reproduction targets.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "macros/registry.h"
+#include "models/fitter.h"
+#include "util/strfmt.h"
+#include "util/table.h"
+
+namespace smart::bench {
+
+inline const tech::Tech& tech() { return tech::default_tech(); }
+inline const models::ModelLibrary& library() {
+  return models::default_library();
+}
+inline const core::MacroDatabase& database() {
+  return macros::builtin_database();
+}
+
+/// Generates a macro by type/topology or aborts with a clear message.
+inline netlist::Netlist generate(const std::string& type,
+                                 const std::string& topo,
+                                 const core::MacroSpec& spec) {
+  const auto* entry = database().find(type, topo);
+  SMART_CHECK(entry != nullptr, "unknown topology " + type + "/" + topo);
+  return entry->generate(spec);
+}
+
+/// Runs the §6.1 iso-performance protocol on one macro.
+inline core::IsoDelayComparison iso(const netlist::Netlist& nl,
+                                    const core::IsoDelayOptions& opt = {}) {
+  return core::run_iso_delay(nl, tech(), library(), opt);
+}
+
+inline std::string pct(double frac) {
+  return util::strfmt("%.0f%%", 100.0 * frac);
+}
+
+inline std::string num(double v, int decimals = 2) {
+  return util::strfmt("%.*f", decimals, v);
+}
+
+/// Prints a paper-reference line under a reproduced table.
+inline void paper_note(const std::string& note) {
+  std::printf("paper reference: %s\n\n", note.c_str());
+}
+
+}  // namespace smart::bench

@@ -1,0 +1,67 @@
+// Figure 6: area-delay trade-off curve for the 64-bit dual-rail domino
+// carry-lookahead adder. The paper's curve spans normalized delay 0.9-1.3
+// with normalized area (total transistor width) falling 1.27 -> 1.0.
+
+#include "common.h"
+
+#include "core/advisor.h"
+
+using namespace smart;
+
+int main() {
+  core::MacroSpec spec;
+  spec.type = "adder";
+  spec.n = 64;
+  spec.load_ff = 12.0;
+  const auto nl = bench::generate("adder", "domino_cla", spec);
+
+  // Normalized delay 1.0 is the design point. The paper's adder design
+  // point sits in the moderate region of its trade-off (its whole 0.9-1.3
+  // sweep spans only ~27% of area), not at the minimum-delay wall; our
+  // hand-rule baseline is more aggressive, so we anchor the normalized
+  // axis at 1.25x the baseline delay to sample the comparable regime and
+  // note the wall separately.
+  const auto anchor = bench::iso(nl);
+  if (!anchor.ok) {
+    std::printf("Figure 6: anchor sizing failed (%s)\n",
+                anchor.smart.message.c_str());
+    return 1;
+  }
+  const double d1 = anchor.baseline.measured_delay_ps * 1.25;
+
+  core::DesignAdvisor advisor(bench::database(), bench::tech(),
+                              bench::library());
+  core::SizerOptions base;
+  base.precharge_spec_ps =
+      std::max(anchor.baseline.measured_precharge_ps, d1) * 1.2;
+  base.slope_budget_ps = 240.0;
+  const std::vector<double> rel = {0.90, 0.95, 1.00, 1.10, 1.20, 1.30};
+  std::vector<double> specs;
+  for (double r : rel) specs.push_back(r * d1);
+  const auto curve = advisor.tradeoff_curve(nl, specs, base);
+
+  // Normalize area to the most relaxed feasible point (the paper's 1.0).
+  double area_ref = 0.0;
+  for (const auto& p : curve)
+    if (p.feasible) area_ref = p.total_width_um;
+  util::Table table({"normalized delay", "measured delay (ps)",
+                     "normalized area", "total width (um)", "feasible"});
+  for (size_t i = 0; i < curve.size(); ++i) {
+    const auto& p = curve[i];
+    table.add_row({bench::num(rel[i]),
+                   p.feasible ? bench::num(p.measured_delay_ps, 1) : "-",
+                   p.feasible && area_ref > 0
+                       ? bench::num(p.total_width_um / area_ref, 3)
+                       : "-",
+                   p.feasible ? bench::num(p.total_width_um, 1) : "-",
+                   p.feasible ? "yes" : "no"});
+  }
+  std::printf("%s", table.render(
+      "Figure 6 - 64-bit dual-rail domino CLA adder: area-delay curve "
+      "(area normalized to the most relaxed point)").c_str());
+  bench::paper_note(
+      "Fig 6: normalized area falls ~1.27 -> 1.0 as normalized delay "
+      "relaxes 0.9 -> 1.3; reproduction target is the same monotone convex "
+      "shape with a ~1.2-1.4x area premium at the fast end.");
+  return 0;
+}

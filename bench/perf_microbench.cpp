@@ -1,0 +1,112 @@
+// Google-benchmark microbenchmarks of the tool itself: GP solve, path
+// extraction, reference STA, constraint generation and functional
+// simulation throughput. The paper's pitch is designer productivity —
+// "exploration at a different design constraint is very easy" — which
+// rests on the flow being fast; these benches track that.
+
+#include <benchmark/benchmark.h>
+
+#include "core/constraints.h"
+#include "core/sizer.h"
+#include "gp/solver.h"
+#include "macros/registry.h"
+#include "models/fitter.h"
+#include "refsim/logic_sim.h"
+#include "refsim/rc_timer.h"
+#include "timing/paths.h"
+
+namespace {
+
+using namespace smart;
+
+netlist::Netlist make_macro(const char* type, const char* topo, int n,
+                            int bits = -1) {
+  core::MacroSpec spec;
+  spec.type = type;
+  spec.n = n;
+  if (bits > 0) spec.params["bits"] = bits;
+  return macros::builtin_database().find(type, topo)->generate(spec);
+}
+
+void BM_GpSolveMux(benchmark::State& state) {
+  const auto nl = make_macro("mux", "domino_unsplit",
+                             static_cast<int>(state.range(0)), 8);
+  core::ConstraintOptions opt;
+  opt.delay_spec_ps = 150.0;
+  opt.precharge_spec_ps = 200.0;
+  const auto gen = core::generate_problem(nl, opt, models::default_library(),
+                                          tech::default_tech());
+  for (auto _ : state) {
+    gp::GpSolver solver;
+    benchmark::DoNotOptimize(solver.solve(*gen.problem));
+  }
+}
+BENCHMARK(BM_GpSolveMux)->Arg(4)->Arg(8);
+
+void BM_PathExtraction(benchmark::State& state) {
+  const auto nl = make_macro("adder", "domino_cla",
+                             static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    timing::PathExtractor ex(nl);
+    timing::PathStats stats;
+    benchmark::DoNotOptimize(ex.extract({}, &stats));
+  }
+}
+BENCHMARK(BM_PathExtraction)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ReferenceSta(benchmark::State& state) {
+  const auto nl = make_macro("adder", "domino_cla",
+                             static_cast<int>(state.range(0)));
+  const netlist::Sizing sizing(nl.label_count(), 2.0);
+  const refsim::RcTimer timer(tech::default_tech());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timer.analyze(nl, sizing));
+  }
+}
+BENCHMARK(BM_ReferenceSta)->Arg(16)->Arg(64);
+
+void BM_ConstraintGeneration(benchmark::State& state) {
+  const auto nl = make_macro("incrementor", "ks_prefix",
+                             static_cast<int>(state.range(0)));
+  core::ConstraintOptions opt;
+  opt.delay_spec_ps = 400.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::generate_problem(
+        nl, opt, models::default_library(), tech::default_tech()));
+  }
+}
+BENCHMARK(BM_ConstraintGeneration)->Arg(13)->Arg(48);
+
+void BM_LogicSim(benchmark::State& state) {
+  const auto nl = make_macro("adder", "domino_cla", 32);
+  const refsim::LogicSim sim(nl);
+  std::map<netlist::NetId, bool> inputs;
+  for (const auto& p : nl.inputs())
+    inputs[p.net] = (p.net % 3) == 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.evaluate(inputs));
+  }
+}
+BENCHMARK(BM_LogicSim);
+
+void BM_ModelCalibration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::calibrate(tech::default_tech()));
+  }
+}
+BENCHMARK(BM_ModelCalibration);
+
+void BM_FullSizingLoop(benchmark::State& state) {
+  const auto nl = make_macro("zero_detect", "static_tree", 32);
+  core::Sizer sizer(tech::default_tech(), models::default_library());
+  core::SizerOptions opt;
+  opt.delay_spec_ps = 180.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sizer.size(nl, opt));
+  }
+}
+BENCHMARK(BM_FullSizingLoop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// §5.2: problem-size reduction from the three pruning techniques. The
+// paper's example: a 64-bit dynamic adder where exhaustive timing analysis
+// reveals over 32,000 paths, reduced to ~120 constraint paths — a factor
+// of over 250. Also serves as the pruning ablation called out in
+// DESIGN.md §5: each technique is toggled independently.
+
+#include "common.h"
+
+#include <ctime>
+
+#include "timing/paths.h"
+
+using namespace smart;
+
+int main() {
+  // The paper's number ("over 32,000 paths") matches a 32-bit dual-rail
+  // instance of our adder almost exactly; the 64-bit instance is larger.
+  for (int bits : {32, 64}) {
+  core::MacroSpec spec;
+  spec.type = "adder";
+  spec.n = bits;
+  const auto nl = bench::generate("adder", "domino_cla", spec);
+  timing::PathExtractor extractor(nl);
+
+  {
+    timing::PathStats stats;
+    const auto t0 = clock();
+    const auto paths = extractor.extract({}, &stats);
+    const double secs = double(clock() - t0) / CLOCKS_PER_SEC;
+    util::Table table({"stage", "paths"});
+    table.add_row({"exhaustive timing analysis (topological)",
+                   util::strfmt("%.0f", stats.raw_topological)});
+    table.add_row({"edge-annotated (rise/fall, both phases)",
+                   util::strfmt("%.0f", stats.raw_edge_paths)});
+    table.add_row({"after regularity",
+                   util::strfmt("%zu", stats.after_regularity)});
+    table.add_row({"after pin precedence",
+                   util::strfmt("%zu", stats.after_precedence)});
+    table.add_row({"after fanout dominance (final)",
+                   util::strfmt("%zu", stats.after_dominance)});
+    std::printf("%s", table.render(util::strfmt(
+        "Section 5.2 - %d-bit dual-rail domino CLA adder: timing-constraint "
+        "problem size", bits)).c_str());
+    std::printf("reduction factor: %.0fx (extracted in %.2fs)\n\n",
+                stats.raw_topological /
+                    static_cast<double>(paths.size()),
+                secs);
+  }
+
+  // Ablation: contribution of each §5.2 technique.
+  util::Table ab({"regularity", "precedence", "dominance", "final paths"});
+  const bool flags[4][3] = {
+      {true, false, false}, {true, true, false}, {true, false, true},
+      {true, true, true}};
+  for (const auto& f : flags) {
+    timing::PruneOptions opt;
+    opt.regularity = f[0];
+    opt.precedence = f[1];
+    opt.dominance = f[2];
+    timing::PathStats stats;
+    const auto paths = extractor.extract(opt, &stats);
+    ab.add_row({f[0] ? "on" : "off", f[1] ? "on" : "off",
+                f[2] ? "on" : "off", util::strfmt("%zu", paths.size())});
+  }
+  std::printf("%s", ab.render(util::strfmt(
+      "Pruning ablation (%d-bit adder)", bits)).c_str());
+  }
+  bench::paper_note(
+      "§5.2: exhaustive analysis revealed over 32,000 paths; the pruning "
+      "techniques reduced the problem to 120 paths — a factor of over 250. "
+      "Reproduction target: the same orders-of-magnitude reduction.");
+  return 0;
+}

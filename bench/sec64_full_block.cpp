@@ -1,0 +1,91 @@
+// §6.4 (first experiment): a complete functional block with over 13,800
+// transistors where datapath macros account for 22% of total transistor
+// width and 36% of total power; applying SMART to the macros yields ~8%
+// reduction in both block width and block power with no timing penalty.
+
+#include "common.h"
+
+#include "blocks/block.h"
+
+using namespace smart;
+
+int main() {
+  // Compose a block matching the paper's ratios: macro width share ~22%.
+  blocks::BlockSpec spec;
+  spec.name = "sec64_block";
+  spec.seed = 64;
+  spec.filler_devices = 10600;
+  auto add_mux = [&](const char* topo, int n, int bits) {
+    blocks::MacroRequest req;
+    req.type = "mux";
+    req.topology = topo;
+    req.spec.type = "mux";
+    req.spec.n = n;
+    req.spec.params["bits"] = bits;
+    spec.macros.push_back(req);
+  };
+  add_mux("domino_unsplit", 8, 8);
+  add_mux("domino_unsplit", 4, 16);
+  add_mux("domino_unsplit", 8, 16);
+  add_mux("strong_pass", 4, 16);
+  add_mux("strong_pass", 4, 32);
+  add_mux("domino_split", 8, 8);
+  add_mux("domino_split", 8, 16);
+  {
+    blocks::MacroRequest req;
+    req.type = "incrementor";
+    req.topology = "ks_prefix";
+    req.spec.type = "incrementor";
+    req.spec.n = 13;
+    spec.macros.push_back(req);
+  }
+  {
+    blocks::MacroRequest req;
+    req.type = "comparator";
+    req.topology = "xorsum2_nor4";
+    req.spec.type = "comparator";
+    req.spec.n = 32;
+    spec.macros.push_back(req);
+  }
+  {
+    blocks::MacroRequest req;
+    req.type = "zero_detect";
+    req.topology = "static_tree";
+    req.spec.type = "zero_detect";
+    req.spec.n = 32;
+    spec.macros.push_back(req);
+  }
+
+  const auto block = blocks::build_block(spec, bench::database());
+  core::IsoDelayOptions opt;
+  opt.sizer.cost = core::CostMetric::kPower;
+  const auto ex = blocks::run_block_experiment(block, bench::tech(),
+                                               bench::library(), opt);
+
+  util::Table table({"metric", "value"});
+  table.add_row({"total devices", util::strfmt("%d", ex.before.devices)});
+  table.add_row({"macro share of total width",
+                 bench::pct(ex.before.macro_width_um /
+                            ex.before.total_width_um)});
+  table.add_row({"macro share of total power",
+                 bench::pct(ex.before.macro_power_mw /
+                            ex.before.total_power_mw)});
+  table.add_row({"block width reduction", bench::pct(ex.width_saving())});
+  table.add_row({"block power reduction", bench::pct(ex.power_saving())});
+  table.add_row({"worst macro delay before (ps)",
+                 bench::num(ex.before.worst_macro_delay_ps, 1)});
+  table.add_row({"worst macro delay after (ps)",
+                 bench::num(ex.after.worst_macro_delay_ps, 1)});
+  table.add_row({"macros converged",
+                 util::strfmt("%d/%d", ex.macros_converged,
+                              ex.macros_total)});
+  std::printf("%s", table.render(
+      "Section 6.4 - complete functional block: SMART applied to the "
+      "datapath macros only").c_str());
+  bench::paper_note(
+      "§6.4: a 13,800-transistor block, macros = 22% of width and 36% of "
+      "power; SMART -> ~8% block width and ~8% block power reduction, no "
+      "performance penalty. Reproduction target: matching composition and "
+      "single-digit block-level savings bounded by the macro share.");
+  return 0;
+}

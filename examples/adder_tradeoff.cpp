@@ -1,0 +1,82 @@
+// Area-delay exploration of a dual-rail domino CLA adder (a scaled-down
+// interactive version of the paper's Fig 6 experiment): sweep the delay
+// specification and print the achievable area at each point, then show
+// what the designer-controlled sizing hook does — fixing a label by hand
+// (paper §2: "the designer should be allowed to control transistor sizes
+// of portions of the macro while letting the automatic sizer size the
+// rest").
+
+#include <cstdio>
+
+#include "core/advisor.h"
+#include "core/experiment.h"
+#include "macros/registry.h"
+#include "models/fitter.h"
+
+using namespace smart;
+
+int main() {
+  const auto& tech = tech::default_tech();
+  const auto& lib = models::default_library();
+
+  core::MacroSpec spec;
+  spec.type = "adder";
+  spec.n = 16;  // 16-bit keeps this example interactive; Fig 6 uses 64
+  spec.load_ff = 12.0;
+  auto nl = macros::builtin_database()
+                .find("adder", "domino_cla")
+                ->generate(spec);
+
+  // Anchor at the hand-design performance point.
+  const auto anchor = core::run_iso_delay(nl, tech, lib);
+  if (!anchor.ok) {
+    std::printf("anchor sizing failed: %s\n", anchor.smart.message.c_str());
+    return 1;
+  }
+  const double d0 = anchor.baseline.measured_delay_ps;
+  std::printf("hand design: %.1f ps, %.1f um\n", d0,
+              anchor.baseline.total_width_um);
+  std::printf("SMART @ iso: %.1f ps, %.1f um (%.0f%% width saving)\n\n",
+              anchor.smart.measured_delay_ps, anchor.smart.total_width_um,
+              100.0 * anchor.width_saving());
+
+  core::DesignAdvisor advisor(macros::builtin_database(), tech, lib);
+  core::SizerOptions base;
+  base.precharge_spec_ps = std::max(
+      anchor.baseline.measured_precharge_ps, d0) * 1.2;
+  std::printf("area-delay sweep:\n");
+  std::printf("  %-12s %-14s %-12s\n", "spec (ps)", "delay (ps)",
+              "width (um)");
+  for (double rel : {0.9, 1.0, 1.1, 1.25, 1.4}) {
+    const auto curve = advisor.tradeoff_curve(nl, {rel * d0}, base);
+    const auto& p = curve.front();
+    if (p.feasible) {
+      std::printf("  %-12.1f %-14.1f %-12.1f\n", p.delay_spec_ps,
+                  p.measured_delay_ps, p.total_width_um);
+    } else {
+      std::printf("  %-12.1f infeasible\n", p.delay_spec_ps);
+    }
+  }
+
+  // Designer override: lock the stage-1 generate-gate stack to a generous
+  // width (say, for noise immunity on a noisy region of the die) and
+  // re-size everything else automatically around it.
+  const netlist::LabelId lock = [&] {
+    for (size_t i = 0; i < nl.label_count(); ++i)
+      if (nl.label(static_cast<netlist::LabelId>(i)).name == "s1gt_N")
+        return static_cast<netlist::LabelId>(i);
+    return netlist::LabelId{-1};
+  }();
+  if (lock >= 0) {
+    nl.fix_label(lock, 6.0);
+    core::Sizer sizer(tech, lib);
+    core::SizerOptions opt = base;
+    opt.delay_spec_ps = d0;
+    const auto r = sizer.size(nl, opt);
+    std::printf(
+        "\nwith s1gt_N hand-locked to 6.0 um: %s, delay %.1f ps, width "
+        "%.1f um\n",
+        r.message.c_str(), r.measured_delay_ps, r.total_width_um);
+  }
+  return 0;
+}

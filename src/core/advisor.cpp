@@ -1,0 +1,138 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <future>
+
+#include "power/power.h"
+#include "refsim/rc_timer.h"
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::core {
+
+namespace {
+
+/// Value of a cost metric for a sized netlist.
+double metric_value(const netlist::Netlist& nl, const netlist::Sizing& sizing,
+                    CostMetric cost, const power::PowerOptions& activity,
+                    const tech::Tech& tech) {
+  switch (cost) {
+    case CostMetric::kTotalWidth:
+      return nl.device_stats(sizing).total_width;
+    case CostMetric::kPower: {
+      power::PowerEstimator est(tech);
+      return est.estimate(nl, sizing, activity).total_mw;
+    }
+    case CostMetric::kClockLoad:
+      return nl.device_stats(sizing).clock_gate_width;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Advice DesignAdvisor::advise(const AdvisorRequest& request) const {
+  Advice advice;
+  const auto topos = db_->topologies(request.spec.type, &request.spec);
+  if (topos.empty()) {
+    advice.message =
+        "no applicable topology for macro type '" + request.spec.type + "'";
+    return advice;
+  }
+
+  // Derive the delay spec from a baseline-sized reference design if the
+  // designer did not give one.
+  double delay_spec = request.delay_spec_ps;
+  double pre_spec = request.precharge_spec_ps;
+  if (delay_spec <= 0.0) {
+    netlist::Netlist ref = topos.front()->generate(request.spec);
+    apply_site_wiring(ref, request.spec);
+    BaselineSizer baseline(*tech_, request.baseline);
+    const auto ref_sizing = baseline.size(ref);
+    const refsim::RcTimer timer(*tech_);
+    const auto rep = timer.analyze(ref, ref_sizing);
+    delay_spec = rep.worst_delay;
+    if (pre_spec <= 0.0 && rep.worst_precharge > 0.0)
+      pre_spec = rep.worst_precharge;
+  }
+  advice.derived_delay_spec_ps = delay_spec;
+
+  auto size_one = [&](const TopologyEntry* entry) {
+    Solution sol{entry->name, entry->generate(request.spec), SizerResult{},
+                 0.0, false};
+    apply_site_wiring(sol.netlist, request.spec);
+    SizerOptions sopt = request.sizer;
+    sopt.delay_spec_ps = delay_spec;
+    sopt.precharge_spec_ps = pre_spec;
+    sopt.cost = request.cost;
+    Sizer sizer(*tech_, *lib_);
+    if (sopt.input_cap_limit_ff <= 0.0 && sopt.input_cap_limits_ff.empty()) {
+      // Drop-in-replacement rule: the SMART solution may not present more
+      // pin capacitance than this topology's baseline-sized design would.
+      BaselineSizer baseline(*tech_, request.baseline);
+      sopt.input_cap_limits_ff =
+          sizer.input_caps(sol.netlist, baseline.size(sol.netlist));
+    }
+    sol.sizing = sizer.size(sol.netlist, sopt);
+    if (sol.sizing.ok) {
+      sol.meets_spec = sol.sizing.message == "converged";
+      sol.cost_value = metric_value(sol.netlist, sol.sizing.sizing,
+                                    request.cost, request.sizer.activity,
+                                    *tech_);
+    }
+    return sol;
+  };
+
+  std::vector<Solution> sized;
+  if (request.parallel && topos.size() > 1) {
+    std::vector<std::future<Solution>> futures;
+    futures.reserve(topos.size());
+    for (const TopologyEntry* entry : topos)
+      futures.push_back(
+          std::async(std::launch::async, size_one, entry));
+    for (auto& f : futures) sized.push_back(f.get());
+  } else {
+    for (const TopologyEntry* entry : topos) sized.push_back(size_one(entry));
+  }
+  for (auto& sol : sized) {
+    if (!sol.sizing.ok) {
+      advice.message += util::strfmt("[%s: %s] ", sol.topology.c_str(),
+                                     sol.sizing.message.c_str());
+      continue;
+    }
+    advice.solutions.push_back(std::move(sol));
+  }
+
+  std::sort(advice.solutions.begin(), advice.solutions.end(),
+            [](const Solution& a, const Solution& b) {
+              if (a.meets_spec != b.meets_spec) return a.meets_spec;
+              return a.cost_value < b.cost_value;
+            });
+  if (advice.message.empty()) advice.message = "ok";
+  return advice;
+}
+
+std::vector<TradeoffPoint> DesignAdvisor::tradeoff_curve(
+    const netlist::Netlist& nl, const std::vector<double>& delay_specs,
+    const SizerOptions& base_options) const {
+  std::vector<TradeoffPoint> curve;
+  Sizer sizer(*tech_, *lib_);
+  for (double spec : delay_specs) {
+    SizerOptions opt = base_options;
+    opt.delay_spec_ps = spec;
+    if (base_options.precharge_spec_ps <= 0.0)
+      opt.precharge_spec_ps = spec * 1.5;
+    const auto result = sizer.size(nl, opt);
+    TradeoffPoint point;
+    point.delay_spec_ps = spec;
+    point.feasible = result.ok && result.message == "converged";
+    if (result.ok) {
+      point.measured_delay_ps = result.measured_delay_ps;
+      point.total_width_um = result.total_width_um;
+    }
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace smart::core

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file advisor.h
+/// The SMART design advisor (paper Fig 1): given a macro instance with its
+/// local constraints, searches the design database, sizes every applicable
+/// topology for the designer's spec, and ranks the sized solutions by the
+/// chosen cost metric — or hands the whole comparison to the designer
+/// (Fig 7's topology exploration). Also produces area-delay trade-off
+/// curves (Fig 6) by sweeping the delay specification.
+
+#include <optional>
+
+#include "core/baseline.h"
+#include "core/database.h"
+#include "core/sizer.h"
+
+namespace smart::core {
+
+/// One sized candidate from the advisor.
+struct Solution {
+  std::string topology;  ///< registered topology name
+  netlist::Netlist netlist;
+  SizerResult sizing;
+  double cost_value = 0.0;  ///< value of the requested cost metric
+  bool meets_spec = false;
+};
+
+struct AdvisorRequest {
+  MacroSpec spec;
+  double delay_spec_ps = 0.0;       ///< <= 0: derive from baseline sizing
+  double precharge_spec_ps = -1.0;
+  CostMetric cost = CostMetric::kTotalWidth;
+  SizerOptions sizer;  ///< delay/precharge/cost fields are overwritten
+  BaselineOptions baseline;
+  /// Size candidate topologies concurrently (they are independent). The
+  /// result is deterministic either way.
+  bool parallel = true;
+};
+
+/// Result of advising one macro instance.
+struct Advice {
+  std::vector<Solution> solutions;  ///< ranked, best first
+  double derived_delay_spec_ps = 0.0;
+  std::string message;
+
+  const Solution* best() const {
+    return solutions.empty() ? nullptr : &solutions.front();
+  }
+};
+
+/// One point of an area-delay trade-off curve.
+struct TradeoffPoint {
+  double delay_spec_ps = 0.0;
+  double measured_delay_ps = 0.0;
+  double total_width_um = 0.0;
+  bool feasible = false;
+};
+
+class DesignAdvisor {
+ public:
+  DesignAdvisor(const MacroDatabase& db, const tech::Tech& tech,
+                const models::ModelLibrary& lib)
+      : db_(&db), tech_(&tech), lib_(&lib) {}
+
+  /// Sizes every applicable topology and ranks by cost. When the request
+  /// has no explicit delay spec, the spec is derived by baseline-sizing the
+  /// *first* applicable topology and measuring it — the §6.1 protocol
+  /// ("produce a design with the same topology and performance").
+  Advice advise(const AdvisorRequest& request) const;
+
+  /// Sizes one named topology at a sweep of delay specs (Fig 6).
+  std::vector<TradeoffPoint> tradeoff_curve(
+      const netlist::Netlist& nl, const std::vector<double>& delay_specs,
+      const SizerOptions& base_options) const;
+
+ private:
+  const MacroDatabase* db_;
+  const tech::Tech* tech_;
+  const models::ModelLibrary* lib_;
+};
+
+}  // namespace smart::core

@@ -1,0 +1,250 @@
+#include "core/constraints.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::core {
+
+using netlist::Netlist;
+using posy::Monomial;
+using posy::Posynomial;
+
+posy::Posynomial cost_posy(const Netlist& nl, CostMetric cost,
+                           const models::LabelVarMap& labels,
+                           const power::PowerOptions& activity,
+                           const tech::Tech& tech) {
+  Posynomial obj;
+  switch (cost) {
+    case CostMetric::kTotalWidth: {
+      for (size_t c = 0; c < nl.comp_count(); ++c) {
+        for (const auto& ref :
+             nl.all_device_widths(static_cast<netlist::CompId>(c))) {
+          Monomial m = labels.at(static_cast<size_t>(ref.label));
+          m *= ref.scale;
+          obj += m;
+        }
+      }
+      break;
+    }
+    case CostMetric::kPower: {
+      const auto act = power::net_activities(nl, activity);
+      for (size_t n = 0; n < nl.net_count(); ++n) {
+        Posynomial cap = models::net_cap_posy(
+            nl, static_cast<netlist::NetId>(n), labels, tech);
+        obj += cap * act[n];
+      }
+      break;
+    }
+    case CostMetric::kClockLoad: {
+      for (size_t n = 0; n < nl.net_count(); ++n) {
+        if (nl.net(static_cast<netlist::NetId>(n)).kind !=
+            netlist::NetKind::kClock)
+          continue;
+        for (size_t c = 0; c < nl.comp_count(); ++c) {
+          for (const auto& ref : nl.gate_width_on_net(
+                   static_cast<netlist::CompId>(c),
+                   static_cast<netlist::NetId>(n))) {
+            Monomial m = labels.at(static_cast<size_t>(ref.label));
+            m *= ref.scale;
+            obj += m;
+          }
+        }
+      }
+      // Clock load alone can leave data devices unconstrained from above;
+      // a small width term keeps the objective bounded and realistic.
+      Posynomial width = cost_posy(nl, CostMetric::kTotalWidth, labels,
+                                   activity, tech);
+      obj += width * 0.01;
+      break;
+    }
+  }
+  SMART_CHECK(!obj.is_zero(), "cost objective is zero — empty netlist?");
+  return obj;
+}
+
+GeneratedProblem generate_problem(const Netlist& nl,
+                                  const ConstraintOptions& opt,
+                                  const models::ModelLibrary& lib,
+                                  const tech::Tech& tech) {
+  SMART_CHECK(nl.finalized(), "netlist must be finalized");
+  SMART_CHECK(opt.delay_spec_ps > 0.0, "delay spec must be positive");
+
+  GeneratedProblem gen;
+  gen.built_options = opt;
+  gen.vars = std::make_unique<posy::VarTable>();
+  gen.labels = models::make_label_vars(nl, *gen.vars);
+
+  gen.objective = cost_posy(nl, opt.cost, gen.labels, opt.activity, tech);
+
+  // Net capacitances are shared across many arc models; cache them.
+  std::vector<Posynomial> cap_cache(nl.net_count());
+  std::vector<bool> cap_ready(nl.net_count(), false);
+  auto net_cap = [&](netlist::NetId n) -> const Posynomial& {
+    if (!cap_ready[static_cast<size_t>(n)]) {
+      cap_cache[static_cast<size_t>(n)] =
+          models::net_cap_posy(nl, n, gen.labels, tech);
+      cap_ready[static_cast<size_t>(n)] = true;
+    }
+    return cap_cache[static_cast<size_t>(n)];
+  };
+
+  const Posynomial slope_budget(opt.slope_budget_ps);
+
+  // ---- timing constraint templates from representative paths ----
+  timing::PathExtractor extractor(nl);
+  const auto paths = extractor.extract(opt.prune, &gen.path_stats);
+  for (const auto& path : paths) {
+    const double in_slope = path.start_slope >= 0.0
+                                ? path.start_slope
+                                : tech.default_input_slope;
+    PathConstraintTemplate tmpl;
+    tmpl.phase = path.phase;
+    tmpl.end = path.end();
+    tmpl.stages_total = path.domino_stages();
+    Posynomial total(path.start_arrival);
+    int stages_seen = 0;
+    for (size_t si = 0; si < path.steps.size(); ++si) {
+      const auto& step = path.steps[si];
+      const Posynomial step_slope(si == 0 ? in_slope : opt.slope_budget_ps);
+      const auto arc_posy = models::arc_model_posy(
+          nl, step.arc, step.out_rise, step_slope, net_cap(step.arc.to),
+          gen.labels, lib, tech, path.phase);
+
+      const bool enters_domino =
+          step.arc.kind == netlist::ArcKind::kDominoEval ||
+          step.arc.kind == netlist::ArcKind::kDominoClkEval;
+      if (enters_domino) {
+        ++stages_seen;
+        // Without opportunistic time borrowing, a stage that evaluates in
+        // phase k cannot start before its inputs are final at the phase
+        // edge: everything upstream of domino stage k must settle within
+        // the first (k-1)/S of the spec. With OTB ([12]) evaluation simply
+        // begins when the data arrives and only the end-to-end constraint
+        // remains. Recorded as a prefix template here; normalized by the
+        // current spec in assemble_problem.
+        if (stages_seen >= 2 && path.phase == netlist::Phase::kEvaluate)
+          tmpl.stage_prefixes.emplace_back(stages_seen, total);
+      }
+      total += arc_posy.delay;
+    }
+    tmpl.total = std::move(total);
+    gen.path_templates.push_back(std::move(tmpl));
+  }
+
+  // ---- input pin capacitance (load) constraints ----
+  const auto& per_port = opt.input_cap_limits_ff;
+  SMART_CHECK(per_port.empty() || per_port.size() == nl.inputs().size(),
+              "input cap limit list must match the input port count");
+  for (size_t ii = 0; ii < nl.inputs().size(); ++ii) {
+    const double limit = per_port.empty() ? opt.input_cap_limit_ff
+                                          : per_port[ii];
+    if (limit <= 0.0) continue;
+    const netlist::NetId in = nl.inputs()[ii].net;
+    gen.static_constraints.push_back(gp::Constraint{
+        net_cap(in) * (1.0 / (limit * opt.input_cap_slack)),
+        util::strfmt("incap_%s", nl.net(in).name.c_str())});
+  }
+
+  // ---- per-arc slope (reliability) constraints ----
+  if (opt.enforce_slopes) {
+    std::vector<netlist::EdgeMap> maps;
+    for (const auto& arc : nl.arcs()) {
+      bool footed = true;
+      if (const auto* dg = nl.comp(arc.comp).as_domino())
+        footed = dg->evaluate_label >= 0;
+      netlist::arc_edge_maps(arc.kind, netlist::Phase::kEvaluate, footed,
+                             maps);
+      // Each distinct output transition gets one slope bound.
+      bool done_rise = false, done_fall = false;
+      for (const auto& em : maps) {
+        if (em.out_rise ? done_rise : done_fall) continue;
+        (em.out_rise ? done_rise : done_fall) = true;
+        const auto arc_posy = models::arc_model_posy(
+            nl, arc, em.out_rise, slope_budget, net_cap(arc.to), gen.labels,
+            lib, tech);
+        gen.static_constraints.push_back(gp::Constraint{
+            arc_posy.out_slope * (1.0 / opt.slope_budget_ps),
+            util::strfmt("slope_%s_%s", nl.net(arc.to).name.c_str(),
+                         em.out_rise ? "r" : "f")});
+        ++gen.slope_constraints;
+      }
+    }
+  }
+
+  assemble_problem(gen, opt.delay_spec_ps, opt.precharge_spec_ps, opt.otb,
+                   opt.output_required_ps, nl);
+  return gen;
+}
+
+void assemble_problem(GeneratedProblem& gen, double delay_spec_ps,
+                      double precharge_spec_ps, bool otb,
+                      const std::vector<double>& output_required_ps,
+                      const Netlist& nl) {
+  SMART_CHECK(delay_spec_ps > 0.0, "delay spec must be positive");
+  const double pre_spec =
+      precharge_spec_ps > 0.0 ? precharge_spec_ps : delay_spec_ps;
+
+  SMART_CHECK(output_required_ps.empty() ||
+                  output_required_ps.size() == nl.outputs().size(),
+              "output required-time list must match the output port count");
+  std::vector<double> required(nl.net_count(), -1.0);
+  for (size_t oi = 0; oi < output_required_ps.size(); ++oi) {
+    if (output_required_ps[oi] > 0.0)
+      required[static_cast<size_t>(nl.outputs()[oi].net)] =
+          output_required_ps[oi];
+  }
+
+  gen.problem = std::make_unique<gp::GpProblem>(*gen.vars);
+  gen.problem->set_objective(gen.objective);
+  gen.timing_constraints = 0;
+  gen.stage_constraints = 0;
+  for (size_t pi = 0; pi < gen.path_templates.size(); ++pi) {
+    const auto& tmpl = gen.path_templates[pi];
+    double spec =
+        tmpl.phase == netlist::Phase::kEvaluate ? delay_spec_ps : pre_spec;
+    if (tmpl.phase == netlist::Phase::kEvaluate &&
+        required[static_cast<size_t>(tmpl.end)] > 0.0) {
+      spec = required[static_cast<size_t>(tmpl.end)];
+    }
+    if (!otb) {
+      for (const auto& [stage, prefix] : tmpl.stage_prefixes) {
+        const double deadline = spec * static_cast<double>(stage - 1) /
+                                static_cast<double>(tmpl.stages_total);
+        gen.problem->add_constraint(
+            prefix * (1.0 / deadline),
+            util::strfmt("stage%d_of_path%zu", stage, pi));
+        ++gen.stage_constraints;
+      }
+    }
+    gen.problem->add_constraint(
+        tmpl.total * (1.0 / spec),
+        util::strfmt("%s_path%zu",
+                     tmpl.phase == netlist::Phase::kEvaluate ? "eval" : "pre",
+                     pi));
+    ++gen.timing_constraints;
+  }
+  for (const auto& c : gen.static_constraints)
+    gen.problem->add_constraint(c.lhs, c.tag);
+}
+
+netlist::Sizing sizing_from_solution(const Netlist& nl,
+                                     const GeneratedProblem& gen,
+                                     const util::Vec& x) {
+  netlist::Sizing sizing(nl.label_count(), 0.0);
+  for (size_t li = 0; li < nl.label_count(); ++li) {
+    const auto& label = nl.label(static_cast<netlist::LabelId>(li));
+    if (label.fixed) {
+      sizing[li] = label.fixed_width;
+      continue;
+    }
+    const Monomial& m = gen.labels.at(li);
+    SMART_CHECK(m.factors().size() == 1,
+                "free label is not a single variable");
+    sizing[li] = x.at(static_cast<size_t>(m.factors()[0].var));
+  }
+  return sizing;
+}
+
+}  // namespace smart::core

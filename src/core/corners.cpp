@@ -1,0 +1,51 @@
+#include "core/corners.h"
+
+#include <algorithm>
+
+#include "refsim/rc_timer.h"
+
+namespace smart::core {
+
+namespace {
+
+CornerMeasurement measure_at(const netlist::Netlist& nl,
+                             const netlist::Sizing& sizing,
+                             const tech::Tech& base, tech::Corner corner) {
+  const tech::Tech tech = base.at_corner(corner);
+  const refsim::RcTimer timer(tech);
+  const auto report = timer.analyze(nl, sizing);
+  CornerMeasurement m;
+  m.corner = corner;
+  m.delay_ps = report.worst_delay;
+  m.precharge_ps = report.worst_precharge;
+  m.max_slope_ps = report.max_internal_slope;
+  return m;
+}
+
+}  // namespace
+
+double CornerSweep::worst_delay_ps() const {
+  return std::max({typical.delay_ps, fast.delay_ps, slow.delay_ps});
+}
+
+bool CornerSweep::meets(double delay_spec_ps,
+                        double precharge_spec_ps) const {
+  for (const auto* m : {&typical, &fast, &slow}) {
+    if (m->delay_ps > delay_spec_ps) return false;
+    if (precharge_spec_ps > 0.0 && m->precharge_ps > precharge_spec_ps)
+      return false;
+  }
+  return true;
+}
+
+CornerSweep measure_corners(const netlist::Netlist& nl,
+                            const netlist::Sizing& sizing,
+                            const tech::Tech& base) {
+  CornerSweep sweep;
+  sweep.typical = measure_at(nl, sizing, base, tech::Corner::kTypical);
+  sweep.fast = measure_at(nl, sizing, base, tech::Corner::kFast);
+  sweep.slow = measure_at(nl, sizing, base, tech::Corner::kSlow);
+  return sweep;
+}
+
+}  // namespace smart::core

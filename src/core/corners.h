@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file corners.h
+/// Process-corner verification of a sized macro. High-performance teams
+/// size at the slow corner and verify the result everywhere: a design that
+/// only meets timing at typical silicon does not ship. The sizer itself is
+/// corner-agnostic — construct it with `tech.at_corner(Corner::kSlow)` and
+/// a library calibrated for that corner; this helper then measures the
+/// resulting sizing across all three corners.
+
+#include "core/sizer.h"
+#include "tech/tech.h"
+
+namespace smart::core {
+
+/// Reference-timer measurements of one sizing at one corner.
+struct CornerMeasurement {
+  tech::Corner corner = tech::Corner::kTypical;
+  double delay_ps = 0.0;
+  double precharge_ps = 0.0;
+  double max_slope_ps = 0.0;
+};
+
+struct CornerSweep {
+  CornerMeasurement typical;
+  CornerMeasurement fast;
+  CornerMeasurement slow;
+
+  /// Worst (slowest) delay across the sweep — always the slow corner for a
+  /// monotone technology shift, reported explicitly for checking.
+  double worst_delay_ps() const;
+  /// True when every corner meets the deadline (and precharge budget).
+  bool meets(double delay_spec_ps, double precharge_spec_ps = -1.0) const;
+};
+
+/// Measures a sizing at typical / fast / slow corners of a base technology.
+CornerSweep measure_corners(const netlist::Netlist& nl,
+                            const netlist::Sizing& sizing,
+                            const tech::Tech& base);
+
+}  // namespace smart::core

@@ -1,0 +1,51 @@
+#include "core/database.h"
+
+#include "util/check.h"
+
+namespace smart::core {
+
+void apply_site_wiring(netlist::Netlist& nl, const MacroSpec& spec) {
+  if (spec.output_wire_ff <= 0.0) return;
+  for (const auto& port : nl.outputs())
+    nl.set_extra_wire(port.net, spec.output_wire_ff);
+}
+
+void MacroDatabase::register_topology(const std::string& macro_type,
+                                      TopologyEntry entry) {
+  SMART_CHECK(static_cast<bool>(entry.generate),
+              "topology needs a generator: " + entry.name);
+  auto& list = by_type_[macro_type];
+  for (const auto& e : list)
+    SMART_CHECK(e.name != entry.name,
+                "duplicate topology name: " + macro_type + "/" + entry.name);
+  if (!entry.applicable) entry.applicable = [](const MacroSpec&) { return true; };
+  list.push_back(std::move(entry));
+}
+
+std::vector<std::string> MacroDatabase::macro_types() const {
+  std::vector<std::string> types;
+  types.reserve(by_type_.size());
+  for (const auto& [type, list] : by_type_) types.push_back(type);
+  return types;
+}
+
+std::vector<const TopologyEntry*> MacroDatabase::topologies(
+    const std::string& macro_type, const MacroSpec* spec) const {
+  std::vector<const TopologyEntry*> out;
+  auto it = by_type_.find(macro_type);
+  if (it == by_type_.end()) return out;
+  for (const auto& e : it->second)
+    if (spec == nullptr || e.applicable(*spec)) out.push_back(&e);
+  return out;
+}
+
+const TopologyEntry* MacroDatabase::find(const std::string& macro_type,
+                                         const std::string& name) const {
+  auto it = by_type_.find(macro_type);
+  if (it == by_type_.end()) return nullptr;
+  for (const auto& e : it->second)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+}  // namespace smart::core

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file database.h
+/// The SMART design database (paper §4): "a large expandable database of
+/// the best available tried and tested topologies for the basic set of
+/// macros. Whenever a designer comes up with an implementation not
+/// available in the database, it can be incorporated" — hence a runtime
+/// registry of topology generators rather than a closed enum.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace smart::core {
+
+/// Request for one macro instance: its type, width, and the boundary
+/// conditions of the instantiation site.
+struct MacroSpec {
+  std::string type;  ///< e.g. "mux", "incrementor", "zero_detect", ...
+  int n = 0;         ///< fan-in for muxes, bit width for datapath macros
+  /// Extra knobs a topology may honor (e.g. "partition" for split domino,
+  /// "group" for comparator xorsum width).
+  std::map<std::string, double> params;
+
+  // Instantiation-site constraints applied to the generated netlist.
+  double load_ff = 15.0;        ///< per-output external load
+  double input_slope_ps = -1.0; ///< < 0 => technology default
+  double input_arrival_ps = 0.0;
+  /// Route capacitance each output travels over at this site (fF) — long
+  /// interconnects favour tri-state topologies (paper Fig 2(d)).
+  double output_wire_ff = 0.0;
+
+  double param(const std::string& key, double fallback) const {
+    auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  }
+};
+
+/// Builds an unsized, finalized netlist for a macro spec (ports already
+/// configured from the spec's boundary conditions).
+using TopologyGenerator =
+    std::function<netlist::Netlist(const MacroSpec&)>;
+
+/// Applies instantiation-site wiring from a spec to a generated macro
+/// (currently: output route capacitance). Must run before finalization-
+/// dependent analyses are cached — the advisor and experiment helpers call
+/// it right after generation.
+void apply_site_wiring(netlist::Netlist& nl, const MacroSpec& spec);
+
+struct TopologyEntry {
+  std::string name;         ///< e.g. "mux/strong_pass"
+  std::string description;  ///< one-line designer-facing summary
+  TopologyGenerator generate;
+  /// Whether this topology applies to a spec (e.g. encoded-select muxes
+  /// only exist for n == 2).
+  std::function<bool(const MacroSpec&)> applicable;
+};
+
+/// Registry of macro topologies, keyed by macro type. Expandable at
+/// runtime — the paper's "key element of SMART's design database".
+class MacroDatabase {
+ public:
+  /// Registers a topology for a macro type. Names must be unique per type.
+  void register_topology(const std::string& macro_type, TopologyEntry entry);
+
+  /// All registered types.
+  std::vector<std::string> macro_types() const;
+
+  /// Topologies of a type applicable to a spec (all, if spec is nullptr).
+  std::vector<const TopologyEntry*> topologies(
+      const std::string& macro_type, const MacroSpec* spec = nullptr) const;
+
+  /// Finds one topology by qualified name ("type/name"); nullptr if absent.
+  const TopologyEntry* find(const std::string& macro_type,
+                            const std::string& name) const;
+
+ private:
+  std::map<std::string, std::vector<TopologyEntry>> by_type_;
+};
+
+}  // namespace smart::core

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file report.h
+/// Designer-facing text report for a sized macro: per-label widths with
+/// device counts, timing/power summary and the optimization statistics —
+/// the "comparison result" a SMART user reviews before accepting a
+/// solution (paper Fig 1).
+
+#include <string>
+
+#include "core/sizer.h"
+#include "power/power.h"
+
+namespace smart::core {
+
+/// Renders a multi-line report of a sizing result for a macro.
+std::string describe_solution(const netlist::Netlist& nl,
+                              const SizerResult& result,
+                              const tech::Tech& tech);
+
+}  // namespace smart::core

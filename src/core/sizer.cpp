@@ -1,0 +1,198 @@
+#include "core/sizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/strfmt.h"
+
+namespace smart::core {
+
+SizerResult Sizer::measure(const netlist::Netlist& nl,
+                           const netlist::Sizing& sizing) const {
+  const refsim::RcTimer timer(*tech_);
+  const auto report = timer.analyze(nl, sizing);
+  const auto stats = nl.device_stats(sizing);
+  SizerResult r;
+  r.ok = true;
+  r.sizing = sizing;
+  r.measured_delay_ps = report.worst_delay;
+  r.measured_precharge_ps = report.worst_precharge;
+  r.total_width_um = stats.total_width;
+  r.clock_width_um = stats.clock_gate_width;
+  return r;
+}
+
+std::vector<double> Sizer::input_caps(const netlist::Netlist& nl,
+                                      const netlist::Sizing& sizing) const {
+  const refsim::RcTimer timer(*tech_);
+  std::vector<double> caps;
+  caps.reserve(nl.inputs().size());
+  for (const auto& p : nl.inputs())
+    caps.push_back(timer.net_cap(nl, sizing, p.net));
+  return caps;
+}
+
+SizerResult Sizer::size(const netlist::Netlist& nl,
+                        const SizerOptions& opt) const {
+  SMART_CHECK(opt.delay_spec_ps > 0.0, "delay spec must be positive");
+  const refsim::RcTimer timer(*tech_);
+
+  const double target_delay = opt.delay_spec_ps;
+  const double target_pre =
+      opt.precharge_spec_ps > 0.0 ? opt.precharge_spec_ps : target_delay;
+
+  // Model-facing specifications, retargeted each iteration by the
+  // model-vs-reference mismatch. The slope budget also relaxes on repeated
+  // infeasibility: the (conservative) slope models can over-predict edges
+  // on heavily loaded dynamic nodes that the reference timer accepts.
+  double model_spec = target_delay;
+  double model_pre_spec = target_pre;
+  double slope_budget = opt.slope_budget_ps;
+
+  util::Vec warm_start;  // previous iteration's solution
+  // Constraint templates are rebuilt only when the slope budget moves
+  // (infeasibility relaxation); otherwise each iteration just re-normalizes
+  // them for the new model-facing specs.
+  GeneratedProblem gen;
+  double built_slope_budget = -1.0;
+  SizerResult best;
+  best.message = "no feasible GP solve";
+  double best_err = 1e300;
+  bool best_meets = false;
+  double prev_width = -1.0;
+  int total_newton = 0;
+
+  for (int iter = 0; iter < opt.max_respec_iters; ++iter) {
+    std::vector<double> scaled_required = opt.output_required_ps;
+    for (auto& r : scaled_required)
+      if (r > 0.0) r *= model_spec / target_delay;  // respec scales ports too
+
+    if (built_slope_budget != slope_budget) {
+      ConstraintOptions copt;
+      copt.delay_spec_ps = model_spec;
+      copt.precharge_spec_ps = model_pre_spec;
+      copt.slope_budget_ps = slope_budget;
+      copt.enforce_slopes = opt.enforce_slopes;
+      copt.otb = opt.otb;
+      copt.cost = opt.cost;
+      copt.activity = opt.activity;
+      copt.prune = opt.prune;
+      copt.input_cap_limit_ff = opt.input_cap_limit_ff;
+      copt.input_cap_limits_ff = opt.input_cap_limits_ff;
+      copt.output_required_ps = scaled_required;
+      gen = generate_problem(nl, copt, *lib_, *tech_);
+      built_slope_budget = slope_budget;
+    } else {
+      assemble_problem(gen, model_spec, model_pre_spec, opt.otb,
+                       scaled_required, nl);
+    }
+
+    gp::GpSolver solver(opt.gp);
+    const gp::GpResult sol =
+        warm_start.empty() ? solver.solve(*gen.problem)
+                           : solver.solve_from(*gen.problem, warm_start);
+    total_newton += sol.newton_iterations;
+    if (sol.status == gp::SolveStatus::kInfeasible) {
+      // The model may overestimate delay (it is conservative); relax the
+      // model-facing spec and retry. If the target is truly unreachable the
+      // loop ends with a best-effort result whose message says so.
+      if (!best.ok) {
+        best.message = util::strfmt(
+            "infeasible at model spec %.1f ps: %s", model_spec,
+            sol.message.c_str());
+        best.path_stats = gen.path_stats;
+      }
+      model_spec *= 1.25;
+      model_pre_spec *= 1.25;
+      slope_budget = std::min(slope_budget * 1.15,
+                              opt.slope_budget_ps * 2.0);
+      continue;
+    }
+
+    warm_start = sol.x;
+    auto sizing = sizing_from_solution(nl, gen, sol.x);
+    if (opt.width_grid_um > 0.0) {
+      for (size_t li = 0; li < nl.label_count(); ++li) {
+        const auto& label = nl.label(static_cast<netlist::LabelId>(li));
+        if (label.fixed) continue;
+        const double cells = std::ceil(sizing[li] / opt.width_grid_um - 1e-9);
+        sizing[li] = std::min(cells * opt.width_grid_um, label.w_max);
+      }
+    }
+    const auto report = timer.analyze(nl, sizing);
+    const auto stats = nl.device_stats(sizing);
+
+    // The delay spec is an upper bound: a design that is *faster* than the
+    // target at minimum feasible width (e.g. pinned by slope constraints)
+    // is converged, not an error.
+    const double err_delay =
+        std::max(0.0, (report.worst_delay - target_delay) / target_delay);
+    const double slack_delay =
+        std::max(0.0, (target_delay - report.worst_delay) / target_delay);
+    const double err_pre =
+        report.worst_precharge > 0.0
+            ? std::max(0.0, (report.worst_precharge - target_pre) / target_pre)
+            : 0.0;
+    // Precharge only penalizes overshoot: settling early is free.
+    const double err = std::max(err_delay, err_pre);
+
+    const bool meets =
+        report.worst_delay <= target_delay * (1 + opt.converge_tol) &&
+        report.worst_precharge <= target_pre * (1 + opt.converge_tol);
+    if (meets && best.converged_iteration < 0)
+      best.converged_iteration = iter + 1;
+    // Preference order: meeting spec with least width, then closest miss.
+    const bool better =
+        !best.ok ||
+        (meets && (!best_meets || stats.total_width < best.total_width_um)) ||
+        (!meets && !best_meets && err < best_err);
+    if (better) {
+      best.ok = true;
+      best.sizing = sizing;
+      best.measured_delay_ps = report.worst_delay;
+      best.measured_precharge_ps = report.worst_precharge;
+      best.total_width_um = stats.total_width;
+      best.clock_width_um = stats.clock_gate_width;
+      best.modeled_cost = sol.objective;
+      best.path_stats = gen.path_stats;
+      best.constraint_count = gen.timing_constraints +
+                              gen.stage_constraints + gen.slope_constraints;
+      best.binding_constraints = sol.binding;
+      best.respec_iterations = iter + 1;
+      best.message = meets ? "converged" : "best effort";
+      best_err = err;
+      best_meets = meets;
+    }
+
+    util::log_debug(util::strfmt(
+        "sizer iter %d: model spec %.1f -> measured %.1f (target %.1f), "
+        "width %.1f", iter, model_spec, report.worst_delay, target_delay,
+        stats.total_width));
+
+    if (meets && slack_delay <= opt.converge_tol) break;
+    // Width stagnation with spec met: the solution is pinned by other
+    // constraints (slopes, caps); relaxing the spec further cannot help.
+    if (meets && prev_width > 0.0 &&
+        std::fabs(stats.total_width - prev_width) < 0.005 * prev_width) {
+      break;
+    }
+    prev_width = stats.total_width;
+
+    // Retarget by the mismatch ratio, damped to avoid oscillation.
+    const double ratio = std::clamp(
+        target_delay / std::max(report.worst_delay, 1e-6), 0.5, 2.0);
+    model_spec *= std::pow(ratio, 0.8);
+    if (report.worst_precharge > 0.0) {
+      const double pratio = std::clamp(
+          target_pre / std::max(report.worst_precharge, 1e-6), 0.5, 2.0);
+      model_pre_spec *= std::pow(pratio, 0.8);
+    }
+  }
+
+  best.gp_newton_iterations = total_newton;
+  return best;
+}
+
+}  // namespace smart::core

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file sizer.h
+/// The SMART sizing engine (paper Fig 4). Fully automated loop:
+///   1. generate posynomial constraints for the current delay specification,
+///   2. solve the geometric program,
+///   3. verify the sized netlist with the reference static timing engine,
+///   4. if measured timing differs from the target, re-target the model
+///      specification by the mismatch ratio and iterate until convergence.
+/// "Better model accuracy leads to faster convergence" — the iteration
+/// count is reported so the ablation benches can show exactly that.
+
+#include <string>
+
+#include "core/constraints.h"
+#include "gp/solver.h"
+#include "refsim/rc_timer.h"
+
+namespace smart::core {
+
+struct SizerOptions {
+  /// Target delay measured by the reference timer at the macro outputs (ps).
+  double delay_spec_ps = 0.0;
+  /// Target precharge settle time; < 0 => same as delay_spec_ps.
+  double precharge_spec_ps = -1.0;
+  double slope_budget_ps = 120.0;
+  bool enforce_slopes = true;
+  bool otb = true;
+  CostMetric cost = CostMetric::kTotalWidth;
+  power::PowerOptions activity;
+  timing::PruneOptions prune;
+  gp::SolverOptions gp;
+
+  /// Input pin capacitance limits (see ConstraintOptions).
+  double input_cap_limit_ff = -1.0;
+  std::vector<double> input_cap_limits_ff;
+  /// Per-output required times (see ConstraintOptions). When set, the
+  /// verification step measures each port against its own deadline.
+  std::vector<double> output_required_ps;
+
+  int max_respec_iters = 10;
+  /// Convergence: |measured - target| <= tol * target.
+  double converge_tol = 0.02;
+
+  /// Legal width grid (um). > 0 snaps every free label UP to the nearest
+  /// grid point after optimization (rounding up preserves timing at a tiny
+  /// width cost — the practical answer to the NP-complete discrete-sizing
+  /// problem the paper cites as [5]). <= 0 leaves widths continuous.
+  double width_grid_um = -1.0;
+};
+
+struct SizerResult {
+  bool ok = false;
+  netlist::Sizing sizing;
+  double measured_delay_ps = 0.0;      ///< reference-timer delay at outputs
+  double measured_precharge_ps = 0.0;  ///< reference-timer precharge settle
+  double total_width_um = 0.0;
+  double clock_width_um = 0.0;
+  double modeled_cost = 0.0;  ///< GP objective at the solution
+  int respec_iterations = 0;       ///< iteration of the returned solution
+  int converged_iteration = -1;    ///< first iteration that met the spec
+  int gp_newton_iterations = 0;
+  timing::PathStats path_stats;
+  size_t constraint_count = 0;
+  /// Constraints active at the GP solution ("what limits this design"):
+  /// eval/pre path tags, slope_<net>, incap_<net>, stage<k> deadlines.
+  std::vector<std::string> binding_constraints;
+  std::string message;
+};
+
+/// Sizes macros against a technology and calibrated model library.
+class Sizer {
+ public:
+  Sizer(const tech::Tech& tech, const models::ModelLibrary& lib)
+      : tech_(&tech), lib_(&lib) {}
+
+  /// Runs the full sizing loop on a finalized netlist.
+  SizerResult size(const netlist::Netlist& nl,
+                   const SizerOptions& opt) const;
+
+  /// Measures a sizing with the reference timer (delay, precharge, widths).
+  SizerResult measure(const netlist::Netlist& nl,
+                      const netlist::Sizing& sizing) const;
+
+  /// Capacitance presented at each input port under a sizing (fF), in
+  /// Netlist::inputs() order — used to carry a baseline design's pin loads
+  /// into the SMART run as load constraints (drop-in replacement).
+  std::vector<double> input_caps(const netlist::Netlist& nl,
+                                 const netlist::Sizing& sizing) const;
+
+ private:
+  const tech::Tech* tech_;
+  const models::ModelLibrary* lib_;
+};
+
+}  // namespace smart::core

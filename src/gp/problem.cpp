@@ -1,0 +1,32 @@
+#include "gp/problem.h"
+
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::gp {
+
+void GpProblem::set_objective(posy::Posynomial objective) {
+  SMART_CHECK(!objective.is_zero(), "GP objective must be nonzero");
+  objective_ = std::move(objective);
+}
+
+void GpProblem::add_constraint(posy::Posynomial lhs, std::string tag) {
+  if (lhs.is_zero()) return;  // 0 <= 1 always holds
+  if (lhs.is_constant()) {
+    const double c = lhs.constant_value();
+    SMART_CHECK(c <= 1.0 + 1e-12,
+                util::strfmt("constraint '%s' is constant %.4g > 1: "
+                             "infeasible by construction",
+                             tag.c_str(), c));
+    return;
+  }
+  constraints_.push_back(Constraint{std::move(lhs), std::move(tag)});
+}
+
+void GpProblem::add_le(const posy::Posynomial& lhs, const posy::Monomial& rhs,
+                       std::string tag) {
+  SMART_CHECK(rhs.coeff() > 0.0, "rhs monomial must be positive");
+  add_constraint(lhs * rhs.inverse(), std::move(tag));
+}
+
+}  // namespace smart::gp

@@ -1,0 +1,458 @@
+#include "gp/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/strfmt.h"
+
+namespace smart::gp {
+namespace {
+
+using util::Matrix;
+using util::Vec;
+
+/// A compiled convex function in the log domain:
+///   F(y) = log sum_k exp(logc_k + a_k . y)  +  linear . y + linear_const
+/// The optional linear part supports the phase-I auxiliary variable
+/// (F_j(y) - s) without special-casing the Newton machinery.
+///
+/// Evaluation is support-local: gradients and Hessians are produced on the
+/// function's own variable support and scattered by the caller, so the
+/// per-constraint cost is O(|support|^2), not O(n^2).
+struct Func {
+  struct Term {
+    double logc = 0.0;
+    // (support-local index, exponent) pairs
+    std::vector<std::pair<int, double>> factors;
+  };
+  std::vector<Term> terms;
+  std::vector<int> support;        ///< global var ids touched by LSE part
+  std::vector<int> linear_vars;    ///< global var ids of linear part
+  std::vector<double> linear_coef;
+  double linear_const = 0.0;
+  /// union of support and linear_vars; gradient lives on these entries.
+  std::vector<int> full_support;
+
+  void finish() {
+    full_support = support;
+    for (int v : linear_vars)
+      if (std::find(full_support.begin(), full_support.end(), v) ==
+          full_support.end())
+        full_support.push_back(v);
+  }
+
+  /// Value only.
+  double value_at(const Vec& y) const {
+    double value = linear_const;
+    for (size_t i = 0; i < linear_vars.size(); ++i)
+      value += linear_coef[i] * y[static_cast<size_t>(linear_vars[i])];
+    if (terms.empty()) return value;
+    double zmax = -std::numeric_limits<double>::infinity();
+    std::vector<double> z(terms.size());
+    for (size_t k = 0; k < terms.size(); ++k) {
+      double zk = terms[k].logc;
+      for (const auto& [li, e] : terms[k].factors)
+        zk += e * y[static_cast<size_t>(support[static_cast<size_t>(li)])];
+      z[k] = zk;
+      zmax = std::max(zmax, zk);
+    }
+    double denom = 0.0;
+    for (double zk : z) denom += std::exp(zk - zmax);
+    return value + zmax + std::log(denom);
+  }
+
+  /// Value plus local derivatives. g_local is indexed by full_support
+  /// (gradient), h_local row-major |support| x |support| (LSE Hessian; the
+  /// linear part has none). Buffers are resized here; callers reuse them.
+  double eval_local(const Vec& y, std::vector<double>& g_local,
+                    std::vector<double>& h_local,
+                    std::vector<double>& scratch_z) const {
+    g_local.assign(full_support.size(), 0.0);
+    double value = linear_const;
+    for (size_t i = 0; i < linear_vars.size(); ++i) {
+      value += linear_coef[i] * y[static_cast<size_t>(linear_vars[i])];
+      // linear vars are appended after support in full_support order; find
+      // their slot (few entries, linear scan is fine).
+      for (size_t fi = 0; fi < full_support.size(); ++fi)
+        if (full_support[fi] == linear_vars[i]) {
+          g_local[fi] += linear_coef[i];
+          break;
+        }
+    }
+    const size_t sz = support.size();
+    h_local.assign(sz * sz, 0.0);
+    if (terms.empty()) return value;
+
+    scratch_z.resize(terms.size());
+    double zmax = -std::numeric_limits<double>::infinity();
+    for (size_t k = 0; k < terms.size(); ++k) {
+      double zk = terms[k].logc;
+      for (const auto& [li, e] : terms[k].factors)
+        zk += e * y[static_cast<size_t>(support[static_cast<size_t>(li)])];
+      scratch_z[k] = zk;
+      zmax = std::max(zmax, zk);
+    }
+    double denom = 0.0;
+    for (double& zk : scratch_z) {
+      zk = std::exp(zk - zmax);
+      denom += zk;
+    }
+    value += zmax + std::log(denom);
+
+    // softmax weights p_k; gradient over support slots [0, sz).
+    std::vector<double> g_lse(sz, 0.0);
+    for (size_t k = 0; k < terms.size(); ++k) {
+      const double pk = scratch_z[k] / denom;
+      for (const auto& [li, e] : terms[k].factors) {
+        g_lse[static_cast<size_t>(li)] += pk * e;
+        for (const auto& [lj, ej] : terms[k].factors)
+          h_local[static_cast<size_t>(li) * sz + static_cast<size_t>(lj)] +=
+              pk * e * ej;
+      }
+    }
+    for (size_t i = 0; i < sz; ++i) {
+      g_local[i] += g_lse[i];
+      for (size_t j = 0; j < sz; ++j)
+        h_local[i * sz + j] -= g_lse[i] * g_lse[j];
+    }
+    return value;
+  }
+};
+
+/// Compiles a posynomial into a Func over n_total log-variables.
+Func compile(const posy::Posynomial& p) {
+  Func f;
+  std::vector<int> support;
+  for (const auto& t : p.terms())
+    for (const auto& fac : t.factors()) support.push_back(fac.var);
+  std::sort(support.begin(), support.end());
+  support.erase(std::unique(support.begin(), support.end()), support.end());
+  f.support = support;
+  auto local = [&](int var) {
+    return static_cast<int>(
+        std::lower_bound(support.begin(), support.end(), var) -
+        support.begin());
+  };
+  for (const auto& t : p.terms()) {
+    SMART_CHECK(t.coeff() > 0.0, "GP terms must have positive coefficients");
+    Func::Term ct;
+    ct.logc = std::log(t.coeff());
+    for (const auto& fac : t.factors())
+      ct.factors.emplace_back(local(fac.var), fac.exp);
+    f.terms.push_back(std::move(ct));
+  }
+  f.finish();
+  return f;
+}
+
+/// Barrier-method state shared by both phases.
+struct BarrierProblem {
+  std::vector<Func> constraints;  ///< F_j(y) <= 0
+  Func objective;                 ///< minimized (times barrier weight t)
+  Vec ylo, yhi;                   ///< strict box bounds in log domain
+};
+
+/// Scratch buffers reused across barrier evaluations.
+struct BarrierScratch {
+  std::vector<double> g_local;
+  std::vector<double> h_local;
+  std::vector<double> z;
+};
+
+/// Evaluates the barrier objective
+///   phi(y) = t * f0(y) - sum_j log(-F_j(y)) - sum_i log box slacks
+/// Returns +inf when outside the domain. grad/hess optional; local
+/// derivatives are scattered per function, so cost scales with the total
+/// constraint support, not with constraints x n^2.
+double barrier_eval(const BarrierProblem& bp, double t, const Vec& y,
+                    Vec* grad, Matrix* hess, BarrierScratch& scratch) {
+  const size_t n = y.size();
+  if (grad) std::fill(grad->begin(), grad->end(), 0.0);
+  double phi = 0.0;
+
+  auto scatter = [&](const Func& f, double g_scale, double h_scale,
+                     double outer_scale) {
+    // grad += g_scale * g_local ; hess += h_scale * h_lse
+    //                            + outer_scale * g_local g_local^T
+    const auto& fs = f.full_support;
+    if (grad) {
+      for (size_t i = 0; i < fs.size(); ++i)
+        (*grad)[static_cast<size_t>(fs[i])] +=
+            g_scale * scratch.g_local[i];
+    }
+    if (hess) {
+      const size_t sz = f.support.size();
+      for (size_t i = 0; i < sz; ++i) {
+        const auto gi = static_cast<size_t>(f.support[i]);
+        for (size_t j = 0; j < sz; ++j)
+          (*hess)(gi, static_cast<size_t>(f.support[j])) +=
+              h_scale * scratch.h_local[i * sz + j];
+      }
+      if (outer_scale != 0.0) {
+        for (size_t i = 0; i < fs.size(); ++i) {
+          const double gi = scratch.g_local[i];
+          if (gi == 0.0) continue;
+          for (size_t j = 0; j < fs.size(); ++j)
+            (*hess)(static_cast<size_t>(fs[i]),
+                    static_cast<size_t>(fs[j])) +=
+                outer_scale * gi * scratch.g_local[j];
+        }
+      }
+    }
+  };
+
+  const bool derivs = grad != nullptr || hess != nullptr;
+  {
+    const double f0 =
+        derivs ? bp.objective.eval_local(y, scratch.g_local, scratch.h_local,
+                                         scratch.z)
+               : bp.objective.value_at(y);
+    phi += t * f0;
+    if (derivs) scatter(bp.objective, t, t, 0.0);
+  }
+
+  for (const auto& fj : bp.constraints) {
+    const double v =
+        derivs ? fj.eval_local(y, scratch.g_local, scratch.h_local, scratch.z)
+               : fj.value_at(y);
+    const double u = -v;  // slack, must stay positive
+    if (u <= 0.0 || !std::isfinite(u))
+      return std::numeric_limits<double>::infinity();
+    phi += -std::log(u);
+    // d(-log(-F)) = F'/u ; d2 = F''/u + F' F'^T / u^2.
+    if (derivs) scatter(fj, 1.0 / u, 1.0 / u, 1.0 / (u * u));
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const double a = y[i] - bp.ylo[i];
+    const double b = bp.yhi[i] - y[i];
+    if (a <= 0.0 || b <= 0.0) return std::numeric_limits<double>::infinity();
+    phi += -std::log(a) - std::log(b);
+    if (grad) (*grad)[i] += -1.0 / a + 1.0 / b;
+    if (hess) (*hess)(i, i) += 1.0 / (a * a) + 1.0 / (b * b);
+  }
+  return phi;
+}
+
+struct NewtonOutcome {
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Damped Newton minimization of the barrier objective for fixed t.
+/// early_exit, when set, is checked after every accepted step and stops the
+/// minimization as soon as it returns true (used by phase I).
+NewtonOutcome newton_minimize(const BarrierProblem& bp, double t, Vec& y,
+                              const SolverOptions& opt,
+                              const std::function<bool(const Vec&)>&
+                                  early_exit = {}) {
+  const size_t n = y.size();
+  NewtonOutcome out;
+  Vec grad(n, 0.0);
+  BarrierScratch scratch;
+  for (int it = 0; it < opt.max_newton_iters; ++it) {
+    Matrix hess(n, n, 0.0);
+    const double phi = barrier_eval(bp, t, y, &grad, &hess, scratch);
+    SMART_CHECK(std::isfinite(phi), "barrier evaluated outside domain");
+    // Levenberg-style floor keeps the system solvable when the Hessian is
+    // nearly singular (e.g. slack variables far from activity).
+    for (size_t i = 0; i < n; ++i) hess(i, i) += 1e-12;
+    Vec step = util::cholesky_solve(hess, util::scaled(grad, -1.0));
+    const double decrement2 = -util::dot(grad, step);
+    out.iterations = it + 1;
+    if (decrement2 / 2.0 < opt.tolerance * 1e-2) {
+      out.converged = true;
+      return out;
+    }
+    // Backtracking line search (Armijo on phi, domain-respecting).
+    double alpha = 1.0;
+    bool accepted = false;
+    for (int ls = 0; ls < 70; ++ls) {
+      Vec trial = y;
+      util::axpy(alpha, step, trial);
+      const double phi_trial =
+          barrier_eval(bp, t, trial, nullptr, nullptr, scratch);
+      if (std::isfinite(phi_trial) &&
+          phi_trial <= phi - 1e-4 * alpha * decrement2) {
+        y = std::move(trial);
+        accepted = true;
+        break;
+      }
+      alpha *= 0.5;
+    }
+    if (!accepted) {
+      out.converged = true;  // cannot make progress; treat as stationary
+      return out;
+    }
+    if (early_exit && early_exit(y)) {
+      out.converged = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GpResult GpSolver::solve(const GpProblem& problem) const {
+  return run(problem, nullptr);
+}
+
+GpResult GpSolver::solve_from(const GpProblem& problem,
+                              const util::Vec& x0) const {
+  SMART_CHECK(x0.size() == problem.vars().size(),
+              "warm start size mismatch");
+  return run(problem, &x0);
+}
+
+GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
+  const auto& vars = problem.vars();
+  const size_t n = vars.size();
+  GpResult result;
+  SMART_CHECK(n > 0, "GP has no variables");
+  SMART_CHECK(!problem.objective().is_zero(), "GP objective not set");
+
+  // Log-domain box bounds.
+  Vec ylo(n), yhi(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& info = vars.info(static_cast<posy::VarId>(i));
+    ylo[i] = std::log(info.lower);
+    yhi[i] = std::log(info.upper);
+    SMART_CHECK(yhi[i] > ylo[i] - 1e-15, "empty variable box");
+  }
+
+  std::vector<Func> constraints;
+  constraints.reserve(problem.constraints().size());
+  for (const auto& c : problem.constraints()) constraints.push_back(compile(c.lhs));
+  Func objective = compile(problem.objective());
+
+  // Start at the warm-start point (clipped strictly inside the box) or
+  // at the box midpoint (geometric mean of the bounds).
+  Vec y(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (x0 != nullptr) {
+      const double margin = 1e-3 * std::max(1.0, yhi[i] - ylo[i]);
+      y[i] = std::clamp(std::log(std::max((*x0)[i], 1e-300)),
+                        ylo[i] + margin, yhi[i] - margin);
+    } else {
+      y[i] = 0.5 * (ylo[i] + yhi[i]);
+    }
+    if (yhi[i] - ylo[i] < 1e-12) y[i] = ylo[i];  // effectively fixed var
+  }
+
+  auto max_constraint = [&](const Vec& yy) {
+    double m = -std::numeric_limits<double>::infinity();
+    for (const auto& f : constraints)
+      m = std::max(m, f.value_at(yy));
+    return m;
+  };
+
+  int total_newton = 0;
+
+  // ---- Phase I: find a strictly feasible point ----
+  if (!constraints.empty() && max_constraint(y) >= -options_.feas_margin) {
+    // Augment with auxiliary s: minimize s subject to F_j(y) - s <= 0.
+    BarrierProblem p1;
+    p1.ylo = ylo;
+    p1.yhi = yhi;
+    const double s0 = max_constraint(y) + 1.0;
+    // Generous box for s keeps the barrier well-behaved.
+    p1.ylo.push_back(std::min(-10.0, s0 - 100.0));
+    p1.yhi.push_back(s0 + 100.0);
+    for (const auto& f : constraints) {
+      Func fa = f;
+      fa.linear_vars.push_back(static_cast<int>(n));
+      fa.linear_coef.push_back(-1.0);
+      fa.finish();
+      p1.constraints.push_back(std::move(fa));
+    }
+    Func obj_s;  // objective = s (pure linear)
+    obj_s.linear_vars.push_back(static_cast<int>(n));
+    obj_s.linear_coef.push_back(1.0);
+    obj_s.finish();
+    p1.objective = std::move(obj_s);
+
+    Vec ys = y;
+    ys.push_back(s0);
+    const double want = -2.0 * options_.feas_margin;
+    auto feasible_now = [&](const Vec& yy) {
+      Vec ycore(yy.begin(), yy.begin() + static_cast<long>(n));
+      return max_constraint(ycore) < want;
+    };
+    double t = 1.0;
+    for (int stage = 0; stage < options_.max_barrier_stages; ++stage) {
+      auto outcome = newton_minimize(p1, t, ys, options_, feasible_now);
+      total_newton += outcome.iterations;
+      if (feasible_now(ys)) break;
+      if (static_cast<double>(p1.constraints.size()) / t <
+          options_.tolerance)
+        break;
+      t *= options_.barrier_mu;
+    }
+    y.assign(ys.begin(), ys.begin() + static_cast<long>(n));
+    if (max_constraint(y) >= 0.0) {
+      result.status = SolveStatus::kInfeasible;
+      result.x.assign(n, 0.0);
+      for (size_t i = 0; i < n; ++i) result.x[i] = std::exp(y[i]);
+      result.objective = problem.objective().eval(result.x);
+      result.max_violation = std::exp(max_constraint(y)) - 1.0;
+      result.newton_iterations = total_newton;
+      result.message = util::strfmt(
+          "phase I failed: max constraint value %.4g (want < 1)",
+          std::exp(max_constraint(y)));
+      return result;
+    }
+  }
+
+  // ---- Phase II: barrier path following ----
+  BarrierProblem p2;
+  p2.constraints = std::move(constraints);
+  p2.objective = std::move(objective);
+  p2.ylo = std::move(ylo);
+  p2.yhi = std::move(yhi);
+
+  const double m_total =
+      static_cast<double>(p2.constraints.size()) + 2.0 * static_cast<double>(n);
+  double t = options_.t_initial;
+  // A warm start that is already strictly feasible sits near the previous
+  // optimum — close to its active constraints. Low-t centering would drag
+  // the iterate back toward the analytic center only to return; skip ahead
+  // on the barrier schedule instead.
+  if (x0 != nullptr && max_constraint(y) < -options_.feas_margin)
+    t *= options_.barrier_mu * options_.barrier_mu;
+  bool hit_limit = true;
+  for (int stage = 0; stage < options_.max_barrier_stages; ++stage) {
+    auto outcome = newton_minimize(p2, t, y, options_);
+    total_newton += outcome.iterations;
+    if (options_.verbose) {
+      util::log_info(util::strfmt("gp: stage %d t=%.3g newton=%d", stage, t,
+                                  outcome.iterations));
+    }
+    if (m_total / t < options_.tolerance) {
+      hit_limit = false;
+      break;
+    }
+    t *= options_.barrier_mu;
+  }
+
+  result.x.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) result.x[i] = std::exp(y[i]);
+  result.objective = problem.objective().eval(result.x);
+  double viol = 0.0;
+  for (const auto& c : problem.constraints()) {
+    const double v = c.lhs.eval(result.x);
+    viol = std::max(viol, v - 1.0);
+    if (v >= 1.0 - options_.binding_tol) result.binding.push_back(c.tag);
+  }
+  result.max_violation = viol;
+  result.newton_iterations = total_newton;
+  result.status = hit_limit ? SolveStatus::kMaxIter : SolveStatus::kOptimal;
+  result.message = hit_limit ? "barrier stage limit reached" : "optimal";
+  return result;
+}
+
+}  // namespace smart::gp

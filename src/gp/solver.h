@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file solver.h
+/// Interior-point solver for geometric programs. The GP is transformed to a
+/// convex program via y = log x (posynomials become log-sum-exp functions,
+/// paper refs [3][6][7]) and solved with a two-phase barrier Newton method:
+///   phase I  — minimize a smoothed max of constraint functions until a
+///              strictly feasible point is found;
+///   phase II — standard log-barrier path following with damped Newton.
+
+#include <string>
+
+#include "gp/problem.h"
+#include "util/linalg.h"
+
+namespace smart::gp {
+
+/// Solver knobs; defaults are tuned for SMART sizing problems (tens to a few
+/// hundred variables, hundreds of constraints).
+struct SolverOptions {
+  double tolerance = 3e-5;       ///< duality-gap-style stopping criterion
+  double binding_tol = 0.02;     ///< |lhs - 1| threshold to report binding
+  double barrier_mu = 18.0;      ///< barrier parameter growth factor
+  double t_initial = 1.0;        ///< initial barrier weight
+  int max_newton_iters = 400;    ///< per barrier stage
+  int max_barrier_stages = 60;
+  double feas_margin = 1e-7;     ///< required slack to call a point feasible
+  bool verbose = false;
+};
+
+enum class SolveStatus {
+  kOptimal,     ///< converged to tolerance
+  kInfeasible,  ///< phase I could not find a strictly feasible point
+  kMaxIter,     ///< iteration limit hit; best point returned
+};
+
+/// Result of a GP solve. x is in the original (positive) domain.
+struct GpResult {
+  SolveStatus status = SolveStatus::kMaxIter;
+  util::Vec x;               ///< variable values (size = vars in table)
+  double objective = 0.0;    ///< objective value at x
+  double max_violation = 0;  ///< max over constraints of (lhs(x) - 1)
+  int newton_iterations = 0;
+  std::string message;
+  /// Tags of constraints active at the solution (lhs within binding_tol of
+  /// 1) — the designer's answer to "what is limiting this design".
+  std::vector<std::string> binding;
+
+  bool ok() const { return status == SolveStatus::kOptimal; }
+};
+
+/// Solves a geometric program. Thread-compatible (no shared state).
+class GpSolver {
+ public:
+  explicit GpSolver(SolverOptions options = {}) : options_(options) {}
+
+  /// Solves from the box midpoint.
+  GpResult solve(const GpProblem& problem) const;
+
+  /// Solves warm-started from `x0` (clipped into the variable box). When
+  /// x0 is already strictly feasible — the common case in the sizer's
+  /// re-specification loop, where consecutive problems differ only in
+  /// their constraint scaling — phase I is skipped entirely.
+  GpResult solve_from(const GpProblem& problem, const util::Vec& x0) const;
+
+ private:
+  GpResult run(const GpProblem& problem, const util::Vec* x0) const;
+
+  SolverOptions options_;
+};
+
+}  // namespace smart::gp

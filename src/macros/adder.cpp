@@ -1,0 +1,406 @@
+#include "macros/adder.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::macros {
+
+using core::MacroSpec;
+using netlist::DominoGate;
+using netlist::LabelId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Stack;
+using util::strfmt;
+
+namespace {
+
+/// A dual-rail monotonic signal.
+struct Rail {
+  NetId t = -1;
+  NetId f = -1;
+};
+
+/// Size labels of one domino gate class (shared across all instances of the
+/// class — the stage/role regularity of the macro).
+struct GateClass {
+  LabelId nd = -1;    ///< NMOS network devices
+  LabelId pre = -1;   ///< precharge PMOS
+  LabelId foot = -1;  ///< clocked evaluate foot; -1 for D2 stages
+  LabelId ni = -1;    ///< output inverter NMOS
+  LabelId pi = -1;    ///< output inverter PMOS
+};
+
+class AdderBuilder {
+ public:
+  AdderBuilder(Netlist& nl, NetId clk) : nl_(&nl), clk_(clk) {}
+
+  GateClass make_class(const std::string& tag, bool footed) {
+    GateClass c;
+    c.nd = nl_->add_label(tag + "_N");
+    c.pre = nl_->add_label(tag + "_P");
+    if (footed) c.foot = nl_->add_label(tag + "_NF");
+    c.ni = nl_->add_label(tag + "_NI");
+    c.pi = nl_->add_label(tag + "_PI");
+    return c;
+  }
+
+  /// Emits a domino gate + high-skew inverter computing an SOP (or, with
+  /// pos_form, a product-of-sums — the dual network used for complement
+  /// rails) over monotonic rails. Returns the inverter output net.
+  NetId domino(const std::string& name,
+               const std::vector<std::vector<NetId>>& terms,
+               const GateClass& c, bool pos_form = false) {
+    SMART_CHECK(!terms.empty(), "domino gate needs at least one term");
+    std::vector<Stack> groups;
+    for (const auto& term : terms) {
+      SMART_CHECK(!term.empty(), "empty product term");
+      std::vector<Stack> leaves;
+      for (const NetId n : term) leaves.push_back(Stack::leaf(n, c.nd));
+      groups.push_back(pos_form ? Stack::parallel(std::move(leaves))
+                                : Stack::series(std::move(leaves)));
+    }
+    Stack pd = pos_form ? Stack::series(std::move(groups))
+                        : Stack::parallel(std::move(groups));
+    const NetId dyn = nl_->add_net(name + "_dyn");
+    nl_->add_component(name, dyn,
+                       DominoGate{std::move(pd), c.pre, c.foot, clk_, 0.1});
+    const NetId out = nl_->add_net(name);
+    nl_->add_inverter(name + "_i", dyn, out, c.ni, c.pi);
+    return out;
+  }
+
+  /// Dual-rail SOP: the true rail from `terms_t`, the false rail from
+  /// `terms_f` (interpreted as POS when f_is_pos — the structural dual of
+  /// the true SOP over complement rails).
+  Rail rail(const std::string& name,
+            const std::vector<std::vector<NetId>>& terms_t,
+            const std::vector<std::vector<NetId>>& terms_f,
+            const GateClass& ct, const GateClass& cf, bool f_is_pos) {
+    Rail r;
+    r.t = domino(name + "_t", terms_t, ct, false);
+    r.f = domino(name + "_f", terms_f, cf, f_is_pos);
+    return r;
+  }
+
+  /// Carry-lookahead terms: C = G[k-1] + P[k-1]G[k-2] + ... + P...P*Cin,
+  /// over the given rail accessor (true or false side).
+  static std::vector<std::vector<NetId>> cla_terms(
+      const std::vector<Rail>& g, const std::vector<Rail>& p, NetId carry_in,
+      bool true_side) {
+    auto pick = [&](const Rail& r) { return true_side ? r.t : r.f; };
+    const size_t k = g.size();
+    std::vector<std::vector<NetId>> terms;
+    for (size_t lead = k; lead-- > 0;) {
+      std::vector<NetId> term;
+      for (size_t j = k; j-- > lead + 1;) term.push_back(pick(p[j]));
+      term.push_back(pick(g[lead]));
+      terms.push_back(std::move(term));
+    }
+    std::vector<NetId> cin_term;
+    for (size_t j = k; j-- > 0;) cin_term.push_back(pick(p[j]));
+    cin_term.push_back(carry_in);
+    terms.push_back(std::move(cin_term));
+    return terms;
+  }
+
+ private:
+  Netlist* nl_;
+  NetId clk_;
+};
+
+}  // namespace
+
+Netlist adder_domino_cla(const MacroSpec& spec) {
+  const int bits = spec.n;
+  SMART_CHECK(bits >= 8 && bits <= 64 && bits % 4 == 0,
+              "adder width must be a multiple of 4 in [8, 64]");
+  const int radix = static_cast<int>(spec.param("group", 4));
+  SMART_CHECK(radix >= 2 && radix <= 8, "lookahead radix must be in [2, 8]");
+  Netlist nl(strfmt("adder%d_domino_cla", bits));
+
+  const NetId clk = nl.add_net("clk", netlist::NetKind::kClock);
+  AdderBuilder b(nl, clk);
+
+  // Dual-rail inputs.
+  auto rail_input = [&](const std::string& name) {
+    Rail r;
+    r.t = nl.add_net(name + "_t");
+    r.f = nl.add_net(name + "_f");
+    nl.add_input(r.t, spec.input_arrival_ps, spec.input_slope_ps);
+    nl.add_input(r.f, spec.input_arrival_ps, spec.input_slope_ps);
+    return r;
+  };
+  std::vector<Rail> a, bb;
+  for (int i = 0; i < bits; ++i) {
+    a.push_back(rail_input(strfmt("a%d", i)));
+    bb.push_back(rail_input(strfmt("b%d", i)));
+  }
+  const Rail cin = rail_input("cin");
+
+  // ---- Stage 1 (D1): per-bit dual-rail generate & propagate ----
+  const GateClass s1g_t = b.make_class("s1gt", true);
+  const GateClass s1g_f = b.make_class("s1gf", true);
+  const GateClass s1p = b.make_class("s1p", true);
+  std::vector<Rail> g(static_cast<size_t>(bits)), p(static_cast<size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    const Rail& ai = a[static_cast<size_t>(i)];
+    const Rail& bi = bb[static_cast<size_t>(i)];
+    g[static_cast<size_t>(i)].t =
+        b.domino(strfmt("g%d_t", i), {{ai.t, bi.t}}, s1g_t);
+    g[static_cast<size_t>(i)].f =
+        b.domino(strfmt("g%d_f", i), {{ai.f}, {bi.f}}, s1g_f);
+    p[static_cast<size_t>(i)] = b.rail(
+        strfmt("p%d", i), {{ai.t, bi.f}, {ai.f, bi.t}},
+        {{ai.t, bi.t}, {ai.f, bi.f}}, s1p, s1p, /*f_is_pos=*/false);
+  }
+
+  // ---- Stages 2-3: group and supergroup lookahead (G, P) ----
+  auto group_level = [&](const std::vector<Rail>& gin,
+                         const std::vector<Rail>& pin, const char* tag,
+                         bool footed, std::vector<Rail>& gout,
+                         std::vector<Rail>& pout,
+                         std::vector<std::vector<int>>& members) {
+    const GateClass cg = b.make_class(strfmt("%sG", tag), footed);
+    const GateClass cgf = b.make_class(strfmt("%sGf", tag), footed);
+    const GateClass cp = b.make_class(strfmt("%sP", tag), footed);
+    const GateClass cpf = b.make_class(strfmt("%sPf", tag), footed);
+    gout.clear();
+    pout.clear();
+    members.clear();
+    const int count = static_cast<int>(gin.size());
+    for (int lo = 0, grp = 0; lo < count; lo += radix, ++grp) {
+      const int hi = std::min(count, lo + radix);
+      std::vector<int> idx;
+      for (int i = lo; i < hi; ++i) idx.push_back(i);
+      members.push_back(idx);
+      const size_t k = idx.size();
+      // G = g[hi-1] + p[hi-1]g[hi-2] + ... ; P = product of p.
+      std::vector<std::vector<NetId>> terms_t, terms_f;
+      for (size_t lead = k; lead-- > 0;) {
+        std::vector<NetId> term_t, term_f;
+        for (size_t j = k; j-- > lead + 1;) {
+          term_t.push_back(pin[static_cast<size_t>(idx[j])].t);
+          term_f.push_back(pin[static_cast<size_t>(idx[j])].f);
+        }
+        term_t.push_back(gin[static_cast<size_t>(idx[lead])].t);
+        term_f.push_back(gin[static_cast<size_t>(idx[lead])].f);
+        terms_t.push_back(std::move(term_t));
+        terms_f.push_back(std::move(term_f));
+      }
+      Rail gr = b.rail(strfmt("%sG%d", tag, grp), terms_t, terms_f, cg, cgf,
+                       /*f_is_pos=*/true);
+      std::vector<NetId> pt, pf_terms;
+      std::vector<std::vector<NetId>> pf;
+      for (size_t j = 0; j < k; ++j) {
+        pt.push_back(pin[static_cast<size_t>(idx[j])].t);
+        pf.push_back({pin[static_cast<size_t>(idx[j])].f});
+      }
+      Rail pr = b.rail(strfmt("%sP%d", tag, grp), {pt}, pf, cp, cpf,
+                       /*f_is_pos=*/false);
+      gout.push_back(gr);
+      pout.push_back(pr);
+    }
+  };
+
+  std::vector<Rail> g1, p1, g2, p2;
+  std::vector<std::vector<int>> groups1, groups2;
+  group_level(g, p, "s2", /*footed=*/false, g1, p1, groups1);   // D2
+  group_level(g1, p1, "s3", /*footed=*/true, g2, p2, groups2);  // D1
+
+  // ---- Stage 4 (D2): supergroup carries and carry-out ----
+  const GateClass s4c = b.make_class("s4c", false);
+  const GateClass s4cf = b.make_class("s4cf", false);
+  const int n_super = static_cast<int>(g2.size());
+  std::vector<Rail> super_carry(static_cast<size_t>(n_super));
+  super_carry[0] = cin;
+  for (int j = 1; j < n_super; ++j) {
+    std::vector<Rail> gs(g2.begin(), g2.begin() + j);
+    std::vector<Rail> ps(p2.begin(), p2.begin() + j);
+    super_carry[static_cast<size_t>(j)] = b.rail(
+        strfmt("sc%d", j), AdderBuilder::cla_terms(gs, ps, cin.t, true),
+        AdderBuilder::cla_terms(gs, ps, cin.f, false), s4c, s4cf,
+        /*f_is_pos=*/true);
+  }
+  const Rail cout = b.rail(
+      "cout", AdderBuilder::cla_terms(g2, p2, cin.t, true),
+      AdderBuilder::cla_terms(g2, p2, cin.f, false), s4c, s4cf,
+      /*f_is_pos=*/true);
+
+  // ---- Stage 5 (D1): carries into each level-1 group ----
+  const GateClass s5c = b.make_class("s5c", true);
+  const GateClass s5cf = b.make_class("s5cf", true);
+  std::vector<Rail> group_carry(g1.size());
+  for (int j = 0; j < n_super; ++j) {
+    const auto& members = groups2[static_cast<size_t>(j)];
+    const Rail& carry_in = super_carry[static_cast<size_t>(j)];
+    for (size_t m = 0; m < members.size(); ++m) {
+      const size_t grp = static_cast<size_t>(members[m]);
+      if (m == 0) {
+        group_carry[grp] = carry_in;
+        continue;
+      }
+      std::vector<Rail> gs, ps;
+      for (size_t q = 0; q < m; ++q) {
+        gs.push_back(g1[static_cast<size_t>(members[q])]);
+        ps.push_back(p1[static_cast<size_t>(members[q])]);
+      }
+      group_carry[grp] = b.rail(
+          strfmt("gc%zu", grp),
+          AdderBuilder::cla_terms(gs, ps, carry_in.t, true),
+          AdderBuilder::cla_terms(gs, ps, carry_in.f, false), s5c, s5cf,
+          /*f_is_pos=*/true);
+    }
+  }
+
+  // ---- Stage 6 (D2): per-bit carries within each group ----
+  const GateClass s6c = b.make_class("s6c", false);
+  const GateClass s6cf = b.make_class("s6cf", false);
+  std::vector<Rail> carry(static_cast<size_t>(bits));
+  for (size_t grp = 0; grp < groups1.size(); ++grp) {
+    const auto& members = groups1[grp];
+    const Rail& carry_in = group_carry[grp];
+    for (size_t m = 0; m < members.size(); ++m) {
+      const size_t bit = static_cast<size_t>(members[m]);
+      if (m == 0) {
+        carry[bit] = carry_in;
+        continue;
+      }
+      std::vector<Rail> gs, ps;
+      for (size_t q = 0; q < m; ++q) {
+        gs.push_back(g[static_cast<size_t>(members[q])]);
+        ps.push_back(p[static_cast<size_t>(members[q])]);
+      }
+      carry[bit] = b.rail(
+          strfmt("c%zu", bit),
+          AdderBuilder::cla_terms(gs, ps, carry_in.t, true),
+          AdderBuilder::cla_terms(gs, ps, carry_in.f, false), s6c, s6cf,
+          /*f_is_pos=*/true);
+    }
+  }
+
+  // ---- Stage 7 (D1): dual-rail sums ----
+  const GateClass s7s = b.make_class("s7s", true);
+  for (int i = 0; i < bits; ++i) {
+    const Rail& pi_ = p[static_cast<size_t>(i)];
+    const Rail& ci = carry[static_cast<size_t>(i)];
+    const Rail s = b.rail(strfmt("s%d", i), {{pi_.t, ci.f}, {pi_.f, ci.t}},
+                          {{pi_.t, ci.t}, {pi_.f, ci.f}}, s7s, s7s,
+                          /*f_is_pos=*/false);
+    nl.add_output(s.t, spec.load_ff);
+    nl.add_output(s.f, spec.load_ff);
+  }
+  nl.add_output(cout.t, spec.load_ff);
+  nl.add_output(cout.f, spec.load_ff);
+
+  nl.finalize();
+  return nl;
+}
+
+Netlist adder_static_cla(const MacroSpec& spec) {
+  const int bits = spec.n;
+  SMART_CHECK(bits >= 4 && bits <= 64 && bits % 4 == 0,
+              "static adder width must be a multiple of 4 in [4, 64]");
+  Netlist nl(strfmt("adder%d_static_cla", bits));
+  using netlist::StaticGate;
+
+  std::vector<NetId> a(static_cast<size_t>(bits)), bb(static_cast<size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    a[static_cast<size_t>(i)] = nl.add_net(strfmt("a%d", i));
+    bb[static_cast<size_t>(i)] = nl.add_net(strfmt("b%d", i));
+    nl.add_input(a[static_cast<size_t>(i)], spec.input_arrival_ps,
+                 spec.input_slope_ps);
+    nl.add_input(bb[static_cast<size_t>(i)], spec.input_arrival_ps,
+                 spec.input_slope_ps);
+  }
+  const NetId cin = nl.add_net("cin");
+  nl.add_input(cin, spec.input_arrival_ps, spec.input_slope_ps);
+
+  // Per-bit generate (NAND -> active-low g_n) and propagate (4-NAND XOR).
+  const LabelId ng = nl.add_label("NG"), pg = nl.add_label("PG");
+  const LabelId ngi = nl.add_label("NGI"), pgi = nl.add_label("PGI");
+  const LabelId nx = nl.add_label("NX"), px = nl.add_label("PX");
+  std::vector<NetId> g(static_cast<size_t>(bits)), p(static_cast<size_t>(bits));
+  auto nand2 = [&](const std::string& name, NetId x, NetId y, LabelId nn,
+                   LabelId pn) {
+    const NetId out = nl.add_net(name);
+    nl.add_component(name + "_g", out,
+                     StaticGate{Stack::series({Stack::leaf(x, nn),
+                                               Stack::leaf(y, nn)}),
+                                pn});
+    return out;
+  };
+  for (int i = 0; i < bits; ++i) {
+    const NetId ai = a[static_cast<size_t>(i)];
+    const NetId bi = bb[static_cast<size_t>(i)];
+    const NetId gn = nand2(strfmt("gn%d", i), ai, bi, ng, pg);
+    g[static_cast<size_t>(i)] = nl.add_net(strfmt("g%d", i));
+    nl.add_inverter(strfmt("gi%d", i), gn, g[static_cast<size_t>(i)], ngi,
+                    pgi);
+    // XOR via 4 NANDs.
+    const NetId x1 = gn;  // NAND(a,b) reused as the XOR's first stage
+    const NetId x2 = nand2(strfmt("px2_%d", i), ai, x1, nx, px);
+    const NetId x3 = nand2(strfmt("px3_%d", i), bi, x1, nx, px);
+    p[static_cast<size_t>(i)] = nand2(strfmt("p%d", i), x2, x3, nx, px);
+  }
+
+  // 4-bit groups: carries inside a group computed with AOI-style complex
+  // static gates c_{i+1} = g_i + p_i*c_i (inverting pairs), rippling the
+  // group carry to the next group.
+  const LabelId nc = nl.add_label("NC"), pc = nl.add_label("PC");
+  const LabelId nci = nl.add_label("NCI"), pci = nl.add_label("PCI");
+  std::vector<NetId> carry(static_cast<size_t>(bits) + 1);
+  carry[0] = cin;
+  for (int i = 0; i < bits; ++i) {
+    // AOI21: out_n = !(g_i + p_i*c_i); inverter restores the carry.
+    const NetId cn = nl.add_net(strfmt("cn%d", i));
+    nl.add_component(
+        strfmt("aoi%d", i), cn,
+        StaticGate{Stack::parallel(
+                       {Stack::leaf(g[static_cast<size_t>(i)], nc),
+                        Stack::series(
+                            {Stack::leaf(p[static_cast<size_t>(i)], nc),
+                             Stack::leaf(carry[static_cast<size_t>(i)],
+                                         nc)})}),
+                   pc});
+    carry[static_cast<size_t>(i) + 1] = nl.add_net(strfmt("c%d", i + 1));
+    nl.add_inverter(strfmt("ci%d", i), cn,
+                    carry[static_cast<size_t>(i) + 1], nci, pci);
+  }
+
+  // Sums: s_i = p_i XOR c_i (4-NAND XOR), shared labels.
+  const LabelId ns = nl.add_label("NS"), ps = nl.add_label("PS");
+  for (int i = 0; i < bits; ++i) {
+    const NetId x1 = nand2(strfmt("sx1_%d", i), p[static_cast<size_t>(i)],
+                           carry[static_cast<size_t>(i)], ns, ps);
+    const NetId x2 = nand2(strfmt("sx2_%d", i), p[static_cast<size_t>(i)],
+                           x1, ns, ps);
+    const NetId x3 = nand2(strfmt("sx3_%d", i),
+                           carry[static_cast<size_t>(i)], x1, ns, ps);
+    const NetId s = nand2(strfmt("s%d", i), x2, x3, ns, ps);
+    nl.rename_net(s, strfmt("s%d", i));
+    nl.add_output(s, spec.load_ff);
+  }
+  nl.add_output(carry[static_cast<size_t>(bits)], spec.load_ff);
+  nl.rename_net(carry[static_cast<size_t>(bits)], "cout");
+
+  nl.finalize();
+  return nl;
+}
+
+void register_adders(core::MacroDatabase& db) {
+  db.register_topology(
+      "adder", {"domino_cla", "dual-rail domino carry-lookahead adder",
+                adder_domino_cla, [](const MacroSpec& s) {
+                  return s.n >= 8 && s.n <= 64 && s.n % 4 == 0;
+                }});
+  db.register_topology(
+      "adder", {"static_cla", "single-rail static CMOS lookahead adder",
+                adder_static_cla, [](const MacroSpec& s) {
+                  return s.n >= 4 && s.n <= 64 && s.n % 4 == 0;
+                }});
+}
+
+}  // namespace smart::macros

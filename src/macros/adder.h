@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file adder.h
+/// Dual-rail domino carry-lookahead adder (paper §6.2: "a 64 bit dual-rail
+/// carry-look-ahead adder", the Fig 6 area-delay workload; §5.2's path
+/// explosion example). Structure: seven alternating D1/D2 domino stages —
+/// per-bit dual-rail generate/propagate, two levels of 4-ary group
+/// lookahead, supergroup/group/bit carry distribution, and dual-rail XOR
+/// sum gates. Every signal is a monotonic true/false rail pair; complement
+/// rails use the dual (series-of-parallels) pull-down networks. Size labels
+/// are shared per stage and role across all bits/groups (regularity).
+
+#include "core/database.h"
+#include "netlist/netlist.h"
+
+namespace smart::macros {
+
+/// Dual-rail domino CLA adder. spec.n = bit width (a multiple of 4 in
+/// [8, 64]); param "group" (default 4) is the lookahead radix.
+netlist::Netlist adder_domino_cla(const core::MacroSpec& spec);
+
+/// Single-rail static CMOS carry-lookahead adder: NAND-based generate /
+/// propagate, AOI group lookahead over 4-bit groups with ripple between
+/// groups, 4-NAND XOR sums. The static alternative the advisor can weigh
+/// against the domino flagship (slower, but no clock load).
+netlist::Netlist adder_static_cla(const core::MacroSpec& spec);
+
+void register_adders(core::MacroDatabase& db);
+
+}  // namespace smart::macros

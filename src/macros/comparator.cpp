@@ -1,0 +1,135 @@
+#include "macros/comparator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::macros {
+
+using core::MacroSpec;
+using netlist::DominoGate;
+using netlist::LabelId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Stack;
+using util::strfmt;
+
+Netlist comparator_domino(const MacroSpec& spec) {
+  const int bits = spec.n;
+  SMART_CHECK(bits >= 4, "comparator needs at least 4 bits");
+  const int xorsum = static_cast<int>(spec.param("xorsum", 2));
+  const int fanin1 = static_cast<int>(spec.param("fanin1", 4));
+  const int fanin2 = static_cast<int>(spec.param("fanin2", 2));
+  SMART_CHECK(xorsum >= 1 && xorsum <= 8, "xorsum width must be in [1, 8]");
+  SMART_CHECK(fanin1 >= 2 && fanin1 <= 8, "fanin1 must be in [2, 8]");
+  SMART_CHECK(fanin2 >= 2 && fanin2 <= 8, "fanin2 must be in [2, 8]");
+  Netlist nl(strfmt("cmp%d_xs%d_f%d_%d", bits, xorsum, fanin1, fanin2));
+
+  const NetId clk = nl.add_net("clk", netlist::NetKind::kClock);
+  std::vector<NetId> at, af, bt, bf;
+  for (int i = 0; i < bits; ++i) {
+    at.push_back(nl.add_net(strfmt("a%d_t", i)));
+    af.push_back(nl.add_net(strfmt("a%d_f", i)));
+    bt.push_back(nl.add_net(strfmt("b%d_t", i)));
+    bf.push_back(nl.add_net(strfmt("b%d_f", i)));
+    nl.add_input(at.back(), spec.input_arrival_ps, spec.input_slope_ps);
+    nl.add_input(af.back(), spec.input_arrival_ps, spec.input_slope_ps);
+    nl.add_input(bt.back(), spec.input_arrival_ps, spec.input_slope_ps);
+    nl.add_input(bf.back(), spec.input_arrival_ps, spec.input_slope_ps);
+  }
+
+  // ---- Stage 1 (D1): Xorsum-k — difference detect over a k-bit slice.
+  // Pull-down: parallel over bits of (a.t b.f || a.f b.t) series pairs.
+  const LabelId xs_n = nl.add_label("XS_N");
+  const LabelId xs_p = nl.add_label("XS_P");
+  const LabelId xs_foot = nl.add_label("XS_NF");
+  const LabelId xs_ni = nl.add_label("XS_NI");
+  const LabelId xs_pi = nl.add_label("XS_PI");
+  std::vector<NetId> diff;
+  for (int lo = 0, gate = 0; lo < bits; lo += xorsum, ++gate) {
+    const int hi = std::min(bits, lo + xorsum);
+    std::vector<Stack> branches;
+    for (int i = lo; i < hi; ++i) {
+      branches.push_back(Stack::series(
+          {Stack::leaf(at[static_cast<size_t>(i)], xs_n),
+           Stack::leaf(bf[static_cast<size_t>(i)], xs_n)}));
+      branches.push_back(Stack::series(
+          {Stack::leaf(af[static_cast<size_t>(i)], xs_n),
+           Stack::leaf(bt[static_cast<size_t>(i)], xs_n)}));
+    }
+    const NetId dyn = nl.add_net(strfmt("xsdyn%d", gate));
+    nl.add_component(strfmt("xorsum%d", gate), dyn,
+                     DominoGate{Stack::parallel(std::move(branches)), xs_p,
+                                xs_foot, clk, 0.1});
+    const NetId out = nl.add_net(strfmt("diff%d", gate));
+    nl.add_inverter(strfmt("xsinv%d", gate), dyn, out, xs_ni, xs_pi);
+    diff.push_back(out);
+  }
+
+  // ---- Reduction stages: domino OR trees, alternating D2 / D1 / ...
+  int stage = 2;
+  bool footed = false;  // stage 2 is D2
+  int fanin = fanin1;
+  while (diff.size() > 1) {
+    const LabelId rn = nl.add_label(strfmt("R%d_N", stage));
+    const LabelId rp = nl.add_label(strfmt("R%d_P", stage));
+    const LabelId rfoot =
+        footed ? nl.add_label(strfmt("R%d_NF", stage)) : -1;
+    const LabelId rni = nl.add_label(strfmt("R%d_NI", stage));
+    const LabelId rpi = nl.add_label(strfmt("R%d_PI", stage));
+    std::vector<NetId> next;
+    for (size_t i = 0; i < diff.size(); i += static_cast<size_t>(fanin)) {
+      const size_t hi =
+          std::min(diff.size(), i + static_cast<size_t>(fanin));
+      std::vector<Stack> leaves;
+      for (size_t j = i; j < hi; ++j)
+        leaves.push_back(Stack::leaf(diff[j], rn));
+      const NetId dyn = nl.add_net(strfmt("rdyn%d_%zu", stage, i));
+      nl.add_component(strfmt("red%d_%zu", stage, i), dyn,
+                       DominoGate{Stack::parallel(std::move(leaves)), rp,
+                                  rfoot, clk, 0.1});
+      const NetId out = nl.add_net(strfmt("rd%d_%zu", stage, i));
+      nl.add_inverter(strfmt("rinv%d_%zu", stage, i), dyn, out, rni, rpi);
+      next.push_back(out);
+    }
+    diff = std::move(next);
+    footed = !footed;
+    fanin = fanin2;
+    ++stage;
+  }
+
+  // Final equality flag: eq = !diff (static high-skew inverter).
+  const LabelId fn = nl.add_label("EQ_N"), fp = nl.add_label("EQ_P");
+  const NetId eq = nl.add_net("eq");
+  nl.add_inverter("eq_inv", diff.front(), eq, fn, fp);
+  nl.add_output(eq, spec.load_ff);
+
+  nl.finalize();
+  return nl;
+}
+
+void register_comparators(core::MacroDatabase& db) {
+  auto make = [](int xorsum, int fanin1, int fanin2) {
+    return [=](const MacroSpec& s) {
+      MacroSpec m = s;
+      m.params["xorsum"] = xorsum;
+      m.params["fanin1"] = fanin1;
+      m.params["fanin2"] = fanin2;
+      return comparator_domino(m);
+    };
+  };
+  auto wide = [](const MacroSpec& s) { return s.n >= 4; };
+  db.register_topology("comparator",
+                       {"xorsum2_nor4", "Xorsum2 -> Nor4 -> Nor2 (original)",
+                        make(2, 4, 2), wide});
+  db.register_topology("comparator",
+                       {"xorsum1_nor8", "Xorsum1 -> Nor8 -> Nor2",
+                        make(1, 8, 2), wide});
+  db.register_topology("comparator",
+                       {"xorsum4_nor4", "Xorsum4 -> Nor4 -> Nor2",
+                        make(4, 4, 2), wide});
+}
+
+}  // namespace smart::macros

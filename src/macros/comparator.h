@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file comparator.h
+/// Two-phase dynamic (D1-D2) equality comparators (paper §6.3 / Fig 7).
+/// Dual-rail inputs; stage 1 is a bank of domino "Xorsum-k" gates, each
+/// detecting a difference in a k-bit slice (OR of per-bit XORs); the
+/// remaining stages reduce the difference flags with domino OR gates of
+/// configurable fan-in, alternating D1/D2 clocking; a final high-skew
+/// static inverter emits the equality flag.
+///
+/// Fig 7's four configurations map to (xorsum width, reduction fan-ins):
+///   original        Xorsum2 -> Nor4 -> Nor2 -> Nor2
+///   exploration B   Xorsum1 -> Nor8 -> Nor2 -> Nor2
+///   exploration C   Xorsum4 -> Nor4 -> Nor2 (+ output inverter)
+
+#include "core/database.h"
+#include "netlist/netlist.h"
+
+namespace smart::macros {
+
+/// Parametrized comparator. spec.n = bit width. Params:
+///   "xorsum"  — bits per stage-1 xorsum gate (default 2)
+///   "fanin1"  — fan-in of the first reduction stage (default 4)
+///   "fanin2"  — fan-in of later reduction stages (default 2)
+netlist::Netlist comparator_domino(const core::MacroSpec& spec);
+
+/// Registers the Fig 7 configurations as named topologies of type
+/// "comparator": "xorsum2_nor4" (original), "xorsum1_nor8", "xorsum4_nor4".
+void register_comparators(core::MacroDatabase& db);
+
+}  // namespace smart::macros

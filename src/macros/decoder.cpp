@@ -1,0 +1,115 @@
+#include "macros/decoder.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::macros {
+
+using core::MacroSpec;
+using netlist::LabelId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Stack;
+using netlist::StaticGate;
+using util::strfmt;
+
+Netlist decoder(const MacroSpec& spec) {
+  const int n = spec.n;
+  SMART_CHECK(n >= 2 && n <= 8, "decoder address width must be in [2, 8]");
+  const int words = 1 << n;
+  Netlist nl(strfmt("dec%dto%d", n, words));
+
+  std::vector<NetId> addr(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    addr[static_cast<size_t>(i)] = nl.add_net(strfmt("a%d", i));
+    nl.add_input(addr[static_cast<size_t>(i)], spec.input_arrival_ps,
+                 spec.input_slope_ps);
+  }
+
+  // Literal complements.
+  const LabelId nc = nl.add_label("NC"), pc = nl.add_label("PC");
+  std::vector<NetId> addr_b(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    addr_b[static_cast<size_t>(i)] = nl.add_net(strfmt("ab%d", i));
+    nl.add_inverter(strfmt("cinv%d", i), addr[static_cast<size_t>(i)],
+                    addr_b[static_cast<size_t>(i)], nc, pc);
+  }
+
+  // Group the address bits (groups of <= 3) and predecode each group into
+  // one-hot lines: line = AND of the group's literals = NAND + INV.
+  struct Group {
+    int lo;
+    int size;
+    std::vector<NetId> lines;  // 2^size one-hot nets
+  };
+  std::vector<Group> groups;
+  for (int lo = 0; lo < n;) {
+    const int size = std::min(3, n - lo);
+    groups.push_back(Group{lo, size, {}});
+    lo += size;
+  }
+
+  const LabelId npre = nl.add_label("NPRE"), ppre = nl.add_label("PPRE");
+  const LabelId npi = nl.add_label("NPI"), ppi = nl.add_label("PPI");
+  for (size_t g = 0; g < groups.size(); ++g) {
+    auto& group = groups[g];
+    const int combos = 1 << group.size;
+    for (int v = 0; v < combos; ++v) {
+      std::vector<Stack> leaves;
+      for (int b = 0; b < group.size; ++b) {
+        const bool one = ((v >> b) & 1) != 0;
+        const size_t bit = static_cast<size_t>(group.lo + b);
+        leaves.push_back(Stack::leaf(one ? addr[bit] : addr_b[bit], npre));
+      }
+      const NetId nand_out = nl.add_net(strfmt("pd%zu_%d_n", g, v));
+      nl.add_component(strfmt("pre%zu_%d", g, v), nand_out,
+                       StaticGate{Stack::series(std::move(leaves)), ppre});
+      const NetId line = nl.add_net(strfmt("pd%zu_%d", g, v));
+      nl.add_inverter(strfmt("prei%zu_%d", g, v), nand_out, line, npi, ppi);
+      group.lines.push_back(line);
+    }
+  }
+
+  // Word lines: NAND over one predecode line per group, then an inverter.
+  const LabelId nw = nl.add_label("NW"), pw = nl.add_label("PW");
+  const LabelId nwo = nl.add_label("NWO"), pwo = nl.add_label("PWO");
+  for (int w = 0; w < words; ++w) {
+    std::vector<Stack> leaves;
+    for (const auto& group : groups) {
+      const int v = (w >> group.lo) & ((1 << group.size) - 1);
+      leaves.push_back(Stack::leaf(group.lines[static_cast<size_t>(v)], nw));
+    }
+    NetId word;
+    if (groups.size() == 1) {
+      // Single group: the predecode line already is the word line value;
+      // buffer it (two inverters) to keep the output polarity and drive.
+      const NetId x = nl.add_net(strfmt("w%d_b", w));
+      nl.add_component(strfmt("word%d_n", w), x,
+                       StaticGate{std::move(leaves.front()), pw});
+      word = nl.add_net(strfmt("o%d", w));
+      nl.add_inverter(strfmt("word%d_i", w), x, word, nwo, pwo);
+    } else {
+      const NetId x = nl.add_net(strfmt("w%d_n", w));
+      nl.add_component(strfmt("word%d_n", w), x,
+                       StaticGate{Stack::series(std::move(leaves)), pw});
+      word = nl.add_net(strfmt("o%d", w));
+      nl.add_inverter(strfmt("word%d_i", w), x, word, nwo, pwo);
+    }
+    nl.add_output(word, spec.load_ff);
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+void register_decoders(core::MacroDatabase& db) {
+  db.register_topology(
+      "decoder",
+      {"predecode", "two-stage predecoded NAND decoder", decoder,
+       [](const MacroSpec& s) { return s.n >= 2 && s.n <= 8; }});
+}
+
+}  // namespace smart::macros

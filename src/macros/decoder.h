@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file decoder.h
+/// N-to-2^N decoder macros (paper Fig 5(c) workloads: 3:8 .. 7:128).
+/// Classic two-stage structure: literal inverters, predecoders over 2-3
+/// address bit groups (NAND + INV one-hot lines), and an output AND per
+/// word line built from a NAND over one predecode line per group plus an
+/// inverter. Size labels are shared per stage — all word lines identical.
+
+#include "core/database.h"
+#include "netlist/netlist.h"
+
+namespace smart::macros {
+
+/// Decoder; spec.n = address width (outputs = 2^n, n in [2, 8]).
+netlist::Netlist decoder(const core::MacroSpec& spec);
+
+void register_decoders(core::MacroDatabase& db);
+
+}  // namespace smart::macros

@@ -1,0 +1,156 @@
+#include "macros/encoder.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::macros {
+
+using core::MacroSpec;
+using netlist::LabelId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Stack;
+using netlist::StaticGate;
+using util::strfmt;
+
+Netlist priority_encoder(const MacroSpec& spec) {
+  const int n = spec.n;
+  SMART_CHECK(n >= 4 && n <= 64 && (n & (n - 1)) == 0,
+              "encoder input count must be a power of two in [4, 64]");
+  int idx_bits = 0;
+  while ((1 << idx_bits) < n) ++idx_bits;
+  Netlist nl(strfmt("penc%d", n));
+
+  std::vector<NetId> in(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    in[static_cast<size_t>(i)] = nl.add_net(strfmt("in%d", i));
+    nl.add_input(in[static_cast<size_t>(i)], spec.input_arrival_ps,
+                 spec.input_slope_ps);
+  }
+
+  // Input complements.
+  const LabelId nc = nl.add_label("NC"), pc = nl.add_label("PC");
+  std::vector<NetId> cb(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    cb[static_cast<size_t>(i)] = nl.add_net(strfmt("cb%d", i));
+    nl.add_inverter(strfmt("cinv%d", i), in[static_cast<size_t>(i)],
+                    cb[static_cast<size_t>(i)], nc, pc);
+  }
+
+  // nh[i] = AND of cb[j] for j > i ("no higher input set"): an MSB-first
+  // AND-prefix tree over the complements, NAND2+INV pairs with per-level
+  // shared labels. nh[n-1] is the constant-true case (no gate needed).
+  std::vector<NetId> nh(static_cast<size_t>(n), -1);
+  {
+    // prefix[i] after the tree = AND of cb[i..n-1]; nh[i] = prefix[i+1].
+    std::vector<NetId> prefix(cb);
+    int level = 0;
+    for (int span = 1; span < n; span *= 2, ++level) {
+      const LabelId nn = nl.add_label(strfmt("NA%d", level));
+      const LabelId pn = nl.add_label(strfmt("PA%d", level));
+      const LabelId ni = nl.add_label(strfmt("NI%d", level));
+      const LabelId pi = nl.add_label(strfmt("PI%d", level));
+      std::vector<NetId> next(prefix);
+      for (int i = 0; i + span < n; ++i) {
+        const NetId x = nl.add_net(strfmt("pre_l%d_%d_n", level, i));
+        nl.add_component(
+            strfmt("pre_l%d_%d", level, i), x,
+            StaticGate{Stack::series(
+                           {Stack::leaf(prefix[static_cast<size_t>(i)], nn),
+                            Stack::leaf(
+                                prefix[static_cast<size_t>(i + span)], nn)}),
+                       pn});
+        const NetId y = nl.add_net(strfmt("pre_l%d_%d", level, i));
+        nl.add_inverter(strfmt("prei_l%d_%d", level, i), x, y, ni, pi);
+        next[static_cast<size_t>(i)] = y;
+      }
+      prefix = std::move(next);
+    }
+    for (int i = 0; i + 1 < n; ++i)
+      nh[static_cast<size_t>(i)] = prefix[static_cast<size_t>(i + 1)];
+  }
+
+  // One-hot select: sel[i] = in[i] AND nh[i] (top input needs no mask).
+  const LabelId ns = nl.add_label("NSEL"), ps = nl.add_label("PSEL");
+  const LabelId nsi = nl.add_label("NSELI"), psi = nl.add_label("PSELI");
+  std::vector<NetId> sel(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (i + 1 == n) {
+      // sel[n-1] = in[n-1]; buffer it for uniform drive/polarity.
+      const NetId x = nl.add_net(strfmt("sel%d_n", i));
+      nl.add_inverter(strfmt("selb%d", i), in[static_cast<size_t>(i)], x, ns,
+                      ps);
+      sel[static_cast<size_t>(i)] = nl.add_net(strfmt("sel%d", i));
+      nl.add_inverter(strfmt("seli%d", i), x, sel[static_cast<size_t>(i)],
+                      nsi, psi);
+      continue;
+    }
+    const NetId x = nl.add_net(strfmt("sel%d_n", i));
+    nl.add_component(
+        strfmt("selg%d", i), x,
+        StaticGate{Stack::series({Stack::leaf(in[static_cast<size_t>(i)], ns),
+                                  Stack::leaf(nh[static_cast<size_t>(i)],
+                                              ns)}),
+                   ps});
+    sel[static_cast<size_t>(i)] = nl.add_net(strfmt("sel%d", i));
+    nl.add_inverter(strfmt("seli%d", i), x, sel[static_cast<size_t>(i)], nsi,
+                    psi);
+  }
+
+  // Index bits: idx[k] = OR of sel[i] with bit k of i set; valid = OR of
+  // all sel. NOR trees (arity 4) with per-stage labels + a final inverter.
+  const LabelId nr = nl.add_label("NR"), pr = nl.add_label("PR");
+  const LabelId nri = nl.add_label("NRI"), pri = nl.add_label("PRI");
+  const LabelId nr2 = nl.add_label("NR2"), pr2 = nl.add_label("PR2");
+  auto or_tree = [&](const std::vector<NetId>& terms,
+                     const std::string& name) {
+    // Level 1: NOR4 groups; level 2: NAND of the group results gives the
+    // OR; a buffer is added when only one group exists.
+    std::vector<NetId> groups;
+    for (size_t i = 0; i < terms.size(); i += 4) {
+      const size_t hi = std::min(terms.size(), i + 4);
+      std::vector<Stack> leaves;
+      for (size_t j = i; j < hi; ++j)
+        leaves.push_back(Stack::leaf(terms[j], nr));
+      const NetId g = nl.add_net(strfmt("%s_g%zu", name.c_str(), i / 4));
+      nl.add_component(strfmt("%s_nor%zu", name.c_str(), i / 4), g,
+                       StaticGate{Stack::parallel(std::move(leaves)), pr});
+      groups.push_back(g);
+    }
+    const NetId out = nl.add_net(name);
+    if (groups.size() == 1) {
+      nl.add_inverter(name + "_inv", groups[0], out, nri, pri);
+    } else {
+      std::vector<Stack> leaves;
+      for (const NetId g : groups) leaves.push_back(Stack::leaf(g, nr2));
+      nl.add_component(name + "_nand", out,
+                       StaticGate{Stack::series(std::move(leaves)), pr2});
+    }
+    return out;
+  };
+
+  for (int k = 0; k < idx_bits; ++k) {
+    std::vector<NetId> terms;
+    for (int i = 0; i < n; ++i)
+      if ((i >> k) & 1) terms.push_back(sel[static_cast<size_t>(i)]);
+    nl.add_output(or_tree(terms, strfmt("idx%d", k)), spec.load_ff);
+  }
+  nl.add_output(or_tree(sel, "valid"), spec.load_ff);
+
+  nl.finalize();
+  return nl;
+}
+
+void register_encoders(core::MacroDatabase& db) {
+  db.register_topology(
+      "encoder",
+      {"priority", "MSB-first static priority encoder", priority_encoder,
+       [](const MacroSpec& s) {
+         return s.n >= 4 && s.n <= 64 && (s.n & (s.n - 1)) == 0;
+       }});
+}
+
+}  // namespace smart::macros

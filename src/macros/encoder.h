@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file encoder.h
+/// Priority encoder macros — "encoders" complete the paper's §2 list of
+/// datapath structures. Finds the highest set input and emits its binary
+/// index plus a valid flag: input complements, an MSB-first AND-prefix
+/// over the complements (Kogge-Stone style, per-level shared labels), a
+/// one-hot select layer, and NOR/INV index reduction trees.
+
+#include "core/database.h"
+#include "netlist/netlist.h"
+
+namespace smart::macros {
+
+/// n-to-log2(n) priority encoder. spec.n = input count (power of two in
+/// [4, 64]); inputs in<i>, outputs idx<k> (binary index of the highest set
+/// input) and "valid" (any input set).
+netlist::Netlist priority_encoder(const core::MacroSpec& spec);
+
+void register_encoders(core::MacroDatabase& db);
+
+}  // namespace smart::macros

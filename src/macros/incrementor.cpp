@@ -1,0 +1,151 @@
+#include "macros/incrementor.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::macros {
+
+using core::MacroSpec;
+using netlist::LabelId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Stack;
+using netlist::StaticGate;
+using util::strfmt;
+
+namespace {
+
+/// NAND2 + inverter = AND2; labels are per tree level for regularity.
+NetId and2(Netlist& nl, const std::string& name, NetId a, NetId b,
+           LabelId nn, LabelId pn, LabelId ni, LabelId pi) {
+  const NetId x = nl.add_net(name + "_n");
+  nl.add_component(name + "_nand", x,
+                   StaticGate{Stack::series({Stack::leaf(a, nn),
+                                             Stack::leaf(b, nn)}),
+                              pn});
+  const NetId y = nl.add_net(name);
+  nl.add_inverter(name + "_inv", x, y, ni, pi);
+  return y;
+}
+
+/// 4-NAND XOR cell; one shared label set for all sum bits.
+NetId xor2(Netlist& nl, const std::string& name, NetId a, NetId b,
+           LabelId nn, LabelId pn) {
+  const NetId x1 = nl.add_net(name + "_x1");
+  nl.add_component(name + "_n1", x1,
+                   StaticGate{Stack::series({Stack::leaf(a, nn),
+                                             Stack::leaf(b, nn)}),
+                              pn});
+  const NetId x2 = nl.add_net(name + "_x2");
+  nl.add_component(name + "_n2", x2,
+                   StaticGate{Stack::series({Stack::leaf(a, nn),
+                                             Stack::leaf(x1, nn)}),
+                              pn});
+  const NetId x3 = nl.add_net(name + "_x3");
+  nl.add_component(name + "_n3", x3,
+                   StaticGate{Stack::series({Stack::leaf(b, nn),
+                                             Stack::leaf(x1, nn)}),
+                              pn});
+  const NetId y = nl.add_net(name);
+  nl.add_component(name + "_n4", y,
+                   StaticGate{Stack::series({Stack::leaf(x2, nn),
+                                             Stack::leaf(x3, nn)}),
+                              pn});
+  return y;
+}
+
+}  // namespace
+
+Netlist incrementor(const MacroSpec& spec) {
+  const int bits = spec.n;
+  SMART_CHECK(bits >= 2, "incrementor needs at least 2 bits");
+  const bool decrement = spec.param("decrement", 0.0) != 0.0;
+  Netlist nl(strfmt("%s%d", decrement ? "dec" : "inc", bits));
+
+  std::vector<NetId> in(static_cast<size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    in[static_cast<size_t>(i)] = nl.add_net(strfmt("in%d", i));
+    nl.add_input(in[static_cast<size_t>(i)], spec.input_arrival_ps,
+                 spec.input_slope_ps);
+  }
+
+  // Prefix chain operand: the incrementor propagates a carry through a run
+  // of ones; the decrementor borrows through a run of zeros (so it prefixes
+  // over the complemented inputs).
+  std::vector<NetId> prefix_in(in);
+  if (decrement) {
+    const LabelId nc = nl.add_label("NC"), pc = nl.add_label("PC");
+    for (int i = 0; i < bits; ++i) {
+      const NetId inv = nl.add_net(strfmt("inb%d", i));
+      nl.add_inverter(strfmt("cinv%d", i), in[static_cast<size_t>(i)], inv,
+                      nc, pc);
+      prefix_in[static_cast<size_t>(i)] = inv;
+    }
+  }
+
+  // Kogge-Stone AND-prefix: level k combines spans of 2^k bits.
+  // prefix[i] = AND of prefix_in[0..i].
+  std::vector<NetId> prefix(prefix_in);
+  int level = 0;
+  for (int span = 1; span < bits; span *= 2, ++level) {
+    const LabelId nn = nl.add_label(strfmt("NA%d", level));
+    const LabelId pn = nl.add_label(strfmt("PA%d", level));
+    const LabelId ni = nl.add_label(strfmt("NI%d", level));
+    const LabelId pi = nl.add_label(strfmt("PI%d", level));
+    std::vector<NetId> next(prefix);
+    for (int i = span; i < bits; ++i) {
+      next[static_cast<size_t>(i)] =
+          and2(nl, strfmt("pre_l%d_b%d", level, i),
+               prefix[static_cast<size_t>(i)],
+               prefix[static_cast<size_t>(i - span)], nn, pn, ni, pi);
+    }
+    prefix = std::move(next);
+  }
+
+  // sum[0] = !in[0]; sum[i] = in[i] XOR prefix[i-1]. A carry-out port
+  // (prefix[bits-1]) is exposed as well.
+  const LabelId nx = nl.add_label("NX"), px = nl.add_label("PX");
+  const LabelId n0 = nl.add_label("N0"), p0 = nl.add_label("P0");
+  {
+    const NetId s0 = nl.add_net("out0");
+    nl.add_inverter("sum0", in[0], s0, n0, p0);
+    nl.add_output(s0, spec.load_ff);
+  }
+  for (int i = 1; i < bits; ++i) {
+    const NetId s = xor2(nl, strfmt("out%d", i), in[static_cast<size_t>(i)],
+                         prefix[static_cast<size_t>(i - 1)], nx, px);
+    nl.add_output(s, spec.load_ff);
+  }
+  {
+    const LabelId no = nl.add_label("NCO"), po = nl.add_label("PCO");
+    const NetId cob = nl.add_net("carry_b");
+    nl.add_inverter("co_inv", prefix[static_cast<size_t>(bits - 1)], cob, no,
+                    po);
+    const NetId co = nl.add_net("carry");
+    nl.add_inverter("co_buf", cob, co, no, po);
+    nl.add_output(co, spec.load_ff);
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+void register_incrementors(core::MacroDatabase& db) {
+  auto wide = [](const MacroSpec& s) { return s.n >= 2; };
+  db.register_topology("incrementor",
+                       {"ks_prefix", "Kogge-Stone AND-prefix incrementor",
+                        incrementor, wide});
+  db.register_topology(
+      "decrementor",
+      {"ks_prefix", "Kogge-Stone borrow-prefix decrementor",
+       [](const MacroSpec& s) {
+         MacroSpec d = s;
+         d.params["decrement"] = 1.0;
+         return incrementor(d);
+       },
+       wide});
+}
+
+}  // namespace smart::macros

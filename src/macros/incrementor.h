@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file incrementor.h
+/// Static incrementor / decrementor macros (paper Fig 5(a) workloads:
+/// 3..64 bit). Carry generation uses a logarithmic AND-prefix tree
+/// (Kogge-Stone style) built from NAND2+INV pairs with per-level shared
+/// size labels; the sum bits are 4-NAND XOR cells. A decrementor is the
+/// same prefix structure over complemented inputs (borrow chain).
+
+#include "core/database.h"
+#include "netlist/netlist.h"
+
+namespace smart::macros {
+
+/// Incrementor (out = in + 1). spec.n = bit width; param "decrement" != 0
+/// builds a decrementor (out = in - 1) instead.
+netlist::Netlist incrementor(const core::MacroSpec& spec);
+
+/// Registers the incrementor topology under types "incrementor" and
+/// "decrementor".
+void register_incrementors(core::MacroDatabase& db);
+
+}  // namespace smart::macros

@@ -1,0 +1,314 @@
+#include "macros/mux.h"
+
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::macros {
+
+using core::MacroSpec;
+using netlist::DominoGate;
+using netlist::LabelId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Stack;
+using netlist::StaticGate;
+using netlist::TransGate;
+using netlist::Tristate;
+using util::strfmt;
+
+namespace {
+
+int mux_inputs(const MacroSpec& spec) {
+  SMART_CHECK(spec.n >= 2, "mux needs at least 2 inputs");
+  return spec.n;
+}
+
+int mux_bits(const MacroSpec& spec) {
+  const int bits = static_cast<int>(spec.param("bits", 8));
+  SMART_CHECK(bits >= 1, "mux needs at least 1 bit slice");
+  return bits;
+}
+
+void add_data_inputs(Netlist& nl, std::vector<std::vector<NetId>>& d,
+                     const MacroSpec& spec, int n, int bits) {
+  d.assign(static_cast<size_t>(bits), {});
+  for (int b = 0; b < bits; ++b) {
+    for (int i = 0; i < n; ++i) {
+      const NetId net = nl.add_net(strfmt("d%d_%d", b, i));
+      nl.add_input(net, spec.input_arrival_ps, spec.input_slope_ps);
+      d[static_cast<size_t>(b)].push_back(net);
+    }
+  }
+}
+
+void add_selects(Netlist& nl, std::vector<NetId>& s, const MacroSpec& spec,
+                 int count) {
+  s.clear();
+  for (int i = 0; i < count; ++i) {
+    const NetId net = nl.add_net(strfmt("s%d", i));
+    nl.add_input(net, spec.input_arrival_ps, spec.input_slope_ps);
+    s.push_back(net);
+  }
+}
+
+}  // namespace
+
+Netlist mux_strong_pass(const MacroSpec& spec) {
+  const int n = mux_inputs(spec);
+  const int bits = mux_bits(spec);
+  Netlist nl(strfmt("mux%d_strong_pass_x%d", n, bits));
+
+  std::vector<std::vector<NetId>> d;
+  std::vector<NetId> s;
+  add_data_inputs(nl, d, spec, n, bits);
+  add_selects(nl, s, spec, n);
+
+  const LabelId n1 = nl.add_label("N1"), p1 = nl.add_label("P1");
+  const LabelId n2 = nl.add_label("N2");
+  const LabelId n3 = nl.add_label("N3"), p3 = nl.add_label("P3");
+
+  for (int b = 0; b < bits; ++b) {
+    const NetId shared = nl.add_net(strfmt("m%d", b));
+    for (int i = 0; i < n; ++i) {
+      const NetId x = nl.add_net(strfmt("x%d_%d", b, i));
+      nl.add_inverter(strfmt("drv%d_%d", b, i),
+                      d[static_cast<size_t>(b)][static_cast<size_t>(i)], x,
+                      n1, p1);
+      nl.add_component(strfmt("pg%d_%d", b, i), shared,
+                       TransGate{x, s[static_cast<size_t>(i)], n2});
+    }
+    const NetId out = nl.add_net(strfmt("o%d", b));
+    nl.add_inverter(strfmt("odrv%d", b), shared, out, n3, p3);
+    nl.add_output(out, spec.load_ff);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist mux_weak_pass(const MacroSpec& spec) {
+  const int n = mux_inputs(spec);
+  const int bits = mux_bits(spec);
+  Netlist nl(strfmt("mux%d_weak_pass_x%d", n, bits));
+
+  std::vector<std::vector<NetId>> d;
+  std::vector<NetId> s;
+  add_data_inputs(nl, d, spec, n, bits);
+  add_selects(nl, s, spec, n - 1);  // last select derived
+
+  const LabelId n1 = nl.add_label("N1"), p1 = nl.add_label("P1");
+  const LabelId n2 = nl.add_label("N2");
+  const LabelId n3 = nl.add_label("N3"), p3 = nl.add_label("P3");
+  const LabelId n4 = nl.add_label("N4"), p4 = nl.add_label("P4");
+
+  // NOR of the external selects: high exactly when none is active, which
+  // strongly mutexes the full select set.
+  const NetId s_last = nl.add_net("s_derived");
+  {
+    std::vector<Stack> leaves;
+    for (int i = 0; i < n - 1; ++i)
+      leaves.push_back(Stack::leaf(s[static_cast<size_t>(i)], n4));
+    nl.add_component("sel_nor", s_last,
+                     StaticGate{Stack::parallel(std::move(leaves)), p4});
+  }
+
+  for (int b = 0; b < bits; ++b) {
+    const NetId shared = nl.add_net(strfmt("m%d", b));
+    for (int i = 0; i < n; ++i) {
+      const NetId x = nl.add_net(strfmt("x%d_%d", b, i));
+      nl.add_inverter(strfmt("drv%d_%d", b, i),
+                      d[static_cast<size_t>(b)][static_cast<size_t>(i)], x,
+                      n1, p1);
+      const NetId sel = i < n - 1 ? s[static_cast<size_t>(i)] : s_last;
+      nl.add_component(strfmt("pg%d_%d", b, i), shared,
+                       TransGate{x, sel, n2});
+    }
+    const NetId out = nl.add_net(strfmt("o%d", b));
+    nl.add_inverter(strfmt("odrv%d", b), shared, out, n3, p3);
+    nl.add_output(out, spec.load_ff);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist mux2_encoded(const MacroSpec& spec) {
+  SMART_CHECK(spec.n == 2, "encoded-select mux is a 2-input topology");
+  const int bits = mux_bits(spec);
+  Netlist nl(strfmt("mux2_encoded_x%d", bits));
+
+  std::vector<std::vector<NetId>> d;
+  std::vector<NetId> s;
+  add_data_inputs(nl, d, spec, 2, bits);
+  add_selects(nl, s, spec, 1);
+
+  const LabelId n1 = nl.add_label("N1"), p1 = nl.add_label("P1");
+  const LabelId n2 = nl.add_label("N2");
+  const LabelId n3 = nl.add_label("N3"), p3 = nl.add_label("P3");
+  const LabelId ns = nl.add_label("NS"), ps = nl.add_label("PS");
+
+  // One local complement shared by all slices (the encoded select).
+  const NetId s_b = nl.add_net("s_b");
+  nl.add_inverter("sel_inv", s[0], s_b, ns, ps);
+
+  for (int b = 0; b < bits; ++b) {
+    const NetId shared = nl.add_net(strfmt("m%d", b));
+    for (int i = 0; i < 2; ++i) {
+      const NetId x = nl.add_net(strfmt("x%d_%d", b, i));
+      nl.add_inverter(strfmt("drv%d_%d", b, i),
+                      d[static_cast<size_t>(b)][static_cast<size_t>(i)], x,
+                      n1, p1);
+      // in1 passes when s is high, in0 when the complement is high.
+      nl.add_component(strfmt("pg%d_%d", b, i), shared,
+                       TransGate{x, i == 1 ? s[0] : s_b, n2});
+    }
+    const NetId out = nl.add_net(strfmt("o%d", b));
+    nl.add_inverter(strfmt("odrv%d", b), shared, out, n3, p3);
+    nl.add_output(out, spec.load_ff);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist mux_tristate(const MacroSpec& spec) {
+  const int n = mux_inputs(spec);
+  const int bits = mux_bits(spec);
+  Netlist nl(strfmt("mux%d_tristate_x%d", n, bits));
+
+  std::vector<std::vector<NetId>> d;
+  std::vector<NetId> s;
+  add_data_inputs(nl, d, spec, n, bits);
+  add_selects(nl, s, spec, n);
+
+  const LabelId n1 = nl.add_label("N1"), p1 = nl.add_label("P1");
+  const LabelId n2 = nl.add_label("N2"), p2 = nl.add_label("P2");
+
+  for (int b = 0; b < bits; ++b) {
+    const NetId shared = nl.add_net(strfmt("m%d", b));
+    for (int i = 0; i < n; ++i) {
+      nl.add_component(
+          strfmt("ts%d_%d", b, i), shared,
+          Tristate{d[static_cast<size_t>(b)][static_cast<size_t>(i)],
+                   s[static_cast<size_t>(i)], n1, p1});
+    }
+    const NetId out = nl.add_net(strfmt("o%d", b));
+    nl.add_inverter(strfmt("odrv%d", b), shared, out, n2, p2);
+    nl.add_output(out, spec.load_ff);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist mux_domino_unsplit(const MacroSpec& spec) {
+  const int n = mux_inputs(spec);
+  const int bits = mux_bits(spec);
+  Netlist nl(strfmt("mux%d_domino_x%d", n, bits));
+
+  const NetId clk = nl.add_net("clk", netlist::NetKind::kClock);
+  std::vector<std::vector<NetId>> d;
+  std::vector<NetId> s;
+  add_data_inputs(nl, d, spec, n, bits);
+  add_selects(nl, s, spec, n);
+
+  const LabelId n1 = nl.add_label("N1");
+  const LabelId p1 = nl.add_label("P1");
+  const LabelId n2 = nl.add_label("N2");
+  const LabelId n3 = nl.add_label("N3"), p3 = nl.add_label("P3");
+
+  for (int b = 0; b < bits; ++b) {
+    const NetId dyn = nl.add_net(strfmt("dyn%d", b));
+    std::vector<Stack> branches;
+    for (int i = 0; i < n; ++i) {
+      branches.push_back(Stack::series(
+          {Stack::leaf(s[static_cast<size_t>(i)], n1),
+           Stack::leaf(d[static_cast<size_t>(b)][static_cast<size_t>(i)],
+                       n1)}));
+    }
+    nl.add_component(strfmt("dom%d", b), dyn,
+                     DominoGate{Stack::parallel(std::move(branches)), p1, n2,
+                                clk, 0.1});
+    const NetId out = nl.add_net(strfmt("o%d", b));
+    nl.add_inverter(strfmt("odrv%d", b), dyn, out, n3, p3);
+    nl.add_output(out, spec.load_ff);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist mux_domino_split(const MacroSpec& spec) {
+  const int n = mux_inputs(spec);
+  const int bits = mux_bits(spec);
+  const int m = static_cast<int>(spec.param("m", n / 2));
+  SMART_CHECK(m >= 1 && m < n, "split partition must satisfy 1 <= m < n");
+  Netlist nl(strfmt("mux%d_split%d_x%d", n, m, bits));
+
+  const NetId clk = nl.add_net("clk", netlist::NetKind::kClock);
+  std::vector<std::vector<NetId>> d;
+  std::vector<NetId> s;
+  add_data_inputs(nl, d, spec, n, bits);
+  add_selects(nl, s, spec, n);
+
+  // Equal partitions share labels (paper: "If the two partitions are of the
+  // same size, they can be labeled identically, if not, label differently").
+  const bool same = (m == n - m);
+  const LabelId n1 = nl.add_label("N1");
+  const LabelId p1 = nl.add_label("P1");
+  const LabelId n2 = nl.add_label("N2");
+  const LabelId n3b = same ? n1 : nl.add_label("N3");
+  const LabelId p3b = same ? p1 : nl.add_label("P3");
+  const LabelId n4b = same ? n2 : nl.add_label("N4");
+  const LabelId n5 = nl.add_label("N5"), p5 = nl.add_label("P5");
+
+  for (int b = 0; b < bits; ++b) {
+    auto make_partition = [&](int lo, int hi, LabelId nd, LabelId pre,
+                              LabelId foot, const char* tag) {
+      std::vector<Stack> branches;
+      for (int i = lo; i < hi; ++i) {
+        branches.push_back(Stack::series(
+            {Stack::leaf(s[static_cast<size_t>(i)], nd),
+             Stack::leaf(d[static_cast<size_t>(b)][static_cast<size_t>(i)],
+                         nd)}));
+      }
+      const NetId dyn = nl.add_net(strfmt("dyn%s%d", tag, b));
+      nl.add_component(strfmt("dom%s%d", tag, b), dyn,
+                       DominoGate{Stack::parallel(std::move(branches)), pre,
+                                  foot, clk, 0.1});
+      return dyn;
+    };
+    const NetId dyn_a = make_partition(0, m, n1, p1, n2, "a");
+    const NetId dyn_b = make_partition(m, n, n3b, p3b, n4b, "b");
+
+    // The two dynamic nodes are active-low; a static NAND2 merges them into
+    // the selected value (rises when either partition fires).
+    const NetId out = nl.add_net(strfmt("o%d", b));
+    nl.add_component(strfmt("merge%d", b), out,
+                     StaticGate{Stack::series({Stack::leaf(dyn_a, n5),
+                                               Stack::leaf(dyn_b, n5)}),
+                                p5});
+    nl.add_output(out, spec.load_ff);
+  }
+  nl.finalize();
+  return nl;
+}
+
+void register_muxes(core::MacroDatabase& db) {
+  auto any_n = [](const MacroSpec& s) { return s.n >= 2; };
+  db.register_topology(
+      "mux", {"strong_pass", "strongly mutexed N-first pass-gate mux",
+              mux_strong_pass, any_n});
+  db.register_topology(
+      "mux", {"weak_pass", "weakly mutexed pass-gate mux (derived select)",
+              mux_weak_pass, [](const MacroSpec& s) { return s.n >= 3; }});
+  db.register_topology(
+      "mux", {"encoded2", "2-input pass-gate mux with encoded select",
+              mux2_encoded, [](const MacroSpec& s) { return s.n == 2; }});
+  db.register_topology(
+      "mux", {"tristate", "tri-state mux for large loads/long interconnect",
+              mux_tristate, any_n});
+  db.register_topology(
+      "mux", {"domino_unsplit", "Nx1 un-split domino mux", mux_domino_unsplit,
+              any_n});
+  db.register_topology(
+      "mux", {"domino_split", "(m, n-m) partitioned domino mux",
+              mux_domino_split, [](const MacroSpec& s) { return s.n >= 4; }});
+}
+
+}  // namespace smart::macros

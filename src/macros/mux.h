@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file mux.h
+/// The multiplexor macro family of the SMART design database (paper §4,
+/// Figures 2(a)-(f)). All generators produce bit-sliced macros: `bits`
+/// identical slices share one set of size labels (the layout regularity a
+/// designer plans in), selects are shared across slices (so select loading
+/// grows with datapath width, as in a real datapath).
+///
+/// Ports: data inputs d<b>_<i> (slice b, input i), selects s<i>, outputs
+/// o<b>; domino topologies add the clock net "clk".
+
+#include "core/database.h"
+#include "netlist/netlist.h"
+
+namespace smart::macros {
+
+/// Figure 2(a): strongly mutexed N-first pass-gate mux. Selects are
+/// one-hot by contract; input drivers (N1/P1), pass gates (N2), output
+/// driver (N3/P3).
+netlist::Netlist mux_strong_pass(const core::MacroSpec& spec);
+
+/// Figure 2(b): weakly mutexed pass-gate mux. The last select is derived
+/// from the others with a NOR (P4/N4), making the select set one-hot at
+/// the cost of extra select-to-output delay.
+netlist::Netlist mux_weak_pass(const core::MacroSpec& spec);
+
+/// Figure 2(c): 2-input pass-gate mux with encoded select (one select bit,
+/// complement generated locally).
+netlist::Netlist mux2_encoded(const core::MacroSpec& spec);
+
+/// Figure 2(d): tri-state mux (P1/N1 tri-states, P2/N2 output driver); the
+/// choice for large loads or long interconnect.
+netlist::Netlist mux_tristate(const core::MacroSpec& spec);
+
+/// Figure 2(e): un-split domino mux — one dynamic node with n
+/// select-and-data branches (N1), precharge P1, foot N2, high-skew output
+/// inverter (P3/N3).
+netlist::Netlist mux_domino_unsplit(const core::MacroSpec& spec);
+
+/// Figure 2(f): (m, n-m) partitioned domino mux — two smaller dynamic
+/// nodes combined with a static NAND2; "typically better than (e) in area
+/// and power when the size of the mux is large". Partition size comes from
+/// spec param "m" (default floor(n/2), the paper's good choice).
+netlist::Netlist mux_domino_split(const core::MacroSpec& spec);
+
+/// Registers all six mux topologies under macro type "mux".
+void register_muxes(core::MacroDatabase& db);
+
+}  // namespace smart::macros

@@ -1,0 +1,118 @@
+#include "macros/register_file.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::macros {
+
+using core::MacroSpec;
+using netlist::DominoGate;
+using netlist::LabelId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Stack;
+using netlist::TransGate;
+using util::strfmt;
+
+namespace {
+
+int rf_entries(const MacroSpec& spec) {
+  SMART_CHECK(spec.n >= 2 && spec.n <= 64,
+              "register file entries must be in [2, 64]");
+  return spec.n;
+}
+
+int rf_bits(const MacroSpec& spec) {
+  const int bits = static_cast<int>(spec.param("bits", 8));
+  SMART_CHECK(bits >= 1, "register file needs at least 1 bit");
+  return bits;
+}
+
+}  // namespace
+
+Netlist regfile_pass_read(const MacroSpec& spec) {
+  const int entries = rf_entries(spec);
+  const int bits = rf_bits(spec);
+  Netlist nl(strfmt("rf%dx%d_pass", entries, bits));
+
+  std::vector<NetId> wl;
+  for (int e = 0; e < entries; ++e) {
+    wl.push_back(nl.add_net(strfmt("wl%d", e)));
+    nl.add_input(wl.back(), spec.input_arrival_ps, spec.input_slope_ps);
+  }
+  const LabelId nd = nl.add_label("ND"), pd = nl.add_label("PD");
+  const LabelId np = nl.add_label("NP");
+  const LabelId no = nl.add_label("NO"), po = nl.add_label("PO");
+
+  for (int b = 0; b < bits; ++b) {
+    const NetId bitline = nl.add_net(strfmt("bl%d", b));
+    for (int e = 0; e < entries; ++e) {
+      const NetId d = nl.add_net(strfmt("d%d_%d", e, b));
+      nl.add_input(d, spec.input_arrival_ps, spec.input_slope_ps);
+      // Cell output driver (the storage cell's read buffer), then the
+      // access pass gate onto the shared bitline.
+      const NetId x = nl.add_net(strfmt("c%d_%d", e, b));
+      nl.add_inverter(strfmt("cell%d_%d", e, b), d, x, nd, pd);
+      nl.add_component(strfmt("acc%d_%d", e, b), bitline,
+                       TransGate{x, wl[static_cast<size_t>(e)], np});
+    }
+    // The sense inverter restores polarity (cell driver inverted once)
+    // and drives the port load.
+    const NetId out = nl.add_net(strfmt("o%d", b));
+    nl.add_inverter(strfmt("sense%d", b), bitline, out, no, po);
+    nl.add_output(out, spec.load_ff);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist regfile_domino_read(const MacroSpec& spec) {
+  const int entries = rf_entries(spec);
+  const int bits = rf_bits(spec);
+  Netlist nl(strfmt("rf%dx%d_domino", entries, bits));
+
+  const NetId clk = nl.add_net("clk", netlist::NetKind::kClock);
+  std::vector<NetId> wl;
+  for (int e = 0; e < entries; ++e) {
+    wl.push_back(nl.add_net(strfmt("wl%d", e)));
+    nl.add_input(wl.back(), spec.input_arrival_ps, spec.input_slope_ps);
+  }
+  const LabelId n1 = nl.add_label("N1");
+  const LabelId p1 = nl.add_label("P1");
+  const LabelId n2 = nl.add_label("N2");
+  const LabelId ni = nl.add_label("NI"), pi = nl.add_label("PI");
+
+  for (int b = 0; b < bits; ++b) {
+    std::vector<Stack> branches;
+    for (int e = 0; e < entries; ++e) {
+      const NetId d = nl.add_net(strfmt("d%d_%d", e, b));
+      nl.add_input(d, spec.input_arrival_ps, spec.input_slope_ps);
+      branches.push_back(
+          Stack::series({Stack::leaf(wl[static_cast<size_t>(e)], n1),
+                         Stack::leaf(d, n1)}));
+    }
+    const NetId bitline = nl.add_net(strfmt("bl%d", b));
+    nl.add_component(strfmt("rd%d", b), bitline,
+                     DominoGate{Stack::parallel(std::move(branches)), p1, n2,
+                                clk, 0.1});
+    const NetId out = nl.add_net(strfmt("o%d", b));
+    nl.add_inverter(strfmt("sense%d", b), bitline, out, ni, pi);
+    nl.add_output(out, spec.load_ff);
+  }
+  nl.finalize();
+  return nl;
+}
+
+void register_register_files(core::MacroDatabase& db) {
+  auto ok = [](const MacroSpec& s) { return s.n >= 2 && s.n <= 64; };
+  db.register_topology("register_file",
+                       {"pass_read", "pass-gate read port, static bitline",
+                        regfile_pass_read, ok});
+  db.register_topology("register_file",
+                       {"domino_read", "precharged-bitline domino read port",
+                        regfile_domino_read, ok});
+}
+
+}  // namespace smart::macros

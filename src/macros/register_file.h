@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file register_file.h
+/// Register-file read-port macros — "register files" close out the paper's
+/// §2 list of datapath macros. A read port is structurally a wide one-hot
+/// mux onto a heavily diffusion-loaded bitline; two topologies:
+///   * pass_read    — pass gates onto a shared static bitline + buffer,
+///   * domino_read  — precharged bitline pulled down through
+///                    wordline/data stacks + high-skew sense inverter.
+
+#include "core/database.h"
+#include "netlist/netlist.h"
+
+namespace smart::macros {
+
+/// Static pass-gate read port. spec.n = entries; param "bits" (default 8)
+/// = word width. Inputs d<e>_<b> (stored data) and one-hot word lines
+/// wl<e>; outputs o<b>.
+netlist::Netlist regfile_pass_read(const core::MacroSpec& spec);
+
+/// Domino read port: bitline precharged high, discharged through a
+/// series (wordline, data) stack — so the sensed value is the data bit.
+netlist::Netlist regfile_domino_read(const core::MacroSpec& spec);
+
+void register_register_files(core::MacroDatabase& db);
+
+}  // namespace smart::macros

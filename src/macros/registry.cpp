@@ -1,0 +1,36 @@
+#include "macros/registry.h"
+
+#include "macros/adder.h"
+#include "macros/comparator.h"
+#include "macros/decoder.h"
+#include "macros/encoder.h"
+#include "macros/incrementor.h"
+#include "macros/mux.h"
+#include "macros/register_file.h"
+#include "macros/shifter.h"
+#include "macros/zero_detect.h"
+
+namespace smart::macros {
+
+void register_all(core::MacroDatabase& db) {
+  register_muxes(db);
+  register_incrementors(db);
+  register_zero_detects(db);
+  register_decoders(db);
+  register_encoders(db);
+  register_adders(db);
+  register_comparators(db);
+  register_shifters(db);
+  register_register_files(db);
+}
+
+const core::MacroDatabase& builtin_database() {
+  static const core::MacroDatabase db = [] {
+    core::MacroDatabase d;
+    register_all(d);
+    return d;
+  }();
+  return db;
+}
+
+}  // namespace smart::macros

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file registry.h
+/// One-call registration of every built-in macro family into a SMART
+/// design database — the "a-priori designed macro database available to
+/// the designer" of paper §2. Project-specific topologies can be added on
+/// top with MacroDatabase::register_topology (the database's key
+/// expandability property).
+
+#include "core/database.h"
+
+namespace smart::macros {
+
+/// Registers muxes, incrementors/decrementors, zero-detects, decoders,
+/// adders, and comparators.
+void register_all(core::MacroDatabase& db);
+
+/// A process-wide database with all built-in macros registered.
+const core::MacroDatabase& builtin_database();
+
+}  // namespace smart::macros

@@ -1,0 +1,90 @@
+#include "macros/shifter.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::macros {
+
+using core::MacroSpec;
+using netlist::LabelId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::TransGate;
+using util::strfmt;
+
+Netlist barrel_rotator(const MacroSpec& spec) {
+  const int bits = spec.n;
+  SMART_CHECK(bits >= 4 && bits <= 64 && (bits & (bits - 1)) == 0,
+              "rotator width must be a power of two in [4, 64]");
+  int stages = 0;
+  while ((1 << stages) < bits) ++stages;
+  Netlist nl(strfmt("rot%d", bits));
+
+  std::vector<NetId> data(static_cast<size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    data[static_cast<size_t>(i)] = nl.add_net(strfmt("in%d", i));
+    nl.add_input(data[static_cast<size_t>(i)], spec.input_arrival_ps,
+                 spec.input_slope_ps);
+  }
+
+  for (int k = 0; k < stages; ++k) {
+    const NetId sel = nl.add_net(strfmt("s%d", k));
+    nl.add_input(sel, spec.input_arrival_ps, spec.input_slope_ps);
+    // Encoded select: one inverter per stage generates the complement.
+    const LabelId ns = nl.add_label(strfmt("NS%d", k));
+    const LabelId ps = nl.add_label(strfmt("PS%d", k));
+    const NetId sel_b = nl.add_net(strfmt("sb%d", k));
+    nl.add_inverter(strfmt("sinv%d", k), sel, sel_b, ns, ps);
+
+    // Stage drivers and pass gates share one label set across all bits.
+    const LabelId nd = nl.add_label(strfmt("ND%d", k));
+    const LabelId pd = nl.add_label(strfmt("PD%d", k));
+    const LabelId np = nl.add_label(strfmt("NP%d", k));
+    const LabelId no = nl.add_label(strfmt("NO%d", k));
+    const LabelId po = nl.add_label(strfmt("PO%d", k));
+
+    const int amount = 1 << k;
+    std::vector<NetId> next(static_cast<size_t>(bits));
+    for (int i = 0; i < bits; ++i) {
+      // Invert-then-restore keeps every stage buffered: pass chains longer
+      // than one gate would otherwise degrade without restoration.
+      const NetId keep = nl.add_net(strfmt("x%d_%d", k, i));
+      nl.add_inverter(strfmt("drv%d_%d", k, i), data[static_cast<size_t>(i)],
+                      keep, nd, pd);
+      const NetId shared = nl.add_net(strfmt("m%d_%d", k, i));
+      // sel = 0: keep bit i; sel = 1: take bit (i + amount) mod n.
+      nl.add_component(strfmt("pk%d_%d", k, i), shared,
+                       TransGate{keep, sel_b, np});
+      const int from = (i + amount) % bits;
+      const NetId moved = nl.add_net(strfmt("y%d_%d", k, i));
+      nl.add_inverter(strfmt("mdrv%d_%d", k, i),
+                      data[static_cast<size_t>(from)], moved, nd, pd);
+      nl.add_component(strfmt("pm%d_%d", k, i), shared,
+                       TransGate{moved, sel, np});
+      const NetId out = nl.add_net(strfmt("d%d_%d", k + 1, i));
+      nl.add_inverter(strfmt("obuf%d_%d", k, i), shared, out, no, po);
+      next[static_cast<size_t>(i)] = out;
+    }
+    data = std::move(next);
+  }
+
+  for (int i = 0; i < bits; ++i) {
+    nl.rename_net(data[static_cast<size_t>(i)], strfmt("o%d", i));
+    nl.add_output(data[static_cast<size_t>(i)], spec.load_ff);
+  }
+  nl.finalize();
+  return nl;
+}
+
+void register_shifters(core::MacroDatabase& db) {
+  db.register_topology(
+      "shifter",
+      {"barrel_rotate", "log-stage pass-gate barrel rotator", barrel_rotator,
+       [](const MacroSpec& s) {
+         return s.n >= 4 && s.n <= 64 && (s.n & (s.n - 1)) == 0;
+       }});
+}
+
+}  // namespace smart::macros

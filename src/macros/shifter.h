@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file shifter.h
+/// Barrel shifter macros — "shifters" are on the paper's §2 list of
+/// datapath macros. Implemented as log2(n) stages of 2:1 pass-gate muxes
+/// with encoded per-stage selects (rotate-by-2^k per stage), the classic
+/// datapath structure; labels are shared per stage across all bits.
+
+#include "core/database.h"
+#include "netlist/netlist.h"
+
+namespace smart::macros {
+
+/// n-bit barrel rotator (rotate right by the binary shift amount).
+/// spec.n = data width (power of two in [4, 64]); inputs in<i>, shift
+/// amount bits s<k>, outputs o<i>.
+netlist::Netlist barrel_rotator(const core::MacroSpec& spec);
+
+void register_shifters(core::MacroDatabase& db);
+
+}  // namespace smart::macros

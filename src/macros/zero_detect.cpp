@@ -1,0 +1,144 @@
+#include "macros/zero_detect.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::macros {
+
+using core::MacroSpec;
+using netlist::DominoGate;
+using netlist::LabelId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Stack;
+using netlist::StaticGate;
+using util::strfmt;
+
+Netlist zero_detect_static(const MacroSpec& spec) {
+  const int bits = spec.n;
+  SMART_CHECK(bits >= 2, "zero-detect needs at least 2 bits");
+  const int arity = static_cast<int>(spec.param("arity", 4));
+  SMART_CHECK(arity >= 2 && arity <= 8, "arity must be in [2, 8]");
+  Netlist nl(strfmt("zero%d", bits));
+
+  std::vector<NetId> level;
+  for (int i = 0; i < bits; ++i) {
+    const NetId in = nl.add_net(strfmt("in%d", i));
+    nl.add_input(in, spec.input_arrival_ps, spec.input_slope_ps);
+    level.push_back(in);
+  }
+
+  // Alternating NOR (active-high inputs) / NAND (active-low) reduction.
+  // After a NOR level the intermediate is "group is all zero" (active
+  // high); the NAND level then produces "some group not all zero" etc.
+  bool nor_level = true;
+  int depth = 0;
+  while (level.size() > 1) {
+    const LabelId nn = nl.add_label(strfmt("N%d", depth));
+    const LabelId pn = nl.add_label(strfmt("P%d", depth));
+    std::vector<NetId> next;
+    for (size_t i = 0; i < level.size(); i += static_cast<size_t>(arity)) {
+      const size_t hi = std::min(level.size(), i + static_cast<size_t>(arity));
+      std::vector<Stack> leaves;
+      for (size_t j = i; j < hi; ++j)
+        leaves.push_back(Stack::leaf(level[j], nn));
+      const NetId out =
+          nl.add_net(strfmt("l%d_%zu", depth, i / static_cast<size_t>(arity)));
+      Stack pd = nor_level ? Stack::parallel(std::move(leaves))
+                           : Stack::series(std::move(leaves));
+      nl.add_component(strfmt("g%d_%zu", depth, i), out,
+                       StaticGate{std::move(pd), pn});
+      next.push_back(out);
+    }
+    level = std::move(next);
+    nor_level = !nor_level;
+    ++depth;
+  }
+
+  // The zero flag must be active high: if the last level produced the
+  // complement (an even number of inversions so far means the single
+  // remaining net is "not zero"), add a final inverter.
+  NetId flag = level.front();
+  if (nor_level) {  // next would be a NOR level => current value is inverted
+    const LabelId ni = nl.add_label("NF"), pi = nl.add_label("PF");
+    const NetId out = nl.add_net("zero");
+    nl.add_inverter("flag_inv", flag, out, ni, pi);
+    flag = out;
+  } else {
+    nl.rename_net(flag, "zero");
+  }
+  nl.add_output(flag, spec.load_ff);
+  nl.finalize();
+  return nl;
+}
+
+Netlist zero_detect_domino(const MacroSpec& spec) {
+  const int bits = spec.n;
+  SMART_CHECK(bits >= 2, "zero-detect needs at least 2 bits");
+  const int group = static_cast<int>(spec.param("group", 8));
+  SMART_CHECK(group >= 2 && group <= 16, "group must be in [2, 16]");
+  Netlist nl(strfmt("zero%d_domino", bits));
+
+  const NetId clk = nl.add_net("clk", netlist::NetKind::kClock);
+  std::vector<NetId> in;
+  for (int i = 0; i < bits; ++i) {
+    const NetId net = nl.add_net(strfmt("in%d", i));
+    nl.add_input(net, spec.input_arrival_ps, spec.input_slope_ps);
+    in.push_back(net);
+  }
+
+  const LabelId n1 = nl.add_label("N1");
+  const LabelId p1 = nl.add_label("P1");
+  const LabelId n2 = nl.add_label("N2");
+  const LabelId n3 = nl.add_label("N3"), p3 = nl.add_label("P3");
+
+  // Wide-OR domino groups: the dynamic node stays high iff the group is
+  // all zero. The group flags are ANDed with a static NAND/NOR tree on the
+  // dynamic nodes' inverted outputs.
+  std::vector<NetId> any_set;  // inverter outputs: "some bit set in group"
+  int g = 0;
+  for (int i = 0; i < bits; i += group, ++g) {
+    const int hi = std::min(bits, i + group);
+    std::vector<Stack> leaves;
+    for (int j = i; j < hi; ++j)
+      leaves.push_back(Stack::leaf(in[static_cast<size_t>(j)], n1));
+    const NetId dyn = nl.add_net(strfmt("dyn%d", g));
+    nl.add_component(strfmt("dom%d", g), dyn,
+                     DominoGate{Stack::parallel(std::move(leaves)), p1, n2,
+                                clk, 0.1});
+    const NetId flag = nl.add_net(strfmt("set%d", g));
+    nl.add_inverter(strfmt("dinv%d", g), dyn, flag, n3, p3);
+    any_set.push_back(flag);
+  }
+
+  // zero = NOR of the group "any set" flags.
+  const LabelId nr = nl.add_label("NR"), pr = nl.add_label("PR");
+  NetId flag;
+  if (any_set.size() == 1) {
+    flag = nl.add_net("zero");
+    nl.add_inverter("flag_inv", any_set[0], flag, nr, pr);
+  } else {
+    std::vector<Stack> leaves;
+    for (const NetId s : any_set) leaves.push_back(Stack::leaf(s, nr));
+    flag = nl.add_net("zero");
+    nl.add_component("flag_nor", flag,
+                     StaticGate{Stack::parallel(std::move(leaves)), pr});
+  }
+  nl.add_output(flag, spec.load_ff);
+  nl.finalize();
+  return nl;
+}
+
+void register_zero_detects(core::MacroDatabase& db) {
+  auto wide = [](const MacroSpec& s) { return s.n >= 2; };
+  db.register_topology("zero_detect",
+                       {"static_tree", "alternating NOR/NAND reduction tree",
+                        zero_detect_static, wide});
+  db.register_topology("zero_detect",
+                       {"domino_or", "wide-OR domino groups + static NOR",
+                        zero_detect_domino, wide});
+}
+
+}  // namespace smart::macros

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file zero_detect.h
+/// Zero-detect macros (paper Fig 5(b) workloads: 6..63 bit): out = 1 iff
+/// all input bits are 0, built as an alternating NOR/NAND reduction tree
+/// with per-level shared size labels. A domino variant (single wide-OR
+/// dynamic stage feeding a NOR tree) is registered as an alternative
+/// topology for exploration.
+
+#include "core/database.h"
+#include "netlist/netlist.h"
+
+namespace smart::macros {
+
+/// Static NOR/NAND tree zero-detect. spec.n = bit width; param "arity"
+/// (default 4) bounds the gate fan-in.
+netlist::Netlist zero_detect_static(const core::MacroSpec& spec);
+
+/// Domino zero-detect: wide-OR dynamic stage detects any set bit, a
+/// high-skew inverter produces the zero flag.
+netlist::Netlist zero_detect_domino(const core::MacroSpec& spec);
+
+void register_zero_detects(core::MacroDatabase& db);
+
+}  // namespace smart::macros

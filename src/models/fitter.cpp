@@ -1,0 +1,241 @@
+#include "models/fitter.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "refsim/rc_timer.h"
+#include "util/check.h"
+#include "util/linalg.h"
+
+namespace smart::models {
+
+using netlist::Arc;
+using netlist::ArcKind;
+using netlist::DominoGate;
+using netlist::LabelId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Sizing;
+using netlist::Stack;
+
+namespace {
+
+/// An archetype circuit for one arc class: the netlist, the arc to measure,
+/// and which output transitions are observable on it.
+struct Archetype {
+  std::unique_ptr<Netlist> nl;
+  size_t arc_index = 0;
+  std::vector<bool> out_rises;  ///< transitions to sample
+};
+
+/// Finds the first arc with the requested class whose source is `from`.
+size_t find_arc(const Netlist& nl, ArcClass cls, NetId from) {
+  for (size_t i = 0; i < nl.arcs().size(); ++i) {
+    const Arc& a = nl.arcs()[i];
+    if (a.from == from && classify_arc(nl, a) == cls) return i;
+  }
+  SMART_FAIL("archetype arc not found");
+}
+
+Archetype make_archetype(ArcClass cls, double load_ff) {
+  auto nl = std::make_unique<Netlist>("fit");
+  Archetype arch;
+  switch (cls) {
+    case ArcClass::kStatic: {
+      // 3-high NAND stack: exercises both single-device pull-up paths and a
+      // deep pull-down, pooling rise and fall samples.
+      NetId a = nl->add_net("a"), b = nl->add_net("b"), c = nl->add_net("c");
+      NetId out = nl->add_net("out");
+      LabelId n1 = nl->add_label("N1"), p1 = nl->add_label("P1");
+      nl->add_component("g", out,
+                        netlist::StaticGate{
+                            Stack::series({Stack::leaf(a, n1),
+                                           Stack::leaf(b, n1),
+                                           Stack::leaf(c, n1)}),
+                            p1});
+      nl->add_input(a);
+      nl->add_input(b);
+      nl->add_input(c);
+      nl->add_output(out, load_ff);
+      nl->finalize();
+      arch.arc_index = find_arc(*nl, cls, c);  // deepest pin
+      arch.out_rises = {false, true};
+      break;
+    }
+    case ArcClass::kPassData:
+    case ArcClass::kPassControl: {
+      NetId d = nl->add_net("d"), s = nl->add_net("s");
+      NetId out = nl->add_net("out");
+      LabelId n2 = nl->add_label("N2");
+      nl->add_component("tg", out, netlist::TransGate{d, s, n2});
+      nl->add_input(d);
+      nl->add_input(s);
+      nl->add_output(out, load_ff);
+      nl->finalize();
+      arch.arc_index =
+          find_arc(*nl, cls, cls == ArcClass::kPassData ? d : s);
+      arch.out_rises = cls == ArcClass::kPassData
+                           ? std::vector<bool>{false, true}
+                           : std::vector<bool>{false, true};
+      break;
+    }
+    case ArcClass::kTristateData:
+    case ArcClass::kTristateEnable: {
+      NetId d = nl->add_net("d"), e = nl->add_net("e");
+      NetId out = nl->add_net("out");
+      LabelId n1 = nl->add_label("N1"), p1 = nl->add_label("P1");
+      nl->add_component("ts", out, netlist::Tristate{d, e, n1, p1});
+      nl->add_input(d);
+      nl->add_input(e);
+      nl->add_output(out, load_ff);
+      nl->finalize();
+      arch.arc_index =
+          find_arc(*nl, cls, cls == ArcClass::kTristateData ? d : e);
+      arch.out_rises = {false, true};
+      break;
+    }
+    case ArcClass::kDominoFooted:
+    case ArcClass::kDominoUnfooted:
+    case ArcClass::kDominoClkEval:
+    case ArcClass::kDominoPrecharge: {
+      const bool footed = cls != ArcClass::kDominoUnfooted;
+      NetId clk = nl->add_net("clk", netlist::NetKind::kClock);
+      NetId s = nl->add_net("s"), d = nl->add_net("d");
+      NetId dyn = nl->add_net("dyn");
+      LabelId n1 = nl->add_label("N1"), p1 = nl->add_label("P1");
+      LabelId n2 = footed ? nl->add_label("N2") : -1;
+      nl->add_component(
+          "dg", dyn,
+          DominoGate{Stack::series({Stack::leaf(s, n1), Stack::leaf(d, n1)}),
+                     p1, n2, clk, 0.1});
+      nl->add_input(s);
+      nl->add_input(d);
+      nl->add_output(dyn, load_ff);
+      nl->finalize();
+      if (cls == ArcClass::kDominoClkEval || cls == ArcClass::kDominoPrecharge) {
+        arch.arc_index = find_arc(*nl, cls, clk);
+      } else {
+        arch.arc_index = find_arc(*nl, cls, d);
+      }
+      arch.out_rises =
+          cls == ArcClass::kDominoPrecharge ? std::vector<bool>{true}
+                                            : std::vector<bool>{false};
+      break;
+    }
+    case ArcClass::kCount:
+      SMART_FAIL("invalid arc class");
+  }
+  arch.nl = std::move(nl);
+  return arch;
+}
+
+/// Numeric RC sum of the arc at a concrete sizing, evaluated through the
+/// same posynomial builder the constraint generator uses.
+double rc_numeric(const Netlist& nl, const Arc& arc, bool out_rising,
+                  const Sizing& sizing, const tech::Tech& tech) {
+  LabelVarMap consts;
+  for (size_t i = 0; i < nl.label_count(); ++i)
+    consts.push_back(posy::Monomial(nl.label_width(
+        static_cast<LabelId>(i), sizing)));
+  const posy::Posynomial c_out =
+      net_cap_posy(nl, arc.to, consts, tech);
+  const posy::Posynomial rc =
+      arc_rc_posy(nl, arc, out_rising, c_out, consts, tech);
+  return rc.eval({});
+}
+
+}  // namespace
+
+ModelLibrary calibrate(const tech::Tech& tech, FitReport* report,
+                       const FitOptions& options) {
+  ModelLibrary lib;
+  const refsim::RcTimer timer(tech);
+
+  const std::vector<double> widths = {0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+  const std::vector<double> loads = {2.0, 8.0, 30.0, 90.0};
+  const std::vector<double> slopes = {10.0, 40.0, 100.0, 200.0};
+
+  for (size_t ci = 0; ci < static_cast<size_t>(ArcClass::kCount); ++ci) {
+    const auto cls = static_cast<ArcClass>(ci);
+    std::vector<double> rc_col, slope_col, delay_obs, oslope_obs;
+
+    for (double load : loads) {
+      Archetype arch = make_archetype(cls, load);
+      const Netlist& nl = *arch.nl;
+      const Arc& arc = nl.arcs()[arch.arc_index];
+      for (double w : widths) {
+        Sizing sizing(nl.label_count(), w);
+        // PMOS labels get 2x to stay near balanced drive.
+        for (size_t li = 0; li < nl.label_count(); ++li)
+          if (nl.label(static_cast<LabelId>(li)).name[0] == 'P')
+            sizing[li] = 2.0 * w;
+        for (bool out_rise : arch.out_rises) {
+          const double rc = rc_numeric(nl, arc, out_rise, sizing, tech);
+          for (double s : slopes) {
+            const auto ed =
+                timer.arc_delay(nl, sizing, arc, out_rise, s,
+                                cls == ArcClass::kDominoPrecharge
+                                    ? refsim::Phase::kPrecharge
+                                    : refsim::Phase::kEvaluate);
+            rc_col.push_back(rc);
+            slope_col.push_back(s);
+            delay_obs.push_back(ed.delay_ps);
+            oslope_obs.push_back(ed.out_slope_ps);
+          }
+        }
+      }
+    }
+
+    const size_t n = rc_col.size();
+    auto slope_basis = [&](double s) {
+      return options.saturating_slope_basis ? tech.saturate_slope(s) : s;
+    };
+    util::Matrix basis(n, 3);
+    util::Matrix basis_lin(n, 3);
+    for (size_t r = 0; r < n; ++r) {
+      basis(r, 0) = 1.0;
+      basis(r, 1) = rc_col[r];
+      basis(r, 2) = slope_basis(slope_col[r]);
+      basis_lin(r, 0) = 1.0;
+      basis_lin(r, 1) = rc_col[r];
+      basis_lin(r, 2) = slope_col[r];
+    }
+    const util::Vec fit_d = util::nnls(basis, delay_obs);
+    // Output slope is linear in input slope in the reference timer.
+    const util::Vec fit_s = util::nnls(basis_lin, oslope_obs);
+
+    ModelCoeffs m;
+    m.a_int = fit_d[0];
+    m.a_rc = fit_d[1];
+    m.a_slope = fit_d[2];
+    m.b_int = fit_s[0];
+    m.b_rc = fit_s[1];
+    m.b_slope = fit_s[2];
+    m.saturating_slope = options.saturating_slope_basis;
+    lib.set_coeffs(cls, m);
+
+    if (report) {
+      double se_d = 0.0, se_s = 0.0;
+      for (size_t r = 0; r < n; ++r) {
+        const double pd =
+            m.a_int + m.a_rc * rc_col[r] + m.a_slope * slope_basis(slope_col[r]);
+        const double ps = m.b_int + m.b_rc * rc_col[r] + m.b_slope * slope_col[r];
+        se_d += std::pow((pd - delay_obs[r]) / std::max(delay_obs[r], 1.0), 2);
+        se_s += std::pow((ps - oslope_obs[r]) / std::max(oslope_obs[r], 1.0), 2);
+      }
+      auto& cf = report->per_class[ci];
+      cf.samples = static_cast<int>(n);
+      cf.delay_rms_rel = std::sqrt(se_d / static_cast<double>(n));
+      cf.slope_rms_rel = std::sqrt(se_s / static_cast<double>(n));
+    }
+  }
+  return lib;
+}
+
+const ModelLibrary& default_library() {
+  static const ModelLibrary lib = calibrate(tech::default_tech());
+  return lib;
+}
+
+}  // namespace smart::models

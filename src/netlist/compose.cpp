@@ -1,0 +1,88 @@
+#include "netlist/compose.h"
+
+#include "util/check.h"
+
+namespace smart::netlist {
+
+namespace {
+
+Stack rewrite_stack(const Stack& s, const InstanceMap& map) {
+  if (s.is_leaf()) {
+    return Stack::leaf(map.nets.at(s.input()), map.labels.at(s.label()));
+  }
+  std::vector<Stack> children;
+  children.reserve(s.children().size());
+  for (const auto& c : s.children()) children.push_back(rewrite_stack(c, map));
+  return s.op() == Stack::Op::kSeries ? Stack::series(std::move(children))
+                                      : Stack::parallel(std::move(children));
+}
+
+}  // namespace
+
+InstanceMap instantiate(Netlist& parent, const Netlist& child,
+                        const std::string& prefix,
+                        const std::map<std::string, NetId>& bindings) {
+  SMART_CHECK(!parent.finalized(), "cannot instantiate into a finalized netlist");
+  for (const auto& [name, net] : bindings) {
+    SMART_CHECK(child.find_net(name) >= 0,
+                "binding references unknown child net '" + name + "'");
+    SMART_CHECK(net >= 0 && static_cast<size_t>(net) < parent.net_count(),
+                "binding target out of range for '" + name + "'");
+  }
+
+  InstanceMap map;
+  for (size_t n = 0; n < child.net_count(); ++n) {
+    const auto id = static_cast<NetId>(n);
+    const auto& net = child.net(id);
+    auto bound = bindings.find(net.name);
+    if (bound != bindings.end()) {
+      map.nets[id] = bound->second;
+      continue;
+    }
+    const NetId copy = parent.add_net(prefix + "/" + net.name, net.kind);
+    parent.set_extra_wire(copy, net.extra_wire_ff);
+    map.nets[id] = copy;
+  }
+  for (size_t l = 0; l < child.label_count(); ++l) {
+    const auto id = static_cast<LabelId>(l);
+    const auto& label = child.label(id);
+    const LabelId copy =
+        parent.add_label(prefix + "/" + label.name, label.w_min, label.w_max);
+    if (label.fixed) parent.fix_label(copy, label.fixed_width);
+    map.labels[id] = copy;
+  }
+
+  for (size_t c = 0; c < child.comp_count(); ++c) {
+    const auto& comp = child.comp(static_cast<CompId>(c));
+    const std::string name = prefix + "/" + comp.name;
+    const NetId out = map.nets.at(comp.out);
+    if (const auto* g = comp.as_static()) {
+      parent.add_component(name, out,
+                           StaticGate{rewrite_stack(g->pulldown, map),
+                                      map.labels.at(g->pmos_label)});
+    } else if (const auto* t = comp.as_transgate()) {
+      parent.add_component(name, out,
+                           TransGate{map.nets.at(t->data),
+                                     map.nets.at(t->sel),
+                                     map.labels.at(t->label)});
+    } else if (const auto* t3 = comp.as_tristate()) {
+      parent.add_component(name, out,
+                           Tristate{map.nets.at(t3->data),
+                                    map.nets.at(t3->en),
+                                    map.labels.at(t3->nmos_label),
+                                    map.labels.at(t3->pmos_label)});
+    } else if (const auto* d = comp.as_domino()) {
+      parent.add_component(
+          name, out,
+          DominoGate{rewrite_stack(d->pulldown, map),
+                     map.labels.at(d->precharge_label),
+                     d->evaluate_label >= 0
+                         ? map.labels.at(d->evaluate_label)
+                         : -1,
+                     map.nets.at(d->clk), d->keeper_ratio});
+    }
+  }
+  return map;
+}
+
+}  // namespace smart::netlist

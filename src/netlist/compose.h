@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file compose.h
+/// Hierarchical composition: instantiate one schematic inside another.
+/// The paper's macros are used *in context* — "a few structural changes to
+/// the schematic (e.g., merging in of a few gates of condition logic) may
+/// have to be performed to match RTL" — so the database entries must be
+/// composable: a mux feeding an incrementor sizes as one unit, condition
+/// logic can be merged around a macro, and multi-macro datapaths time
+/// across the boundaries.
+
+#include <map>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace smart::netlist {
+
+/// Result of one instantiation: how the child's nets and labels map into
+/// the parent.
+struct InstanceMap {
+  std::map<NetId, NetId> nets;        ///< child net -> parent net
+  std::map<LabelId, LabelId> labels;  ///< child label -> parent label
+};
+
+/// Copies every net, size label and component of `child` into `parent`.
+///
+/// * Net and label names are prefixed with "<prefix>/".
+/// * `bindings` maps child net *names* to existing parent nets — bound
+///   child nets are not copied, references to them rewire to the parent
+///   net (this is how a child's input port is driven by parent logic and
+///   how its output drives parent logic).
+/// * The child's ports are NOT copied: the parent decides which nets to
+///   re-expose via its own add_input/add_output.
+/// * Child clock nets left unbound are copied as clock nets; binding them
+///   to one parent clock net merges the clock domains.
+///
+/// The child may be finalized or not; the parent must not be finalized.
+InstanceMap instantiate(Netlist& parent, const Netlist& child,
+                        const std::string& prefix,
+                        const std::map<std::string, NetId>& bindings = {});
+
+}  // namespace smart::netlist

@@ -1,0 +1,146 @@
+#include "netlist/flatten.h"
+
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::netlist {
+
+namespace {
+
+using util::strfmt;
+
+class Flattener {
+ public:
+  Flattener(const Netlist& nl, const Sizing& sizing)
+      : nl_(nl), sizing_(sizing) {
+    for (size_t n = 0; n < nl.net_count(); ++n)
+      out_.node_names.push_back(nl.net(static_cast<NetId>(n)).name);
+    out_.vdd = add_node("vdd!");
+    out_.gnd = add_node("gnd!");
+  }
+
+  FlatNetlist run() {
+    for (size_t c = 0; c < nl_.comp_count(); ++c)
+      expand(static_cast<CompId>(c));
+    return std::move(out_);
+  }
+
+ private:
+  int add_node(const std::string& name) {
+    out_.node_names.push_back(name);
+    return static_cast<int>(out_.node_names.size() - 1);
+  }
+
+  double width(LabelId label) const { return nl_.label_width(label, sizing_); }
+
+  void device(const std::string& name, bool pmos, int gate, int drain,
+              int source, double w) {
+    SMART_CHECK(w > 0.0, "flattened device must have positive width: " + name);
+    out_.devices.push_back(FlatDevice{name, pmos, gate, drain, source, w});
+  }
+
+  /// Expands a series/parallel tree between `top` (output side) and
+  /// `bottom` (supply side). `pmos` selects the device type; `fixed_w` < 0
+  /// means per-leaf label widths, otherwise every device gets fixed_w.
+  void expand_stack(const Stack& s, int top, int bottom, bool pmos,
+                    double fixed_w, const std::string& prefix, int& seq) {
+    switch (s.op()) {
+      case Stack::Op::kLeaf: {
+        const double w = fixed_w > 0.0 ? fixed_w : width(s.label());
+        device(strfmt("%s_m%d", prefix.c_str(), seq++), pmos,
+               static_cast<int>(s.input()), top, bottom, w);
+        return;
+      }
+      case Stack::Op::kSeries: {
+        int upper = top;
+        for (size_t i = 0; i < s.children().size(); ++i) {
+          const bool last = i + 1 == s.children().size();
+          const int lower =
+              last ? bottom
+                   : add_node(strfmt("%s_n%d", prefix.c_str(), seq++));
+          expand_stack(s.children()[i], upper, lower, pmos, fixed_w, prefix,
+                       seq);
+          upper = lower;
+        }
+        return;
+      }
+      case Stack::Op::kParallel:
+        for (const auto& c : s.children())
+          expand_stack(c, top, bottom, pmos, fixed_w, prefix, seq);
+        return;
+    }
+  }
+
+  void expand(CompId c) {
+    const Component& comp = nl_.comp(c);
+    const int out = static_cast<int>(comp.out);
+    int seq = 0;
+    if (const auto* g = comp.as_static()) {
+      expand_stack(g->pulldown, out, out_.gnd, false, -1.0,
+                   comp.name + "_pd", seq);
+      expand_stack(g->pulldown.dual(), out, out_.vdd, true,
+                   width(g->pmos_label), comp.name + "_pu", seq);
+    } else if (const auto* t = comp.as_transgate()) {
+      const double w = width(t->label);
+      const double wi = TransGate::kLocalInvRatio * w;
+      const int sel_b = add_node(comp.name + "_selb");
+      device(comp.name + "_mn", false, static_cast<int>(t->sel), out,
+             static_cast<int>(t->data), w);
+      device(comp.name + "_mp", true, sel_b, out, static_cast<int>(t->data),
+             w);
+      device(comp.name + "_invn", false, static_cast<int>(t->sel), sel_b,
+             out_.gnd, wi);
+      device(comp.name + "_invp", true, static_cast<int>(t->sel), sel_b,
+             out_.vdd, wi);
+    } else if (const auto* t3 = comp.as_tristate()) {
+      const double wn = width(t3->nmos_label);
+      const double wp = width(t3->pmos_label);
+      const double wi = Tristate::kLocalInvRatio * wn;
+      const int en_b = add_node(comp.name + "_enb");
+      const int mid_n = add_node(comp.name + "_mn");
+      const int mid_p = add_node(comp.name + "_mp");
+      device(comp.name + "_men", false, static_cast<int>(t3->en), out, mid_n,
+             wn);
+      device(comp.name + "_mdn", false, static_cast<int>(t3->data), mid_n,
+             out_.gnd, wn);
+      device(comp.name + "_mep", true, en_b, out, mid_p, wp);
+      device(comp.name + "_mdp", true, static_cast<int>(t3->data), mid_p,
+             out_.vdd, wp);
+      device(comp.name + "_invn", false, static_cast<int>(t3->en), en_b,
+             out_.gnd, wi);
+      device(comp.name + "_invp", true, static_cast<int>(t3->en), en_b,
+             out_.vdd, Tristate::kLocalInvRatio * wp);
+    } else if (const auto* d = comp.as_domino()) {
+      const double wpre = width(d->precharge_label);
+      device(comp.name + "_pre", true, static_cast<int>(d->clk), out,
+             out_.vdd, wpre);
+      // The keeper holds the dynamic node high; its gate would come from
+      // the output inverter's feedback — modeled as always-on (gnd gate).
+      device(comp.name + "_keep", true, out_.gnd, out, out_.vdd,
+             d->keeper_ratio * wpre);
+      if (d->evaluate_label >= 0) {
+        const int foot = add_node(comp.name + "_foot");
+        expand_stack(d->pulldown, out, foot, false, -1.0, comp.name + "_pd",
+                     seq);
+        device(comp.name + "_eval", false, static_cast<int>(d->clk), foot,
+               out_.gnd, width(d->evaluate_label));
+      } else {
+        expand_stack(d->pulldown, out, out_.gnd, false, -1.0,
+                     comp.name + "_pd", seq);
+      }
+    }
+  }
+
+  const Netlist& nl_;
+  const Sizing& sizing_;
+  FlatNetlist out_;
+};
+
+}  // namespace
+
+FlatNetlist flatten(const Netlist& nl, const Sizing& sizing) {
+  SMART_CHECK(nl.finalized(), "netlist must be finalized");
+  return Flattener(nl, sizing).run();
+}
+
+}  // namespace smart::netlist

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file flatten.h
+/// Device-level expansion of a component netlist: every component becomes
+/// explicit MOS devices with internal stack nodes materialized. Used by the
+/// SPICE exporter and as a cross-check of the width/cap accounting (the
+/// flattened device list must agree with Netlist::device_stats).
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace smart::netlist {
+
+/// One flattened MOS device. Node indices refer to FlatNetlist::node_names
+/// (original nets first, then synthesized internal nodes, then vdd/gnd).
+struct FlatDevice {
+  std::string name;
+  bool is_pmos = false;
+  int gate = -1;
+  int drain = -1;   ///< output-side terminal
+  int source = -1;  ///< supply-side terminal
+  double width_um = 0.0;
+};
+
+struct FlatNetlist {
+  std::vector<std::string> node_names;
+  int vdd = -1;
+  int gnd = -1;
+  std::vector<FlatDevice> devices;
+
+  double total_width() const {
+    double w = 0.0;
+    for (const auto& d : devices) w += d.width_um;
+    return w;
+  }
+};
+
+/// Flattens a finalized netlist at a concrete sizing.
+FlatNetlist flatten(const Netlist& nl, const Sizing& sizing);
+
+}  // namespace smart::netlist

@@ -1,0 +1,287 @@
+#include "netlist/serialize.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+#include "util/strfmt.h"
+
+namespace smart::netlist {
+
+namespace {
+
+using util::strfmt;
+
+// ---------- writer ----------
+
+void write_stack(const Netlist& nl, const Stack& s, std::ostream& out) {
+  switch (s.op()) {
+    case Stack::Op::kLeaf:
+      out << "(l " << nl.net(s.input()).name << " "
+          << nl.label(s.label()).name << ")";
+      return;
+    case Stack::Op::kSeries:
+    case Stack::Op::kParallel:
+      out << (s.op() == Stack::Op::kSeries ? "(s" : "(p");
+      for (const auto& c : s.children()) {
+        out << " ";
+        write_stack(nl, c, out);
+      }
+      out << ")";
+      return;
+  }
+}
+
+// ---------- tokenizer / parser ----------
+
+struct Parser {
+  std::istringstream in;
+  int line_no = 0;
+  std::string line;
+
+  explicit Parser(const std::string& text) : in(text) {}
+
+  bool next_line() {
+    while (std::getline(in, line)) {
+      ++line_no;
+      // strip comments and whitespace-only lines
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line = line.substr(0, hash);
+      if (line.find_first_not_of(" \t\r") != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    SMART_FAIL(strfmt("snl line %d: %s", line_no, msg.c_str()));
+  }
+
+  std::vector<std::string> tokens() const {
+    std::vector<std::string> out;
+    std::string tok;
+    for (char ch : line) {
+      if (ch == '(' || ch == ')') {
+        if (!tok.empty()) {
+          out.push_back(tok);
+          tok.clear();
+        }
+        out.push_back(std::string(1, ch));
+      } else if (ch == ' ' || ch == '\t' || ch == '\r') {
+        if (!tok.empty()) {
+          out.push_back(tok);
+          tok.clear();
+        }
+      } else {
+        tok += ch;
+      }
+    }
+    if (!tok.empty()) out.push_back(tok);
+    return out;
+  }
+};
+
+/// Recursive-descent stack parser over the token stream.
+struct StackParser {
+  const std::vector<std::string>& toks;
+  size_t pos;
+  Parser& parser;
+  const std::map<std::string, NetId>& nets;
+  const std::map<std::string, LabelId>& labels;
+
+  Stack parse() {
+    expect("(");
+    const std::string op = take();
+    if (op == "l") {
+      const std::string net = take();
+      const std::string label = take();
+      expect(")");
+      auto nit = nets.find(net);
+      if (nit == nets.end()) parser.fail("unknown net '" + net + "'");
+      auto lit = labels.find(label);
+      if (lit == labels.end()) parser.fail("unknown label '" + label + "'");
+      return Stack::leaf(nit->second, lit->second);
+    }
+    if (op != "s" && op != "p") parser.fail("expected l/s/p, got '" + op + "'");
+    std::vector<Stack> children;
+    while (peek() == "(") children.push_back(parse());
+    expect(")");
+    if (children.empty()) parser.fail("empty series/parallel group");
+    return op == "s" ? Stack::series(std::move(children))
+                     : Stack::parallel(std::move(children));
+  }
+
+  const std::string& peek() {
+    if (pos >= toks.size()) parser.fail("unexpected end of line in stack");
+    return toks[pos];
+  }
+  std::string take() {
+    const std::string t = peek();
+    ++pos;
+    return t;
+  }
+  void expect(const std::string& want) {
+    const std::string got = take();
+    if (got != want)
+      parser.fail("expected '" + want + "', got '" + got + "'");
+  }
+};
+
+}  // namespace
+
+std::string to_text(const Netlist& nl) {
+  std::ostringstream out;
+  out << "netlist " << nl.name() << "\n";
+  for (size_t n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(static_cast<NetId>(n));
+    out << "net " << net.name << " "
+        << (net.kind == NetKind::kClock ? "clock" : "signal");
+    if (net.extra_wire_ff > 0.0) out << strfmt(" wire %g", net.extra_wire_ff);
+    out << "\n";
+  }
+  for (size_t l = 0; l < nl.label_count(); ++l) {
+    const auto& label = nl.label(static_cast<LabelId>(l));
+    if (label.fixed) {
+      out << strfmt("label %s fixed %g\n", label.name.c_str(),
+                    label.fixed_width);
+    } else {
+      out << strfmt("label %s %g %g\n", label.name.c_str(), label.w_min,
+                    label.w_max);
+    }
+  }
+  for (size_t c = 0; c < nl.comp_count(); ++c) {
+    const auto& comp = nl.comp(static_cast<CompId>(c));
+    if (const auto* g = comp.as_static()) {
+      out << "static " << comp.name << " " << nl.net(comp.out).name << " ";
+      write_stack(nl, g->pulldown, out);
+      out << " " << nl.label(g->pmos_label).name << "\n";
+    } else if (const auto* t = comp.as_transgate()) {
+      out << "trans " << comp.name << " " << nl.net(comp.out).name << " "
+          << nl.net(t->data).name << " " << nl.net(t->sel).name << " "
+          << nl.label(t->label).name << "\n";
+    } else if (const auto* t3 = comp.as_tristate()) {
+      out << "tristate " << comp.name << " " << nl.net(comp.out).name << " "
+          << nl.net(t3->data).name << " " << nl.net(t3->en).name << " "
+          << nl.label(t3->nmos_label).name << " "
+          << nl.label(t3->pmos_label).name << "\n";
+    } else if (const auto* d = comp.as_domino()) {
+      out << "domino " << comp.name << " " << nl.net(comp.out).name << " ";
+      write_stack(nl, d->pulldown, out);
+      out << " " << nl.label(d->precharge_label).name << " "
+          << (d->evaluate_label >= 0 ? nl.label(d->evaluate_label).name
+                                     : std::string("-"))
+          << " " << nl.net(d->clk).name << " " << strfmt("%g", d->keeper_ratio)
+          << "\n";
+    }
+  }
+  for (const auto& p : nl.inputs()) {
+    out << strfmt("input %s %g %g\n", nl.net(p.net).name.c_str(),
+                  p.arrival_ps, p.slope_ps);
+  }
+  for (const auto& p : nl.outputs()) {
+    out << strfmt("output %s %g\n", nl.net(p.net).name.c_str(), p.load_ff);
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Netlist from_text(const std::string& text) {
+  Parser parser(text);
+  SMART_CHECK(parser.next_line(), "empty snl input");
+  auto head = parser.tokens();
+  if (head.size() != 2 || head[0] != "netlist")
+    parser.fail("expected 'netlist <name>'");
+
+  Netlist nl(head[1]);
+  std::map<std::string, NetId> nets;
+  std::map<std::string, LabelId> labels;
+  bool ended = false;
+
+  auto net_of = [&](const std::string& name) {
+    auto it = nets.find(name);
+    if (it == nets.end()) parser.fail("unknown net '" + name + "'");
+    return it->second;
+  };
+  auto label_of = [&](const std::string& name) {
+    auto it = labels.find(name);
+    if (it == labels.end()) parser.fail("unknown label '" + name + "'");
+    return it->second;
+  };
+
+  while (parser.next_line()) {
+    const auto toks = parser.tokens();
+    const std::string& kind = toks[0];
+    if (kind == "end") {
+      ended = true;
+      break;
+    }
+    if (kind == "net") {
+      if (toks.size() != 3 && !(toks.size() == 5 && toks[3] == "wire"))
+        parser.fail("net <name> <signal|clock> [wire <fF>]");
+      if (nets.count(toks[1])) parser.fail("duplicate net '" + toks[1] + "'");
+      const NetId id = nl.add_net(
+          toks[1], toks[2] == "clock" ? NetKind::kClock : NetKind::kSignal);
+      if (toks.size() == 5) nl.set_extra_wire(id, std::atof(toks[4].c_str()));
+      nets[toks[1]] = id;
+    } else if (kind == "label") {
+      if (toks.size() != 4) parser.fail("label <name> <min max | fixed w>");
+      if (labels.count(toks[1]))
+        parser.fail("duplicate label '" + toks[1] + "'");
+      if (toks[2] == "fixed") {
+        const LabelId id = nl.add_label(toks[1]);
+        nl.fix_label(id, std::atof(toks[3].c_str()));
+        labels[toks[1]] = id;
+      } else {
+        labels[toks[1]] = nl.add_label(toks[1], std::atof(toks[2].c_str()),
+                                       std::atof(toks[3].c_str()));
+      }
+    } else if (kind == "static") {
+      if (toks.size() < 5) parser.fail("static <name> <out> <stack> <pmos>");
+      StackParser sp{toks, 3, parser, nets, labels};
+      Stack pd = sp.parse();
+      if (sp.pos + 1 != toks.size()) parser.fail("trailing tokens");
+      nl.add_component(toks[1], net_of(toks[2]),
+                       StaticGate{std::move(pd), label_of(toks[sp.pos])});
+    } else if (kind == "trans") {
+      if (toks.size() != 6)
+        parser.fail("trans <name> <out> <data> <sel> <label>");
+      nl.add_component(toks[1], net_of(toks[2]),
+                       TransGate{net_of(toks[3]), net_of(toks[4]),
+                                 label_of(toks[5])});
+    } else if (kind == "tristate") {
+      if (toks.size() != 7)
+        parser.fail("tristate <name> <out> <data> <en> <nmos> <pmos>");
+      nl.add_component(toks[1], net_of(toks[2]),
+                       Tristate{net_of(toks[3]), net_of(toks[4]),
+                                label_of(toks[5]), label_of(toks[6])});
+    } else if (kind == "domino") {
+      if (toks.size() < 8)
+        parser.fail(
+            "domino <name> <out> <stack> <pre> <foot|-> <clk> <keeper>");
+      StackParser sp{toks, 3, parser, nets, labels};
+      Stack pd = sp.parse();
+      if (sp.pos + 4 != toks.size()) parser.fail("trailing tokens");
+      const LabelId pre = label_of(toks[sp.pos]);
+      const LabelId foot =
+          toks[sp.pos + 1] == "-" ? -1 : label_of(toks[sp.pos + 1]);
+      const NetId clk = net_of(toks[sp.pos + 2]);
+      const double keeper = std::atof(toks[sp.pos + 3].c_str());
+      nl.add_component(toks[1], net_of(toks[2]),
+                       DominoGate{std::move(pd), pre, foot, clk, keeper});
+    } else if (kind == "input") {
+      if (toks.size() != 4) parser.fail("input <net> <arrival> <slope>");
+      nl.add_input(net_of(toks[1]), std::atof(toks[2].c_str()),
+                   std::atof(toks[3].c_str()));
+    } else if (kind == "output") {
+      if (toks.size() != 3) parser.fail("output <net> <load>");
+      nl.add_output(net_of(toks[1]), std::atof(toks[2].c_str()));
+    } else {
+      parser.fail("unknown statement '" + kind + "'");
+    }
+  }
+  SMART_CHECK(ended, "snl input missing 'end'");
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace smart::netlist

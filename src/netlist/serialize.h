@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file serialize.h
+/// Text serialization of macro schematics (the ".snl" format). The paper's
+/// design database persists designer-authored topologies between projects;
+/// this format is how a SMART database lives on disk and how schematics
+/// are reviewed in code review. Round-trips everything: nets (with kinds),
+/// size labels (bounds / fixed widths), all four component kinds with full
+/// stack expressions, and ports.
+///
+/// Example:
+///
+///   netlist mux2
+///   net a signal
+///   net clk clock
+///   label N1 0.3 200
+///   label P1 fixed 3.0
+///   static g1 out (s (l a N1) (p (l b N1) (l c N1))) P1
+///   trans t1 out2 a sel N1
+///   domino d1 dyn (l a N1) P1 N2 clk 0.1
+///   input a 0 30
+///   output out 15
+///   end
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace smart::netlist {
+
+/// Serializes a netlist (finalized or not) to the .snl text form.
+std::string to_text(const Netlist& nl);
+
+/// Parses the .snl text form; the returned netlist is finalized.
+/// Throws util::Error with a line number on malformed input.
+Netlist from_text(const std::string& text);
+
+}  // namespace smart::netlist

@@ -1,0 +1,127 @@
+#include "netlist/stack.h"
+
+#include <algorithm>
+
+namespace smart::netlist {
+
+Stack Stack::combine(Op op, std::vector<Stack> children) {
+  SMART_CHECK(!children.empty(), "series/parallel needs children");
+  if (children.size() == 1) return std::move(children.front());
+  Stack s;
+  s.op_ = op;
+  // Flatten nested same-op nodes so depth reflects devices, not tree shape.
+  for (auto& c : children) {
+    if (c.op_ == op) {
+      for (auto& gc : c.children_) s.children_.push_back(std::move(gc));
+    } else {
+      s.children_.push_back(std::move(c));
+    }
+  }
+  return s;
+}
+
+int Stack::device_count() const {
+  if (is_leaf()) return 1;
+  int n = 0;
+  for (const auto& c : children_) n += c.device_count();
+  return n;
+}
+
+int Stack::max_depth() const {
+  switch (op_) {
+    case Op::kLeaf:
+      return 1;
+    case Op::kSeries: {
+      int d = 0;
+      for (const auto& c : children_) d += c.max_depth();
+      return d;
+    }
+    case Op::kParallel: {
+      int d = 0;
+      for (const auto& c : children_) d = std::max(d, c.max_depth());
+      return d;
+    }
+  }
+  return 0;
+}
+
+void Stack::collect_leaves(
+    std::vector<std::pair<NetId, LabelId>>& out) const {
+  if (is_leaf()) {
+    out.emplace_back(input_, label_);
+    return;
+  }
+  for (const auto& c : children_) c.collect_leaves(out);
+}
+
+bool Stack::worst_path_through(
+    NetId through_input, std::vector<std::pair<NetId, LabelId>>& path) const {
+  switch (op_) {
+    case Op::kLeaf:
+      if (input_ == through_input) {
+        path.emplace_back(input_, label_);
+        return true;
+      }
+      return false;
+    case Op::kSeries: {
+      // The target must be found in exactly one child; the others contribute
+      // their own worst (deepest) sub-path since all are in series.
+      size_t found_at = children_.size();
+      std::vector<std::pair<NetId, LabelId>> found_path;
+      for (size_t i = 0; i < children_.size(); ++i) {
+        std::vector<std::pair<NetId, LabelId>> sub;
+        if (children_[i].worst_path_through(through_input, sub)) {
+          found_at = i;
+          found_path = std::move(sub);
+          break;
+        }
+      }
+      if (found_at == children_.size()) return false;
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i == found_at) {
+          path.insert(path.end(), found_path.begin(), found_path.end());
+        } else {
+          children_[i].append_worst_path(path);
+        }
+      }
+      return true;
+    }
+    case Op::kParallel: {
+      for (const auto& c : children_) {
+        if (c.worst_path_through(through_input, path)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void Stack::append_worst_path(
+    std::vector<std::pair<NetId, LabelId>>& out) const {
+  switch (op_) {
+    case Op::kLeaf:
+      out.emplace_back(input_, label_);
+      return;
+    case Op::kSeries:
+      for (const auto& c : children_) c.append_worst_path(out);
+      return;
+    case Op::kParallel: {
+      const Stack* deepest = &children_.front();
+      for (const auto& c : children_)
+        if (c.max_depth() > deepest->max_depth()) deepest = &c;
+      deepest->append_worst_path(out);
+      return;
+    }
+  }
+}
+
+Stack Stack::dual() const {
+  if (is_leaf()) return *this;
+  std::vector<Stack> duals;
+  duals.reserve(children_.size());
+  for (const auto& c : children_) duals.push_back(c.dual());
+  return op_ == Op::kSeries ? parallel(std::move(duals))
+                            : series(std::move(duals));
+}
+
+}  // namespace smart::netlist

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file stack.h
+/// Series/parallel transistor network trees ("stacks"). A pull-down network
+/// of a static or domino gate is described as a tree whose leaves are
+/// (input net, size label) devices. The pull-up of a static CMOS gate is the
+/// structural dual of its pull-down tree.
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace smart::netlist {
+
+/// Index of a net inside a Netlist.
+using NetId = int;
+/// Index of a transistor size label (shared width variable) in a Netlist.
+using LabelId = int;
+
+/// Series/parallel network of transistors; leaves carry an input net and the
+/// size label of the device gated by that net.
+class Stack {
+ public:
+  enum class Op { kLeaf, kSeries, kParallel };
+
+  static Stack leaf(NetId input, LabelId label) {
+    SMART_CHECK(input >= 0, "stack leaf needs a valid input net");
+    SMART_CHECK(label >= 0, "stack leaf needs a valid size label");
+    Stack s;
+    s.op_ = Op::kLeaf;
+    s.input_ = input;
+    s.label_ = label;
+    return s;
+  }
+
+  static Stack series(std::vector<Stack> children) {
+    return combine(Op::kSeries, std::move(children));
+  }
+
+  static Stack parallel(std::vector<Stack> children) {
+    return combine(Op::kParallel, std::move(children));
+  }
+
+  Op op() const { return op_; }
+  bool is_leaf() const { return op_ == Op::kLeaf; }
+  NetId input() const {
+    SMART_CHECK(is_leaf(), "input() on non-leaf stack node");
+    return input_;
+  }
+  LabelId label() const {
+    SMART_CHECK(is_leaf(), "label() on non-leaf stack node");
+    return label_;
+  }
+  const std::vector<Stack>& children() const { return children_; }
+
+  /// Number of transistors in the network.
+  int device_count() const;
+
+  /// Longest series chain of devices from top to bottom (stack depth) —
+  /// determines the worst-case pull resistance multiplier.
+  int max_depth() const;
+
+  /// Collects (input net, label) of every leaf in DFS order.
+  void collect_leaves(std::vector<std::pair<NetId, LabelId>>& out) const;
+
+  /// Leaves on the worst (deepest-series) conducting path that includes the
+  /// leaf for `through_input`; used for per-pin Elmore resistance. Returns
+  /// false if `through_input` does not appear in this network.
+  bool worst_path_through(NetId through_input,
+                          std::vector<std::pair<NetId, LabelId>>& path) const;
+
+  /// Returns the structural dual (series <-> parallel) with the same leaves.
+  Stack dual() const;
+
+  /// Leaves on the deepest series path (worst-case resistance path).
+  std::vector<std::pair<NetId, LabelId>> worst_path() const {
+    std::vector<std::pair<NetId, LabelId>> out;
+    append_worst_path(out);
+    return out;
+  }
+
+ private:
+  static Stack combine(Op op, std::vector<Stack> children);
+
+  /// Appends this subtree's deepest series path (worst resistance) to out.
+  void append_worst_path(std::vector<std::pair<NetId, LabelId>>& out) const;
+
+  Op op_ = Op::kLeaf;
+  NetId input_ = -1;
+  LabelId label_ = -1;
+  std::vector<Stack> children_;
+};
+
+}  // namespace smart::netlist

@@ -1,0 +1,74 @@
+#include "posy/monomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace smart::posy {
+
+Monomial Monomial::variable(VarId v, double e) {
+  Monomial m;
+  m.mul_var(v, e);
+  return m;
+}
+
+Monomial& Monomial::mul_var(VarId v, double e) {
+  SMART_CHECK(v >= 0, "invalid variable id");
+  if (e == 0.0) return *this;
+  auto it = std::lower_bound(
+      factors_.begin(), factors_.end(), v,
+      [](const ExpFactor& f, VarId id) { return f.var < id; });
+  if (it != factors_.end() && it->var == v) {
+    it->exp += e;
+    if (it->exp == 0.0) factors_.erase(it);
+  } else {
+    factors_.insert(it, ExpFactor{v, e});
+  }
+  return *this;
+}
+
+Monomial& Monomial::operator*=(const Monomial& rhs) {
+  coeff_ *= rhs.coeff_;
+  for (const auto& f : rhs.factors_) mul_var(f.var, f.exp);
+  return *this;
+}
+
+Monomial Monomial::pow(double e) const {
+  SMART_CHECK(coeff_ > 0.0, "pow requires positive coefficient");
+  Monomial out(std::pow(coeff_, e));
+  if (e != 0.0) {
+    out.factors_ = factors_;
+    for (auto& f : out.factors_) f.exp *= e;
+  }
+  return out;
+}
+
+double Monomial::eval(const util::Vec& x) const {
+  double v = coeff_;
+  for (const auto& f : factors_) {
+    const double xv = x.at(static_cast<size_t>(f.var));
+    v *= std::pow(xv, f.exp);
+  }
+  return v;
+}
+
+double Monomial::eval_log(const util::Vec& y) const {
+  SMART_CHECK(coeff_ > 0.0, "eval_log requires positive coefficient");
+  double v = std::log(coeff_);
+  for (const auto& f : factors_) v += f.exp * y.at(static_cast<size_t>(f.var));
+  return v;
+}
+
+std::string Monomial::to_string(const VarTable& vars) const {
+  std::ostringstream out;
+  out << coeff_;
+  for (const auto& f : factors_) {
+    out << "*" << vars.name(f.var);
+    if (f.exp != 1.0) out << "^" << f.exp;
+  }
+  return out.str();
+}
+
+}  // namespace smart::posy

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file monomial.h
+/// Monomial c * prod_i x_i^{a_i} with c > 0 and real exponents — the atom of
+/// geometric programming (paper §5: posynomial component models).
+
+#include <string>
+#include <vector>
+
+#include "posy/variable.h"
+#include "util/linalg.h"
+
+namespace smart::posy {
+
+/// One (variable, exponent) factor of a monomial.
+struct ExpFactor {
+  VarId var = -1;
+  double exp = 0.0;
+
+  friend bool operator==(const ExpFactor&, const ExpFactor&) = default;
+};
+
+/// Monomial with positive coefficient. Exponent factors are kept sorted by
+/// variable id with zero exponents removed, so structural equality of the
+/// factor vectors means mathematical equality of the variable parts.
+class Monomial {
+ public:
+  /// The constant monomial 1.
+  Monomial() = default;
+
+  /// Constant monomial c (c > 0 required; c == 0 is representable so that
+  /// posynomial arithmetic can drop it, but it never reaches the solver).
+  explicit Monomial(double coeff) : coeff_(coeff) {}
+
+  /// The monomial x_v^e.
+  static Monomial variable(VarId v, double e = 1.0);
+
+  double coeff() const { return coeff_; }
+  void set_coeff(double c) { coeff_ = c; }
+  const std::vector<ExpFactor>& factors() const { return factors_; }
+
+  bool is_constant() const { return factors_.empty(); }
+  /// True when the variable part matches (coefficients may differ).
+  bool same_variables(const Monomial& other) const {
+    return factors_ == other.factors_;
+  }
+
+  /// Multiplies in x_v^e.
+  Monomial& mul_var(VarId v, double e);
+
+  Monomial& operator*=(const Monomial& rhs);
+  friend Monomial operator*(Monomial lhs, const Monomial& rhs) {
+    lhs *= rhs;
+    return lhs;
+  }
+  Monomial& operator*=(double s) {
+    coeff_ *= s;
+    return *this;
+  }
+  friend Monomial operator*(Monomial lhs, double s) {
+    lhs *= s;
+    return lhs;
+  }
+  friend Monomial operator*(double s, Monomial rhs) {
+    rhs *= s;
+    return rhs;
+  }
+
+  /// Raises the monomial to a real power (coefficient must be > 0).
+  Monomial pow(double e) const;
+
+  /// Returns 1 / m.
+  Monomial inverse() const { return pow(-1.0); }
+
+  /// Evaluates at x (values of all variables, indexed by VarId).
+  double eval(const util::Vec& x) const;
+
+  /// Evaluates log(m) at y = log x; requires coeff > 0.
+  double eval_log(const util::Vec& y) const;
+
+  /// Human-readable form, e.g. "2.5*Wp^-1*Cl".
+  std::string to_string(const VarTable& vars) const;
+
+ private:
+  double coeff_ = 1.0;
+  std::vector<ExpFactor> factors_;
+};
+
+}  // namespace smart::posy

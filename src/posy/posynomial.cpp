@@ -1,0 +1,119 @@
+#include "posy/posynomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace smart::posy {
+
+Posynomial::Posynomial(double c) {
+  SMART_CHECK(c >= 0.0, "posynomial constant must be non-negative");
+  if (c > 0.0) terms_.push_back(Monomial(c));
+}
+
+Posynomial::Posynomial(const Monomial& m) { add_term(m); }
+
+const Monomial& Posynomial::as_monomial() const {
+  SMART_CHECK(terms_.size() == 1, "posynomial is not a single monomial");
+  return terms_.front();
+}
+
+bool Posynomial::is_constant() const {
+  return terms_.empty() || (terms_.size() == 1 && terms_[0].is_constant());
+}
+
+double Posynomial::constant_value() const {
+  SMART_CHECK(is_constant(), "posynomial is not constant");
+  return terms_.empty() ? 0.0 : terms_[0].coeff();
+}
+
+void Posynomial::add_term(const Monomial& m) {
+  SMART_CHECK(m.coeff() >= 0.0, "posynomial terms need non-negative coeffs");
+  if (m.coeff() == 0.0) return;
+  for (auto& t : terms_) {
+    if (t.same_variables(m)) {
+      t.set_coeff(t.coeff() + m.coeff());
+      return;
+    }
+  }
+  terms_.push_back(m);
+}
+
+Posynomial& Posynomial::operator+=(const Posynomial& rhs) {
+  // Self-addition is safe because add_term only grows terms_ and we copy
+  // rhs terms by value when &rhs == this.
+  if (&rhs == this) {
+    *this *= 2.0;
+    return *this;
+  }
+  for (const auto& t : rhs.terms_) add_term(t);
+  return *this;
+}
+
+Posynomial& Posynomial::operator+=(const Monomial& m) {
+  add_term(m);
+  return *this;
+}
+
+Posynomial& Posynomial::operator*=(const Monomial& m) {
+  if (m.coeff() == 0.0) {
+    terms_.clear();
+    return *this;
+  }
+  for (auto& t : terms_) t *= m;
+  return *this;
+}
+
+Posynomial& Posynomial::operator*=(double s) {
+  SMART_CHECK(s >= 0.0, "posynomial scaling must be non-negative");
+  if (s == 0.0) {
+    terms_.clear();
+    return *this;
+  }
+  for (auto& t : terms_) t *= s;
+  return *this;
+}
+
+Posynomial& Posynomial::operator*=(const Posynomial& rhs) {
+  const std::vector<Monomial> lhs_terms = std::move(terms_);
+  const std::vector<Monomial> rhs_terms =
+      (&rhs == this) ? lhs_terms : rhs.terms_;
+  terms_.clear();
+  for (const auto& a : lhs_terms)
+    for (const auto& b : rhs_terms) add_term(a * b);
+  return *this;
+}
+
+double Posynomial::eval(const util::Vec& x) const {
+  double v = 0.0;
+  for (const auto& t : terms_) v += t.eval(x);
+  return v;
+}
+
+double Posynomial::eval_log(const util::Vec& y) const {
+  SMART_CHECK(!terms_.empty(), "eval_log of zero posynomial");
+  // Numerically stable log-sum-exp.
+  double zmax = -1e300;
+  std::vector<double> z(terms_.size());
+  for (size_t k = 0; k < terms_.size(); ++k) {
+    z[k] = terms_[k].eval_log(y);
+    zmax = std::max(zmax, z[k]);
+  }
+  double acc = 0.0;
+  for (double zk : z) acc += std::exp(zk - zmax);
+  return zmax + std::log(acc);
+}
+
+std::string Posynomial::to_string(const VarTable& vars) const {
+  if (terms_.empty()) return "0";
+  std::ostringstream out;
+  for (size_t k = 0; k < terms_.size(); ++k) {
+    if (k) out << " + ";
+    out << terms_[k].to_string(vars);
+  }
+  return out.str();
+}
+
+}  // namespace smart::posy

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file posynomial.h
+/// Posynomial (sum of positive-coefficient monomials). SMART's delay, slope,
+/// load, and noise constraints are all posynomial (paper §5.1), which makes
+/// the sizing problem a geometric program.
+
+#include <string>
+#include <vector>
+
+#include "posy/monomial.h"
+
+namespace smart::posy {
+
+/// Sum of monomials with positive coefficients. The empty posynomial is 0
+/// (allowed during construction; the GP layer rejects it in constraints).
+/// Terms with equal variable parts are merged on every mutation, so term
+/// count reflects distinct monomial shapes.
+class Posynomial {
+ public:
+  Posynomial() = default;
+
+  /// Constant posynomial (c >= 0; c == 0 gives the zero posynomial).
+  explicit Posynomial(double c);
+
+  /// Posynomial with a single monomial term (coeff 0 gives zero posynomial).
+  Posynomial(const Monomial& m);  // NOLINT(google-explicit-constructor)
+
+  static Posynomial variable(VarId v, double e = 1.0) {
+    return Posynomial(Monomial::variable(v, e));
+  }
+
+  const std::vector<Monomial>& terms() const { return terms_; }
+  size_t num_terms() const { return terms_.size(); }
+  bool is_zero() const { return terms_.empty(); }
+  bool is_monomial() const { return terms_.size() == 1; }
+  /// Returns the single term; requires is_monomial().
+  const Monomial& as_monomial() const;
+  /// True when the posynomial is a single constant term (or zero).
+  bool is_constant() const;
+  /// Value of a constant posynomial.
+  double constant_value() const;
+
+  Posynomial& operator+=(const Posynomial& rhs);
+  Posynomial& operator+=(const Monomial& m);
+  Posynomial& operator+=(double c) { return *this += Monomial(c); }
+  Posynomial& operator*=(const Monomial& m);
+  Posynomial& operator*=(double s);
+  /// Full posynomial product (term count multiplies; used sparingly).
+  Posynomial& operator*=(const Posynomial& rhs);
+  /// Divides by a monomial (the only division closed over posynomials).
+  Posynomial& operator/=(const Monomial& m) { return *this *= m.inverse(); }
+
+  friend Posynomial operator+(Posynomial a, const Posynomial& b) {
+    a += b;
+    return a;
+  }
+  friend Posynomial operator*(Posynomial a, const Monomial& m) {
+    a *= m;
+    return a;
+  }
+  friend Posynomial operator*(Posynomial a, double s) {
+    a *= s;
+    return a;
+  }
+  friend Posynomial operator*(double s, Posynomial a) {
+    a *= s;
+    return a;
+  }
+  friend Posynomial operator*(Posynomial a, const Posynomial& b) {
+    a *= b;
+    return a;
+  }
+  friend Posynomial operator/(Posynomial a, const Monomial& m) {
+    a /= m;
+    return a;
+  }
+
+  double eval(const util::Vec& x) const;
+
+  /// log(p(exp(y))) — the convex log-sum-exp form used by the solver.
+  double eval_log(const util::Vec& y) const;
+
+  std::string to_string(const VarTable& vars) const;
+
+ private:
+  void add_term(const Monomial& m);
+
+  std::vector<Monomial> terms_;
+};
+
+}  // namespace smart::posy

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file variable.h
+/// Optimization-variable registry. Each transistor size label in a macro
+/// schematic maps to one positive variable; the table owns the id -> name
+/// mapping and box bounds used by the GP solver.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace smart::posy {
+
+/// Index of an optimization variable inside a VarTable.
+using VarId = int;
+
+/// Per-variable data: name plus positive box bounds (lo <= x <= hi).
+struct VarInfo {
+  std::string name;
+  double lower = 1e-3;
+  double upper = 1e6;
+};
+
+/// Registry of named positive variables.
+class VarTable {
+ public:
+  /// Adds a variable with a unique name; returns its id.
+  VarId add(const std::string& name, double lower = 1e-3,
+            double upper = 1e6) {
+    SMART_CHECK(by_name_.find(name) == by_name_.end(),
+                "duplicate variable name: " + name);
+    SMART_CHECK(lower > 0.0 && upper >= lower,
+                "variable bounds must satisfy 0 < lower <= upper: " + name);
+    const VarId id = static_cast<VarId>(vars_.size());
+    vars_.push_back(VarInfo{name, lower, upper});
+    by_name_.emplace(name, id);
+    return id;
+  }
+
+  /// Returns the id for a name, or -1 if absent.
+  VarId find(const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? -1 : it->second;
+  }
+
+  size_t size() const { return vars_.size(); }
+  const VarInfo& info(VarId id) const { return vars_.at(static_cast<size_t>(id)); }
+  const std::string& name(VarId id) const { return info(id).name; }
+
+  void set_bounds(VarId id, double lower, double upper) {
+    SMART_CHECK(lower > 0.0 && upper >= lower, "invalid bounds");
+    vars_.at(static_cast<size_t>(id)).lower = lower;
+    vars_.at(static_cast<size_t>(id)).upper = upper;
+  }
+
+ private:
+  std::vector<VarInfo> vars_;
+  std::unordered_map<std::string, VarId> by_name_;
+};
+
+}  // namespace smart::posy

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file critical_path.h
+/// Critical-path extraction and reporting on top of the reference timer —
+/// the "where did my delay go" view a designer reads after each sizing run
+/// (the role PathMill's path reports played in the paper's flow).
+
+#include <string>
+#include <vector>
+
+#include "refsim/rc_timer.h"
+
+namespace smart::refsim {
+
+/// One hop of the critical path.
+struct CriticalStep {
+  netlist::Arc arc;
+  bool in_rise = false;
+  bool out_rise = false;
+  double arrival_ps = 0.0;  ///< arrival at the destination net
+  double delay_ps = 0.0;    ///< this arc's contribution
+  double slope_ps = 0.0;    ///< output slope of the transition
+  double cap_ff = 0.0;      ///< load the arc drives
+};
+
+struct CriticalPath {
+  netlist::NetId start = -1;
+  bool start_rise = false;
+  netlist::NetId end = -1;
+  double arrival_ps = 0.0;
+  std::vector<CriticalStep> steps;
+};
+
+/// Traces the worst evaluate-phase path to the latest macro output by
+/// backtracking the reference timer's arrival times.
+CriticalPath critical_path(const netlist::Netlist& nl,
+                           const netlist::Sizing& sizing,
+                           const tech::Tech& tech);
+
+/// Renders a per-stage text report of the critical path.
+std::string describe_critical_path(const netlist::Netlist& nl,
+                                   const CriticalPath& path);
+
+}  // namespace smart::refsim

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file slack.h
+/// Required-time / slack analysis over the reference timer: back-propagate
+/// output deadlines against the forward arrival times, yielding per-net,
+/// per-edge slack — the designer's view of *where* a spec is failing and
+/// how much margin the rest of the macro has.
+
+#include <vector>
+
+#include "refsim/rc_timer.h"
+
+namespace smart::refsim {
+
+/// Per-net slack (ps). An entry is +inf when the transition never occurs
+/// or no deadline reaches it (e.g. dead logic).
+struct SlackReport {
+  std::vector<double> slack_rise;
+  std::vector<double> slack_fall;
+  double worst_slack = 0.0;
+  netlist::NetId worst_net = -1;
+  bool worst_is_rise = false;
+
+  /// Worst of the two edges at one net.
+  double at(netlist::NetId n) const {
+    return std::min(slack_rise.at(static_cast<size_t>(n)),
+                    slack_fall.at(static_cast<size_t>(n)));
+  }
+};
+
+/// Computes evaluate-phase slack against a uniform output deadline, or
+/// per-output deadlines aligned with Netlist::outputs() (entries <= 0 fall
+/// back to the uniform value).
+SlackReport compute_slack(const netlist::Netlist& nl,
+                          const netlist::Sizing& sizing,
+                          const tech::Tech& tech, double required_ps,
+                          const std::vector<double>& per_output = {});
+
+}  // namespace smart::refsim

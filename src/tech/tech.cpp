@@ -1,0 +1,10 @@
+#include "tech/tech.h"
+
+namespace smart::tech {
+
+const Tech& default_tech() {
+  static const Tech tech{};
+  return tech;
+}
+
+}  // namespace smart::tech

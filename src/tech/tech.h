@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file tech.h
+/// Synthetic 180 nm-class technology parameters. The paper used an Intel
+/// in-house process; all its results are normalized, so any self-consistent
+/// parameter set exercises the same optimization behaviour (see DESIGN.md
+/// substitution table). Units: width in um, capacitance in fF, resistance in
+/// kOhm, time in ps, voltage in V.
+
+namespace smart::tech {
+
+/// Process corner: device strength / capacitance variation envelope.
+enum class Corner { kTypical, kFast, kSlow };
+
+/// Process/device parameters shared by the reference timer, the posynomial
+/// model fitter and the power estimator.
+struct Tech {
+  // Per-square channel resistance of a 1 um wide device (kOhm * um).
+  double r_nmos = 2.0;   ///< NMOS effective drive resistance * width
+  double r_pmos = 4.0;   ///< PMOS is ~2x weaker per width
+
+  // Capacitance per um of device width (fF / um).
+  double c_gate = 1.0;  ///< gate capacitance
+  double c_diff = 0.5;  ///< source/drain diffusion capacitance
+
+  // Fixed wiring capacitance added to every internal net (fF).
+  double c_wire = 0.5;
+  // Additional wire cap per fanout connection, models short branch wiring.
+  double c_wire_per_fanout = 0.1;
+
+  double vdd = 1.8;        ///< supply voltage (V)
+  double w_min = 0.3;      ///< minimum transistor width (um)
+  double w_max = 200.0;    ///< maximum transistor width (um)
+
+  // Slope (10-90 transition time) handling.
+  double slope_to_delay = 0.28;  ///< delay contribution per ps of input slope
+  double slope_sat = 90.0;      ///< slope effect saturation constant (ps)
+
+  double elmore_ln2 = 0.69;   ///< 50% point of a single RC
+  double slope_factor = 2.2;  ///< 10-90 slope of a single RC
+
+  /// Default input slope assumed at macro boundaries (ps).
+  double default_input_slope = 30.0;
+  /// Default clock frequency for power numbers (GHz).
+  double clock_ghz = 1.0;
+
+  /// Drive resistance * width for a device type (kOhm * um).
+  double r_device(bool is_pmos) const { return is_pmos ? r_pmos : r_nmos; }
+
+  /// The saturating slope transform used by the reference timer's delay
+  /// model: effective_slope(s) = s / (1 + s / slope_sat).
+  double saturate_slope(double s) const { return s / (1.0 + s / slope_sat); }
+
+  /// This technology shifted to a process corner: slow silicon has weaker
+  /// devices (higher R) and heavier parasitics; fast silicon the reverse.
+  /// High-performance sizing is done at the slow corner and checked
+  /// everywhere.
+  Tech at_corner(Corner corner) const {
+    Tech t = *this;
+    const double r = corner == Corner::kSlow   ? 1.20
+                     : corner == Corner::kFast ? 0.85
+                                               : 1.0;
+    const double c = corner == Corner::kSlow   ? 1.08
+                     : corner == Corner::kFast ? 0.94
+                                               : 1.0;
+    t.r_nmos *= r;
+    t.r_pmos *= r;
+    t.c_gate *= c;
+    t.c_diff *= c;
+    t.c_wire *= c;
+    t.c_wire_per_fanout *= c;
+    return t;
+  }
+};
+
+/// The default technology used across tests, examples and benches.
+const Tech& default_tech();
+
+}  // namespace smart::tech

@@ -1,0 +1,590 @@
+#include "timing/paths.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/strfmt.h"
+
+namespace smart::timing {
+
+using netlist::Arc;
+using netlist::ArcKind;
+using netlist::Component;
+using netlist::EdgeMap;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Phase;
+using netlist::Stack;
+
+namespace {
+
+// ---- FNV-1a hashing over small integer streams ----
+
+struct Hash {
+  uint64_t h = 1469598103934665603ULL;
+  void mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  void mix_double(double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  }
+};
+
+void hash_stack(const Stack& s, Hash& h) {
+  h.mix(static_cast<uint64_t>(s.op()) + 101);
+  if (s.is_leaf()) {
+    h.mix(static_cast<uint64_t>(s.label()) + 7);
+    return;
+  }
+  h.mix(s.children().size());
+  for (const auto& c : s.children()) hash_stack(c, h);
+}
+
+/// Structure+label signature of a component — identical for the regular
+/// repetitions of a bit-sliced macro (same topology, same size labels).
+uint64_t component_signature(const Component& comp) {
+  Hash h;
+  h.mix(comp.impl.index());
+  if (const auto* g = comp.as_static()) {
+    hash_stack(g->pulldown, h);
+    h.mix(static_cast<uint64_t>(g->pmos_label));
+  } else if (const auto* t = comp.as_transgate()) {
+    h.mix(static_cast<uint64_t>(t->label));
+  } else if (const auto* t3 = comp.as_tristate()) {
+    h.mix(static_cast<uint64_t>(t3->nmos_label));
+    h.mix(static_cast<uint64_t>(t3->pmos_label));
+  } else if (const auto* d = comp.as_domino()) {
+    hash_stack(d->pulldown, h);
+    h.mix(static_cast<uint64_t>(d->precharge_label));
+    h.mix(static_cast<uint64_t>(d->evaluate_label) + 3);
+    h.mix_double(d->keeper_ratio);
+  }
+  return h.h;
+}
+
+/// Labels-only signature: components with the same size-label multiset are
+/// interchangeable for constraint purposes once each node is modeled by its
+/// worst-case pin-to-pin delay (paper §5.2); the pruning passes collapse
+/// them, keeping the structurally worst representative.
+uint64_t component_label_signature(const Component& comp) {
+  Hash h;
+  h.mix(comp.impl.index());
+  std::vector<int> labels;
+  auto add_stack = [&](const Stack& st) {
+    std::vector<std::pair<NetId, netlist::LabelId>> leaves;
+    st.collect_leaves(leaves);
+    for (const auto& [n, l] : leaves) labels.push_back(l);
+  };
+  if (const auto* g = comp.as_static()) {
+    add_stack(g->pulldown);
+    labels.push_back(g->pmos_label);
+  } else if (const auto* t = comp.as_transgate()) {
+    labels.push_back(t->label);
+  } else if (const auto* t3 = comp.as_tristate()) {
+    labels.push_back(t3->nmos_label);
+    labels.push_back(t3->pmos_label);
+  } else if (const auto* d = comp.as_domino()) {
+    add_stack(d->pulldown);
+    labels.push_back(d->precharge_label);
+    labels.push_back(d->evaluate_label);
+  }
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  for (int l : labels) h.mix(static_cast<uint64_t>(l) + 13);
+  return h.h;
+}
+
+/// Structural worst-case weight of a component (deepest stack), used to
+/// pick the binding representative within a label-equivalence class.
+int component_depth(const Component& comp) {
+  if (const auto* g = comp.as_static()) return g->pulldown.max_depth();
+  if (const auto* d = comp.as_domino())
+    return d->pulldown.max_depth() + (d->evaluate_label >= 0 ? 1 : 0);
+  return 1;
+}
+
+/// Structural depth of the pin `input` inside a component (0 = adjacent to
+/// the output, larger = deeper in the stack => slower pin class).
+int pin_depth_of(const Component& comp, NetId input) {
+  const Stack* stack = nullptr;
+  if (const auto* g = comp.as_static()) stack = &g->pulldown;
+  if (const auto* d = comp.as_domino()) stack = &d->pulldown;
+  if (stack != nullptr) {
+    std::vector<std::pair<NetId, netlist::LabelId>> path;
+    if (stack->worst_path_through(input, path)) {
+      for (size_t i = 0; i < path.size(); ++i)
+        if (path[i].first == input) return static_cast<int>(i);
+    }
+    return 0;
+  }
+  if (const auto* t = comp.as_transgate())
+    return input == t->sel ? 1 : 0;
+  if (const auto* t3 = comp.as_tristate())
+    return input == t3->en ? 1 : 0;
+  return 0;
+}
+
+/// Which hash variants a step contributes to; see PruneOptions.
+struct StepSigs {
+  uint64_t reg;       ///< full: structure + labels + depth + fanout
+  uint64_t no_depth;  ///< precedence granularity
+  uint64_t no_fan;    ///< dominance granularity (depth kept)
+  uint64_t coarse;    ///< neither depth nor fanout
+};
+
+/// A suffix equivalence class from some (net, edge) to an output port.
+struct Suffix {
+  StepSigs sigs;  // combined over all steps
+  std::vector<PathStep> steps;
+  long sum_depth = 0;
+  long sum_fanout = 0;
+};
+
+StepSigs combine(const StepSigs& a, const StepSigs& b) {
+  auto mix2 = [](uint64_t x, uint64_t y) {
+    Hash h;
+    h.mix(x);
+    h.mix(y);
+    return h.h;
+  };
+  return StepSigs{mix2(a.reg, b.reg), mix2(a.no_depth, b.no_depth),
+                  mix2(a.no_fan, b.no_fan), mix2(a.coarse, b.coarse)};
+}
+
+}  // namespace
+
+int Path::domino_stages() const {
+  int n = 0;
+  for (const auto& s : steps)
+    if (s.arc.kind == ArcKind::kDominoEval ||
+        s.arc.kind == ArcKind::kDominoClkEval)
+      ++n;
+  return n;
+}
+
+namespace {
+
+class Extractor {
+ public:
+  Extractor(const Netlist& nl, const PruneOptions& opt)
+      : nl_(nl), opt_(opt) {
+    comp_sigs_.resize(nl.comp_count());
+    comp_label_sigs_.resize(nl.comp_count());
+    comp_depth_.resize(nl.comp_count());
+    for (size_t c = 0; c < nl.comp_count(); ++c) {
+      comp_sigs_[c] = component_signature(nl.comp(static_cast<int>(c)));
+      comp_label_sigs_[c] =
+          component_label_signature(nl.comp(static_cast<int>(c)));
+      comp_depth_[c] = component_depth(nl.comp(static_cast<int>(c)));
+    }
+    output_load_.assign(nl.net_count(), -1.0);
+    for (const auto& p : nl.outputs())
+      output_load_[static_cast<size_t>(p.net)] = p.load_ff;
+  }
+
+  /// Suffix classes from (net, edge) to any output, for a phase.
+  const std::vector<Suffix>& suffixes(Phase phase, NetId net, bool rise) {
+    auto& memo = phase == Phase::kEvaluate ? memo_eval_ : memo_pre_;
+    const size_t key = static_cast<size_t>(net) * 2 + (rise ? 1 : 0);
+    if (memo.size() < nl_.net_count() * 2) memo.resize(nl_.net_count() * 2);
+    auto& slot = memo[key];
+    if (slot.computed) return slot.classes;
+    slot.computed = true;  // set first; DAG guaranteed by netlist validation
+
+    std::unordered_map<uint64_t, size_t> index;
+    auto add_class = [&](Suffix s) {
+      auto [it, inserted] = index.emplace(s.sigs.reg, slot.classes.size());
+      if (inserted) {
+        if (slot.classes.size() >= opt_.max_classes_per_node) {
+          overflowed_ = true;
+          return;
+        }
+        slot.classes.push_back(std::move(s));
+      }
+    };
+
+    if (output_load_[static_cast<size_t>(net)] >= 0.0) {
+      Suffix terminal;
+      Hash h;
+      h.mix(0x7e34a1ULL);
+      terminal.sigs = StepSigs{h.h, h.h, h.h, h.h};
+      add_class(std::move(terminal));
+    }
+
+    std::vector<EdgeMap> maps;
+    for (const Arc& a : nl_.arcs_from(net)) {
+      bool footed = true;
+      if (const auto* dg = nl_.comp(a.comp).as_domino())
+        footed = dg->evaluate_label >= 0;
+      netlist::arc_edge_maps(a.kind, phase, footed, maps);
+      for (const EdgeMap& em : maps) {
+        if (em.in_rise != rise) continue;
+        const auto& child = suffixes(phase, a.to, em.out_rise);
+        PathStep step;
+        step.arc = a;
+        step.in_rise = em.in_rise;
+        step.out_rise = em.out_rise;
+        step.pin_depth = pin_depth_of(nl_.comp(a.comp), a.from);
+        step.comp_depth = comp_depth(a.comp);
+        step.fanout =
+            static_cast<int>(nl_.arcs_from(a.to).size());
+        const StepSigs ssig = step_sigs(step);
+        for (const Suffix& cs : child) {
+          Suffix s;
+          s.sigs = combine(ssig, cs.sigs);
+          s.steps.reserve(cs.steps.size() + 1);
+          s.steps.push_back(step);
+          s.steps.insert(s.steps.end(), cs.steps.begin(), cs.steps.end());
+          s.sum_depth = cs.sum_depth + step.pin_depth +
+                        16 * comp_depth(a.comp);
+          s.sum_fanout = cs.sum_fanout + step.fanout;
+          add_class(std::move(s));
+        }
+      }
+    }
+    return slot.classes;
+  }
+
+  bool overflowed() const { return overflowed_; }
+
+  StepSigs step_sigs(const PathStep& step) const {
+    // Full-structure base: exact stack shape + labels (regularity level).
+    Hash fine;
+    fine.mix(comp_sigs_[static_cast<size_t>(step.arc.comp)]);
+    // Labels-only base: worst-case node model level (precedence/dominance).
+    Hash label_base;
+    label_base.mix(comp_label_sigs_[static_cast<size_t>(step.arc.comp)]);
+    for (Hash* h : {&fine, &label_base}) {
+      h->mix(static_cast<uint64_t>(step.arc.kind) + 17);
+      h->mix(static_cast<uint64_t>(step.in_rise) * 2 +
+             static_cast<uint64_t>(step.out_rise));
+      const double load = output_load_[static_cast<size_t>(step.arc.to)];
+      if (load >= 0.0) h->mix_double(load);  // port loads differentiate
+      if (!opt_.regularity) {
+        // Without regularity every net identity is distinct: no collapsing.
+        h->mix(static_cast<uint64_t>(step.arc.from) + 0x9e3779b9ULL);
+        h->mix(static_cast<uint64_t>(step.arc.to) + 0x85ebca6bULL);
+      }
+    }
+    StepSigs s;
+    Hash h_reg = fine;
+    h_reg.mix(static_cast<uint64_t>(step.pin_depth) + 29);
+    h_reg.mix(static_cast<uint64_t>(step.fanout) + 31);
+    s.reg = h_reg.h;
+    Hash h_nd = label_base;
+    h_nd.mix(static_cast<uint64_t>(step.fanout) + 31);
+    s.no_depth = h_nd.h;
+    Hash h_nf = fine;
+    h_nf.mix(static_cast<uint64_t>(step.pin_depth) + 29);
+    s.no_fan = h_nf.h;
+    s.coarse = label_base.h;
+    return s;
+  }
+
+  int comp_depth(netlist::CompId c) const {
+    return comp_depth_[static_cast<size_t>(c)];
+  }
+
+ private:
+  struct MemoSlot {
+    bool computed = false;
+    std::vector<Suffix> classes;
+  };
+
+  const Netlist& nl_;
+  const PruneOptions& opt_;
+  std::vector<uint64_t> comp_sigs_;
+  std::vector<uint64_t> comp_label_sigs_;
+  std::vector<int> comp_depth_;
+  std::vector<double> output_load_;
+  std::vector<MemoSlot> memo_eval_;
+  std::vector<MemoSlot> memo_pre_;
+  bool overflowed_ = false;
+};
+
+/// Sources of a phase: (net, rise?, arrival, slope) tuples.
+struct Source {
+  NetId net;
+  bool rise;
+  double arrival;
+  double slope;
+};
+
+std::vector<Source> phase_sources(const Netlist& nl, Phase phase) {
+  std::vector<Source> sources;
+  for (const auto& p : nl.inputs()) {
+    const double arr = phase == Phase::kEvaluate ? p.arrival_ps : 0.0;
+    sources.push_back(Source{p.net, true, arr, p.slope_ps});
+    sources.push_back(Source{p.net, false, arr, p.slope_ps});
+  }
+  for (size_t n = 0; n < nl.net_count(); ++n) {
+    if (nl.net(static_cast<NetId>(n)).kind != netlist::NetKind::kClock)
+      continue;
+    sources.push_back(Source{static_cast<NetId>(n),
+                             phase == Phase::kEvaluate, 0.0, -1.0});
+  }
+  return sources;
+}
+
+}  // namespace
+
+std::vector<Path> PathExtractor::extract(const PruneOptions& opt,
+                                         PathStats* stats) const {
+  SMART_CHECK(nl_->finalized(), "netlist must be finalized");
+  Extractor ex(*nl_, opt);
+
+  // Stage 1: regularity classes (always computed; with regularity disabled
+  // the signatures include net identities, so nothing collapses).
+  struct Candidate {
+    Path path;
+    StepSigs sigs;
+    long sum_depth;
+    long sum_fanout;
+    bool dead = false;
+  };
+  std::vector<Candidate> candidates;
+  std::unordered_map<uint64_t, size_t> seen;
+  bool has_domino = false;
+  for (const auto& comp : nl_->comps())
+    if (comp.as_domino() != nullptr) has_domino = true;
+  for (Phase phase : {Phase::kEvaluate, Phase::kPrecharge}) {
+    // The precharge phase only exists for dynamic logic.
+    if (phase == Phase::kPrecharge && !has_domino) continue;
+    for (const Source& src : phase_sources(*nl_, phase)) {
+      for (const Suffix& s :
+           ex.suffixes(phase, src.net, src.rise)) {
+        if (s.steps.empty()) continue;  // input wired straight to output
+        // Source attributes (edge, phase, arrival, slope) distinguish
+        // classes at every granularity; the per-stage structure hashes
+        // differ per granularity.
+        Hash src_h;
+        src_h.mix(static_cast<uint64_t>(src.rise));
+        src_h.mix(static_cast<uint64_t>(phase));
+        src_h.mix_double(src.arrival);
+        src_h.mix_double(src.slope);
+        Hash h;
+        h.mix(s.sigs.reg);
+        h.mix(src_h.h);
+        if (!seen.emplace(h.h, candidates.size()).second) continue;
+        Candidate c;
+        c.path.start = src.net;
+        c.path.start_rise = src.rise;
+        c.path.start_arrival = src.arrival;
+        c.path.start_slope = src.slope;
+        c.path.phase = phase;
+        c.path.steps = s.steps;
+        Hash hn;
+        hn.mix(s.sigs.no_depth);
+        hn.mix(src_h.h);
+        Hash hf;
+        hf.mix(s.sigs.no_fan);
+        hf.mix(src_h.h);
+        Hash hc;
+        hc.mix(s.sigs.coarse);
+        hc.mix(src_h.h);
+        c.sigs = StepSigs{h.h, hn.h, hf.h, hc.h};
+        c.sum_depth = s.sum_depth;
+        c.sum_fanout = s.sum_fanout;
+        candidates.push_back(std::move(c));
+      }
+    }
+  }
+  if (ex.overflowed())
+    util::log_warn("path extraction hit the per-node class cap; "
+                   "constraint set is a subset");
+
+  if (stats) {
+    stats->raw_topological = count_topological_paths();
+    stats->raw_edge_paths =
+        count_edge_paths(Phase::kEvaluate) +
+        (has_domino ? count_edge_paths(Phase::kPrecharge) : 0.0);
+    stats->after_regularity = candidates.size();
+  }
+
+  // Pairwise domination (paper §5.2: "compare the fanout space of two
+  // nodes when determining the dominance relationship"): path A may replace
+  // path B only when A is at least as slow at *every* step — deeper stack,
+  // deeper pin, and at least as much fanout — so dropping B cannot lose
+  // the binding constraint.
+  auto dominates = [](const Candidate& a, const Candidate& b) {
+    if (a.path.steps.size() != b.path.steps.size()) return false;
+    for (size_t i = 0; i < a.path.steps.size(); ++i) {
+      const auto& sa = a.path.steps[i];
+      const auto& sb = b.path.steps[i];
+      if (sa.comp_depth < sb.comp_depth || sa.pin_depth < sb.pin_depth ||
+          sa.fanout < sb.fanout)
+        return false;
+    }
+    return true;
+  };
+  auto pareto_stage = [&](uint64_t StepSigs::*key) {
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+    std::vector<Candidate> kept;
+    for (auto& c : candidates) {
+      auto& bucket = buckets[c.sigs.*key];
+      bool drop = false;
+      for (size_t k = 0; k < bucket.size() && !drop; ++k)
+        if (dominates(kept[bucket[k]], c)) drop = true;
+      if (drop) continue;
+      // Remove bucket members the new candidate dominates.
+      std::vector<size_t> survivors;
+      for (size_t idx : bucket) {
+        if (!dominates(c, kept[idx])) {
+          survivors.push_back(idx);
+        } else {
+          kept[idx].dead = true;
+        }
+      }
+      survivors.push_back(kept.size());
+      kept.push_back(std::move(c));
+      bucket = std::move(survivors);
+    }
+    candidates.clear();
+    for (auto& c : kept)
+      if (!c.dead) candidates.push_back(std::move(c));
+  };
+
+  // Stage 2: precedence — collapse pin classes within label-equivalent
+  // structures, keeping the slow-pin Pareto front.
+  if (opt.precedence) pareto_stage(&StepSigs::no_depth);
+  if (stats) stats->after_precedence = candidates.size();
+
+  // Stage 3: dominance — collapse fanout variants, keeping the
+  // heaviest-loaded Pareto front.
+  if (opt.dominance)
+    pareto_stage(opt.precedence ? &StepSigs::coarse : &StepSigs::no_fan);
+  if (stats) stats->after_dominance = candidates.size();
+
+  std::vector<Path> paths;
+  paths.reserve(candidates.size());
+  for (auto& c : candidates) paths.push_back(std::move(c.path));
+  if (stats) stats->final_paths = paths.size();
+  return paths;
+}
+
+double PathExtractor::count_topological_paths() const {
+  SMART_CHECK(nl_->finalized(), "netlist must be finalized");
+  const size_t n_nets = nl_->net_count();
+  // count[n] = number of distinct net paths from n to any output port,
+  // computed in reverse topological order via memoized recursion.
+  std::vector<double> count(n_nets, -1.0);
+  std::vector<bool> is_output(n_nets, false);
+  for (const auto& p : nl_->outputs())
+    is_output[static_cast<size_t>(p.net)] = true;
+
+  // Iterative DFS-based memoization (netlist is a DAG).
+  std::vector<int> state(n_nets, 0);
+  std::vector<NetId> order;
+  std::vector<NetId> stack;
+  for (size_t s = 0; s < n_nets; ++s) {
+    if (state[s] != 0) continue;
+    stack.push_back(static_cast<NetId>(s));
+    while (!stack.empty()) {
+      const NetId n = stack.back();
+      if (state[static_cast<size_t>(n)] == 0) {
+        state[static_cast<size_t>(n)] = 1;
+        for (const Arc& a : nl_->arcs_from(n))
+          if (state[static_cast<size_t>(a.to)] == 0) stack.push_back(a.to);
+      } else {
+        if (state[static_cast<size_t>(n)] == 1) {
+          state[static_cast<size_t>(n)] = 2;
+          order.push_back(n);
+        }
+        stack.pop_back();
+      }
+    }
+  }
+  for (const NetId n : order) {
+    double c = is_output[static_cast<size_t>(n)] ? 1.0 : 0.0;
+    for (const Arc& a : nl_->arcs_from(n)) {
+      if (count[static_cast<size_t>(a.to)] > 0.0)
+        c += count[static_cast<size_t>(a.to)];
+    }
+    count[static_cast<size_t>(n)] = c;
+  }
+
+  double total = 0.0;
+  std::vector<bool> counted(n_nets, false);
+  for (const auto& p : nl_->inputs()) {
+    if (counted[static_cast<size_t>(p.net)]) continue;
+    counted[static_cast<size_t>(p.net)] = true;
+    total += count[static_cast<size_t>(p.net)];
+  }
+  for (size_t n = 0; n < n_nets; ++n) {
+    if (nl_->net(static_cast<NetId>(n)).kind == netlist::NetKind::kClock &&
+        !counted[n])
+      total += count[n];
+  }
+  return total;
+}
+
+double PathExtractor::count_edge_paths(Phase phase) const {
+  SMART_CHECK(nl_->finalized(), "netlist must be finalized");
+  const size_t n_nodes = nl_->net_count() * 2;
+  std::vector<double> count(n_nodes, -1.0);
+  std::vector<bool> is_output(nl_->net_count(), false);
+  for (const auto& p : nl_->outputs())
+    is_output[static_cast<size_t>(p.net)] = true;
+
+  std::vector<EdgeMap> maps;
+  // Memoized recursion (explicit stack) over (net, edge) nodes.
+  struct Frame {
+    size_t node;
+    bool expanded;
+  };
+  std::vector<Frame> stack;
+  auto children = [&](size_t node, std::vector<size_t>& out) {
+    out.clear();
+    const NetId net = static_cast<NetId>(node / 2);
+    const bool rise = (node % 2) == 1;
+    for (const Arc& a : nl_->arcs_from(net)) {
+      bool footed = true;
+      if (const auto* dg = nl_->comp(a.comp).as_domino())
+        footed = dg->evaluate_label >= 0;
+      netlist::arc_edge_maps(a.kind, phase, footed, maps);
+      for (const EdgeMap& em : maps) {
+        if (em.in_rise != rise) continue;
+        out.push_back(static_cast<size_t>(a.to) * 2 + (em.out_rise ? 1 : 0));
+      }
+    }
+  };
+  std::vector<size_t> kids;
+  for (size_t start = 0; start < n_nodes; ++start) {
+    if (count[start] >= 0.0) continue;
+    stack.push_back(Frame{start, false});
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      if (count[f.node] >= 0.0) continue;
+      children(f.node, kids);
+      if (!f.expanded) {
+        stack.push_back(Frame{f.node, true});
+        for (size_t k : kids)
+          if (count[k] < 0.0) stack.push_back(Frame{k, false});
+        continue;
+      }
+      double c = is_output[f.node / 2] ? 1.0 : 0.0;
+      for (size_t k : kids) c += std::max(count[k], 0.0);
+      count[f.node] = c;
+    }
+  }
+
+  double total = 0.0;
+  for (const Source& src : phase_sources(*nl_, phase)) {
+    const size_t node =
+        static_cast<size_t>(src.net) * 2 + (src.rise ? 1 : 0);
+    total += std::max(count[node], 0.0);
+  }
+  return total;
+}
+
+}  // namespace smart::timing

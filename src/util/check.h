@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file check.h
+/// Error type and invariant-checking macros used throughout the SMART
+/// libraries. Violations throw smart::util::Error so callers can recover
+/// (e.g. a topology that fails to size is reported, not fatal).
+
+#include <stdexcept>
+#include <string>
+
+namespace smart::util {
+
+/// Exception thrown on precondition / invariant violations inside SMART.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& msg, const char* file,
+                              int line) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace smart::util
+
+/// Check a condition that must hold; throws smart::util::Error otherwise.
+#define SMART_CHECK(cond, msg)                            \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      ::smart::util::fail(std::string("check failed (")   \
+                              + #cond + "): " + (msg),    \
+                          __FILE__, __LINE__);            \
+    }                                                     \
+  } while (0)
+
+/// Unconditional failure with a message.
+#define SMART_FAIL(msg) ::smart::util::fail((msg), __FILE__, __LINE__)

@@ -1,0 +1,23 @@
+#include "util/logging.h"
+
+namespace smart::util {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void log(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "D"; break;
+    case LogLevel::kInfo: tag = "I"; break;
+    case LogLevel::kWarn: tag = "W"; break;
+    case LogLevel::kError: tag = "E"; break;
+    case LogLevel::kOff: return;
+  }
+  std::fprintf(stderr, "[smart:%s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace smart::util

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file logging.h
+/// Minimal leveled logging to stderr. Quiet by default so benches and tests
+/// print only their own tables; raise the level to debug solver internals.
+
+#include <cstdio>
+#include <string>
+
+namespace smart::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel& log_level();
+
+void log(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& msg) { log(LogLevel::kDebug, msg); }
+inline void log_info(const std::string& msg) { log(LogLevel::kInfo, msg); }
+inline void log_warn(const std::string& msg) { log(LogLevel::kWarn, msg); }
+inline void log_error(const std::string& msg) { log(LogLevel::kError, msg); }
+
+}  // namespace smart::util

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic random number generator for reproducible experiments.
+/// All workload generators take an explicit Rng so every bench run prints
+/// identical tables.
+
+#include <cstdint>
+#include <random>
+
+namespace smart::util {
+
+/// Thin deterministic wrapper over std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Standard normal scaled by sigma around mean.
+  double gaussian(double mean, double sigma) {
+    return std::normal_distribution<double>(mean, sigma)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace smart::util

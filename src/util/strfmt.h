@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file strfmt.h
+/// printf-style std::string formatting (GCC 12 lacks <format>).
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace smart::util {
+
+/// Returns the printf-formatted string. Safe for arbitrary lengths.
+[[gnu::format(printf, 1, 2)]] inline std::string strfmt(const char* fmt,
+                                                        ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n <= 0) {
+    va_end(args2);
+    return {};
+  }
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+}  // namespace smart::util

@@ -1,0 +1,50 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace smart::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SMART_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SMART_CHECK(cells.size() == header_.size(),
+              "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const std::string& title) const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << "\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  auto emit_rule = [&]() {
+    for (size_t c = 0; c < width.size(); ++c) {
+      out << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+    }
+    out << "-|\n";
+  };
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+}  // namespace smart::util

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file table.h
+/// ASCII table printer used by the benchmark harnesses to emit the paper's
+/// tables/figure series in a uniform, diff-friendly format.
+
+#include <string>
+#include <vector>
+
+namespace smart::util {
+
+/// Collects rows of strings and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a title line, column rule, and aligned cells.
+  std::string render(const std::string& title = "") const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smart::util

@@ -1,0 +1,101 @@
+// Tests for the design advisor (Fig 1 flow): topology search, ranking by
+// cost metric, derived specs, and trade-off curves (Fig 6 machinery).
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "helpers.h"
+#include "models/fitter.h"
+
+namespace smart::core {
+namespace {
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  const tech::Tech& tech_ = tech::default_tech();
+  const models::ModelLibrary& lib_ = models::default_library();
+  DesignAdvisor advisor_{macros::builtin_database(), tech_, lib_};
+};
+
+TEST_F(AdvisorTest, RanksMuxTopologiesByWidth) {
+  AdvisorRequest req;
+  req.spec.type = "mux";
+  req.spec.n = 4;
+  req.spec.params["bits"] = 4;
+  req.spec.load_ff = 12.0;
+  const auto advice = advisor_.advise(req);
+  ASSERT_GE(advice.solutions.size(), 2u) << advice.message;
+  EXPECT_GT(advice.derived_delay_spec_ps, 0.0);
+  // Ranked best-first by the cost metric among spec-meeting solutions.
+  for (size_t i = 1; i < advice.solutions.size(); ++i) {
+    if (advice.solutions[i - 1].meets_spec &&
+        advice.solutions[i].meets_spec) {
+      EXPECT_LE(advice.solutions[i - 1].cost_value,
+                advice.solutions[i].cost_value);
+    }
+  }
+  ASSERT_NE(advice.best(), nullptr);
+  EXPECT_TRUE(advice.best()->meets_spec);
+}
+
+TEST_F(AdvisorTest, UnknownTypeYieldsNoSolutions) {
+  AdvisorRequest req;
+  req.spec.type = "nonexistent";
+  req.spec.n = 4;
+  const auto advice = advisor_.advise(req);
+  EXPECT_TRUE(advice.solutions.empty());
+  EXPECT_NE(advice.message.find("no applicable"), std::string::npos);
+}
+
+TEST_F(AdvisorTest, ExplicitSpecIsHonored) {
+  AdvisorRequest req;
+  req.spec.type = "zero_detect";
+  req.spec.n = 16;
+  req.delay_spec_ps = 220.0;
+  const auto advice = advisor_.advise(req);
+  ASSERT_FALSE(advice.solutions.empty()) << advice.message;
+  EXPECT_DOUBLE_EQ(advice.derived_delay_spec_ps, 220.0);
+  for (const auto& sol : advice.solutions) {
+    if (sol.meets_spec) {
+      EXPECT_LE(sol.sizing.measured_delay_ps, 220.0 * 1.03);
+    }
+  }
+}
+
+TEST_F(AdvisorTest, CostMetricChangesRanking) {
+  // Under a clock-load cost, topologies with fewer clocked devices should
+  // not rank worse than they do under a width cost.
+  AdvisorRequest req;
+  req.spec.type = "comparator";
+  req.spec.n = 16;
+  req.cost = CostMetric::kClockLoad;
+  const auto by_clock = advisor_.advise(req);
+  ASSERT_FALSE(by_clock.solutions.empty()) << by_clock.message;
+  for (const auto& sol : by_clock.solutions)
+    EXPECT_GE(sol.cost_value, 0.0);
+}
+
+TEST_F(AdvisorTest, TradeoffCurveIsMonotone) {
+  const auto nl = test::inverter_chain(3, 30.0);
+  SizerOptions base;
+  const auto curve =
+      advisor_.tradeoff_curve(nl, {90.0, 110.0, 140.0, 180.0}, base);
+  ASSERT_EQ(curve.size(), 4u);
+  for (size_t i = 0; i < curve.size(); ++i) {
+    ASSERT_TRUE(curve[i].feasible) << "point " << i;
+    if (i > 0) {
+      EXPECT_LE(curve[i].total_width_um, curve[i - 1].total_width_um * 1.01);
+    }
+  }
+}
+
+TEST_F(AdvisorTest, TradeoffMarksInfeasiblePoints) {
+  const auto nl = test::inverter_chain(3, 30.0);
+  SizerOptions base;
+  const auto curve = advisor_.tradeoff_curve(nl, {4.0, 150.0}, base);
+  EXPECT_FALSE(curve[0].feasible);
+  EXPECT_TRUE(curve[1].feasible);
+}
+
+}  // namespace
+}  // namespace smart::core

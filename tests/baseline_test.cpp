@@ -1,0 +1,124 @@
+// Tests for the baseline ("original hand design") sizing policy.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/sizer.h"
+#include "helpers.h"
+#include "models/fitter.h"
+#include "refsim/rc_timer.h"
+
+namespace smart::core {
+namespace {
+
+using netlist::Sizing;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  const tech::Tech& tech_ = tech::default_tech();
+};
+
+TEST_F(BaselineTest, ProducesWidthsAboveMinimum) {
+  const auto nl = test::inverter_chain(3, 30.0);
+  BaselineSizer baseline(tech_);
+  const auto s = baseline.size(nl);
+  ASSERT_EQ(s.size(), nl.label_count());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GE(s[i], tech_.w_min);
+    EXPECT_LE(s[i], tech_.w_max);
+  }
+  // Last stage drives the port load: must be clearly above minimum.
+  EXPECT_GT(s[s.size() - 2], tech_.w_min * 2);
+}
+
+TEST_F(BaselineTest, MoreLoadMoreWidth) {
+  BaselineSizer baseline(tech_);
+  const auto light = test::inverter_chain(2, 5.0);
+  const auto heavy = test::inverter_chain(2, 80.0);
+  const auto sl = baseline.size(light);
+  const auto sh = baseline.size(heavy);
+  double wl = 0, wh = 0;
+  for (double v : sl) wl += v;
+  for (double v : sh) wh += v;
+  EXPECT_GT(wh, wl);
+}
+
+TEST_F(BaselineTest, MarginInflatesWidths) {
+  const auto nl = test::inverter_chain(3, 30.0);
+  BaselineOptions lean, fat;
+  lean.margin = 1.0;
+  fat.margin = 1.8;
+  const auto sl = BaselineSizer(tech_, lean).size(nl);
+  const auto sf = BaselineSizer(tech_, fat).size(nl);
+  const auto stat_l = nl.device_stats(sl);
+  const auto stat_f = nl.device_stats(sf);
+  EXPECT_GT(stat_f.total_width, stat_l.total_width);
+}
+
+TEST_F(BaselineTest, TighterStageBudgetFasterDesign) {
+  const auto nl = test::inverter_chain(4, 30.0);
+  BaselineOptions slow, fast;
+  slow.stage_delay_ps = 45.0;
+  fast.stage_delay_ps = 22.0;
+  const refsim::RcTimer timer(tech_);
+  const double d_slow =
+      timer.analyze(nl, BaselineSizer(tech_, slow).size(nl)).worst_delay;
+  const double d_fast =
+      timer.analyze(nl, BaselineSizer(tech_, fast).size(nl)).worst_delay;
+  EXPECT_LT(d_fast, d_slow);
+}
+
+TEST_F(BaselineTest, RespectsFixedLabels) {
+  netlist::Netlist nl("fixed");
+  const auto a = nl.add_net("a"), b = nl.add_net("b");
+  const auto n = nl.add_label("N"), p = nl.add_label("P");
+  nl.fix_label(p, 5.0);
+  nl.add_inverter("i", a, b, n, p);
+  nl.add_input(a);
+  nl.add_output(b, 50.0);
+  nl.finalize();
+  const auto s = BaselineSizer(tech_).size(nl);
+  EXPECT_DOUBLE_EQ(nl.label_width(p, s), 5.0);
+}
+
+TEST_F(BaselineTest, ClockMarginGuardsDominoDevices) {
+  core::MacroSpec spec;
+  spec.type = "mux";
+  spec.n = 4;
+  spec.params["bits"] = 4;
+  const auto nl = test::generate("mux", "domino_unsplit", spec);
+  BaselineOptions lean, guarded;
+  lean.clock_margin = 1.0;
+  guarded.clock_margin = 2.5;
+  const auto sl = BaselineSizer(tech_, lean).size(nl);
+  const auto sg = BaselineSizer(tech_, guarded).size(nl);
+  EXPECT_GT(nl.device_stats(sg).clock_gate_width,
+            nl.device_stats(sl).clock_gate_width);
+}
+
+TEST_F(BaselineTest, ConvergesAcrossPasses) {
+  // More relaxation passes must not change a pure chain (no self-load
+  // feedback): the fixed point is reached quickly.
+  const auto nl = test::inverter_chain(3, 20.0);
+  BaselineOptions two, eight;
+  two.passes = 2;
+  eight.passes = 8;
+  const auto s2 = BaselineSizer(tech_, two).size(nl);
+  const auto s8 = BaselineSizer(tech_, eight).size(nl);
+  for (size_t i = 0; i < s2.size(); ++i) EXPECT_NEAR(s2[i], s8[i], 0.25);
+}
+
+TEST_F(BaselineTest, DesignMeetsItsOwnStageBudgetRoughly) {
+  // Sanity: the measured per-stage delay is in the vicinity of the budget
+  // (the rule is approximate; a generous factor-2 envelope suffices).
+  const auto nl = test::inverter_chain(5, 25.0);
+  BaselineOptions opt;
+  const auto s = BaselineSizer(tech_, opt).size(nl);
+  const refsim::RcTimer timer(tech_);
+  const double per_stage = timer.analyze(nl, s).worst_delay / 5.0;
+  EXPECT_LT(per_stage, opt.stage_delay_ps * 2.5);
+  EXPECT_GT(per_stage, opt.stage_delay_ps * 0.3);
+}
+
+}  // namespace
+}  // namespace smart::core

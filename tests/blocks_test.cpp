@@ -1,0 +1,106 @@
+// Tests for the synthetic functional-block builder and the §6.4 block
+// experiment machinery.
+
+#include <gtest/gtest.h>
+
+#include "blocks/block.h"
+#include "helpers.h"
+#include "models/fitter.h"
+
+namespace smart::blocks {
+namespace {
+
+TEST(RandomLogicTest, HitsDeviceTargetRoughly) {
+  util::Rng rng(3);
+  const auto nl = random_logic("rl", 600, rng);
+  const auto stats = nl.device_stats(nl.min_sizing());
+  EXPECT_GE(stats.device_count, 600);
+  EXPECT_LE(stats.device_count, 700);
+  EXPECT_TRUE(nl.finalized());
+  EXPECT_FALSE(nl.outputs().empty());
+}
+
+TEST(RandomLogicTest, DeterministicPerSeed) {
+  util::Rng a(7), b(7), c(8);
+  const auto n1 = random_logic("x", 300, a);
+  const auto n2 = random_logic("x", 300, b);
+  const auto n3 = random_logic("x", 300, c);
+  EXPECT_EQ(n1.comp_count(), n2.comp_count());
+  EXPECT_EQ(n1.net_count(), n2.net_count());
+  EXPECT_NE(n1.comp_count(), n3.comp_count());
+}
+
+TEST(BlockBuilderTest, BuildsMacrosAndFiller) {
+  BlockSpec spec;
+  spec.name = "b";
+  spec.filler_devices = 400;
+  MacroRequest req;
+  req.type = "zero_detect";
+  req.topology = "static_tree";
+  req.spec.type = "zero_detect";
+  req.spec.n = 16;
+  spec.macros.push_back(req);
+  req.type = "decoder";
+  req.topology = "predecode";
+  req.spec.type = "decoder";
+  req.spec.n = 4;
+  spec.macros.push_back(req);
+  const auto block = build_block(spec, macros::builtin_database());
+  EXPECT_EQ(block.macros.size(), 2u);
+  EXPECT_GT(block.filler.comp_count(), 0u);
+}
+
+TEST(BlockBuilderTest, RejectsUnknownMacro) {
+  BlockSpec spec;
+  MacroRequest req;
+  req.type = "mux";
+  req.topology = "no_such_topology";
+  spec.macros.push_back(req);
+  EXPECT_THROW(build_block(spec, macros::builtin_database()), util::Error);
+}
+
+TEST(BlockExperimentTest, SavesAtBlockLevelWithoutTimingLoss) {
+  BlockSpec spec;
+  spec.filler_devices = 300;
+  MacroRequest req;
+  req.type = "decoder";
+  req.topology = "predecode";
+  req.spec.type = "decoder";
+  req.spec.n = 4;
+  spec.macros.push_back(req);
+  const auto block = build_block(spec, macros::builtin_database());
+  const auto ex = run_block_experiment(block, tech::default_tech(),
+                                       models::default_library());
+  EXPECT_EQ(ex.macros_total, 1);
+  EXPECT_GE(ex.macros_converged, 1);
+  EXPECT_GT(ex.width_saving(), 0.0);
+  EXPECT_GT(ex.power_saving(), 0.0);
+  // No performance penalty (§6.4).
+  EXPECT_LE(ex.after.worst_macro_delay_ps,
+            ex.before.worst_macro_delay_ps * 1.03);
+  // Filler is untouched: savings cannot exceed the macro share.
+  EXPECT_LT(ex.after.total_width_um, ex.before.total_width_um);
+  EXPECT_GT(ex.after.total_width_um,
+            ex.before.total_width_um - ex.before.macro_width_um);
+}
+
+TEST(BlockExperimentTest, MacroShareBoundsSavings) {
+  // A block with tiny macro content can only save a tiny fraction.
+  BlockSpec spec;
+  spec.filler_devices = 2000;
+  MacroRequest req;
+  req.type = "zero_detect";
+  req.topology = "static_tree";
+  req.spec.type = "zero_detect";
+  req.spec.n = 8;
+  spec.macros.push_back(req);
+  const auto block = build_block(spec, macros::builtin_database());
+  const auto ex = run_block_experiment(block, tech::default_tech(),
+                                       models::default_library());
+  const double macro_share =
+      ex.before.macro_width_um / ex.before.total_width_um;
+  EXPECT_LE(ex.width_saving(), macro_share + 1e-9);
+}
+
+}  // namespace
+}  // namespace smart::blocks

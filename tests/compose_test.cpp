@@ -1,0 +1,186 @@
+// Tests for hierarchical composition: instantiating database macros inside
+// a parent schematic, rewiring through bindings, and sizing the composed
+// datapath as one unit.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/experiment.h"
+#include "helpers.h"
+#include "netlist/compose.h"
+#include "refsim/logic_sim.h"
+#include "refsim/rc_timer.h"
+#include "util/strfmt.h"
+
+namespace smart::netlist {
+namespace {
+
+using util::strfmt;
+
+TEST(ComposeTest, PrefixesNetsAndLabels) {
+  Netlist parent("top");
+  const auto child = test::inverter_chain(2, 10.0);
+  const auto a = parent.add_net("a");
+  parent.add_input(a);
+  const auto map = instantiate(parent, child, "u0", {{"in", a}});
+  EXPECT_GE(parent.find_net("u0/n0"), 0);
+  EXPECT_EQ(parent.find_net("u0/in"), -1);  // bound, not copied
+  EXPECT_EQ(map.nets.at(child.find_net("in")), a);
+  EXPECT_EQ(parent.label_count(), child.label_count());
+  parent.add_output(parent.find_net("u0/n1"), 10.0);
+  EXPECT_NO_THROW(parent.finalize());
+}
+
+TEST(ComposeTest, TwoInstancesShareNothing) {
+  Netlist parent("top");
+  const auto child = test::inverter_chain(1, 5.0);
+  const auto a = parent.add_net("a");
+  parent.add_input(a);
+  instantiate(parent, child, "u0", {{"in", a}});
+  instantiate(parent, child, "u1", {{"in", a}});
+  parent.add_output(parent.find_net("u0/n0"), 5.0);
+  parent.add_output(parent.find_net("u1/n0"), 5.0);
+  parent.finalize();
+  EXPECT_EQ(parent.comp_count(), 2u);
+  EXPECT_EQ(parent.label_count(), 2 * child.label_count());
+}
+
+TEST(ComposeTest, RejectsBadBindings) {
+  Netlist parent("top");
+  const auto child = test::inverter_chain(1);
+  const auto a = parent.add_net("a");
+  EXPECT_THROW(instantiate(parent, child, "u0", {{"nope", a}}),
+               util::Error);
+}
+
+TEST(ComposeTest, MuxFeedingIncrementorComputesCorrectly) {
+  // A 2:1 mux selects one of two 4-bit words; an incrementor adds one.
+  // Composed at the transistor level and verified functionally.
+  core::MacroSpec mux_spec;
+  mux_spec.type = "mux";
+  mux_spec.n = 2;
+  mux_spec.params["bits"] = 4;
+  const auto mux = test::generate("mux", "encoded2", mux_spec);
+  core::MacroSpec inc_spec;
+  inc_spec.type = "incrementor";
+  inc_spec.n = 4;
+  const auto inc = test::generate("incrementor", "ks_prefix", inc_spec);
+
+  Netlist top("mux_inc");
+  std::map<std::string, NetId> mux_bind;
+  for (int b = 0; b < 4; ++b) {
+    for (int i = 0; i < 2; ++i) {
+      const auto d = top.add_net(strfmt("d%d_%d", b, i));
+      top.add_input(d);
+      mux_bind[strfmt("d%d_%d", b, i)] = d;
+    }
+  }
+  const auto sel = top.add_net("sel");
+  top.add_input(sel);
+  mux_bind["s0"] = sel;
+  const auto mmap = instantiate(top, mux, "mux", mux_bind);
+
+  std::map<std::string, NetId> inc_bind;
+  for (int b = 0; b < 4; ++b)
+    inc_bind[strfmt("in%d", b)] =
+        mmap.nets.at(mux.find_net(strfmt("o%d", b)));
+  instantiate(top, inc, "inc", inc_bind);
+  for (int b = 0; b < 4; ++b)
+    top.add_output(top.find_net(strfmt("inc/out%d", b)), 12.0);
+  top.finalize();
+
+  refsim::LogicSim sim(top);
+  for (int word = 0; word < 16; ++word) {
+    for (int s = 0; s <= 1; ++s) {
+      std::map<NetId, bool> in;
+      in[sel] = s != 0;
+      for (int b = 0; b < 4; ++b) {
+        // Selected word carries `word`, the other its complement.
+        const int selected = word, other = ~word & 0xf;
+        in[top.find_net(strfmt("d%d_%d", b, s))] = (selected >> b) & 1;
+        in[top.find_net(strfmt("d%d_%d", b, 1 - s))] = (other >> b) & 1;
+      }
+      const auto st = sim.evaluate(in);
+      const int want = (word + 1) & 0xf;
+      for (int b = 0; b < 4; ++b)
+        EXPECT_EQ(test::net_value(top, st, strfmt("inc/out%d", b)),
+                  refsim::from_bool((want >> b) & 1))
+            << "word=" << word << " sel=" << s;
+    }
+  }
+}
+
+TEST(ComposeTest, ComposedDatapathSizesAsOneUnit) {
+  // Sizing the composed design lets the optimizer trade width across the
+  // macro boundary; the composite must meet spec end to end.
+  core::MacroSpec mux_spec;
+  mux_spec.type = "mux";
+  mux_spec.n = 2;
+  mux_spec.params["bits"] = 4;
+  const auto mux = test::generate("mux", "encoded2", mux_spec);
+  core::MacroSpec inc_spec;
+  inc_spec.type = "incrementor";
+  inc_spec.n = 4;
+  const auto inc = test::generate("incrementor", "ks_prefix", inc_spec);
+
+  Netlist top("dp");
+  std::map<std::string, NetId> mux_bind;
+  for (int b = 0; b < 4; ++b)
+    for (int i = 0; i < 2; ++i) {
+      const auto d = top.add_net(strfmt("d%d_%d", b, i));
+      top.add_input(d);
+      mux_bind[strfmt("d%d_%d", b, i)] = d;
+    }
+  const auto sel = top.add_net("sel");
+  top.add_input(sel);
+  mux_bind["s0"] = sel;
+  const auto mmap = instantiate(top, mux, "mux", mux_bind);
+  std::map<std::string, NetId> inc_bind;
+  for (int b = 0; b < 4; ++b)
+    inc_bind[strfmt("in%d", b)] =
+        mmap.nets.at(mux.find_net(strfmt("o%d", b)));
+  instantiate(top, inc, "inc", inc_bind);
+  for (int b = 0; b < 4; ++b)
+    top.add_output(top.find_net(strfmt("inc/out%d", b)), 12.0);
+  top.finalize();
+
+  const auto cmp = core::run_iso_delay(top, tech::default_tech(),
+                                       models::default_library());
+  ASSERT_TRUE(cmp.ok) << cmp.smart.message;
+  EXPECT_GT(cmp.width_saving(), 0.05);
+}
+
+TEST(ComposeTest, ClockBindingMergesDomains) {
+  core::MacroSpec spec;
+  spec.type = "mux";
+  spec.n = 4;
+  spec.params["bits"] = 1;
+  const auto dom = test::generate("mux", "domino_unsplit", spec);
+  Netlist top("clky");
+  const auto clk = top.add_net("clk", NetKind::kClock);
+  std::map<std::string, NetId> bind;
+  bind["clk"] = clk;
+  for (int i = 0; i < 4; ++i) {
+    const auto d = top.add_net(strfmt("d0_%d", i));
+    const auto s = top.add_net(strfmt("s%d", i));
+    top.add_input(d);
+    top.add_input(s);
+    bind[strfmt("d0_%d", i)] = d;
+    bind[strfmt("s%d", i)] = s;
+  }
+  instantiate(top, dom, "u0", bind);
+  top.add_output(top.find_net("u0/o0"), 10.0);
+  top.finalize();
+  // Only one clock net in the merged design.
+  int clocks = 0;
+  for (size_t n = 0; n < top.net_count(); ++n)
+    if (top.net(static_cast<NetId>(n)).kind == NetKind::kClock) ++clocks;
+  EXPECT_EQ(clocks, 1);
+  const refsim::RcTimer timer(tech::default_tech());
+  const auto rep = timer.analyze(top, Sizing(top.label_count(), 2.0));
+  EXPECT_GT(rep.worst_precharge, 0.0);
+}
+
+}  // namespace
+}  // namespace smart::netlist

@@ -1,0 +1,150 @@
+// Tests for device-level flattening and SPICE export: device-count and
+// total-width parity with the accounting layer, structural properties of
+// the expansion, and well-formedness of the SPICE output.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "helpers.h"
+#include "netlist/flatten.h"
+#include "netlist/spice_export.h"
+
+namespace smart::netlist {
+namespace {
+
+TEST(FlattenTest, InverterChainDeviceParity) {
+  const auto nl = test::inverter_chain(3);
+  const Sizing sizing = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const auto flat = flatten(nl, sizing);
+  const auto stats = nl.device_stats(sizing);
+  EXPECT_EQ(flat.devices.size(), static_cast<size_t>(stats.device_count));
+  EXPECT_NEAR(flat.total_width(), stats.total_width, 1e-9);
+}
+
+TEST(FlattenTest, ParityAcrossAllMacroFamilies) {
+  struct Case {
+    const char* type;
+    const char* topo;
+    int n;
+  };
+  const Case cases[] = {
+      {"mux", "strong_pass", 4},      {"mux", "tristate", 4},
+      {"mux", "domino_unsplit", 4},   {"mux", "domino_split", 8},
+      {"incrementor", "ks_prefix", 8}, {"decoder", "predecode", 4},
+      {"zero_detect", "static_tree", 16},
+      {"comparator", "xorsum2_nor4", 16},
+      {"adder", "domino_cla", 16},    {"shifter", "barrel_rotate", 8},
+      {"register_file", "pass_read", 8},
+      {"register_file", "domino_read", 8},
+  };
+  for (const auto& c : cases) {
+    core::MacroSpec spec;
+    spec.type = c.type;
+    spec.n = c.n;
+    const auto nl = test::generate(c.type, c.topo, spec);
+    const Sizing sizing(nl.label_count(), 2.0);
+    const auto flat = flatten(nl, sizing);
+    const auto stats = nl.device_stats(sizing);
+    EXPECT_EQ(flat.devices.size(), static_cast<size_t>(stats.device_count))
+        << c.type << "/" << c.topo;
+    EXPECT_NEAR(flat.total_width(), stats.total_width,
+                1e-6 * stats.total_width)
+        << c.type << "/" << c.topo;
+  }
+}
+
+TEST(FlattenTest, SeriesStackCreatesInternalNodes) {
+  Netlist nl("nand3");
+  const NetId a = nl.add_net("a"), b = nl.add_net("b"), c = nl.add_net("c");
+  const NetId o = nl.add_net("o");
+  const LabelId n = nl.add_label("N"), p = nl.add_label("P");
+  nl.add_component("g", o,
+                   StaticGate{Stack::series({Stack::leaf(a, n),
+                                             Stack::leaf(b, n),
+                                             Stack::leaf(c, n)}),
+                              p});
+  nl.add_input(a);
+  nl.add_input(b);
+  nl.add_input(c);
+  nl.add_output(o);
+  nl.finalize();
+  const auto flat = flatten(nl, {2.0, 4.0});
+  // 3 NMOS + 3 PMOS devices; 2 internal pull-down nodes.
+  EXPECT_EQ(flat.devices.size(), 6u);
+  EXPECT_EQ(flat.node_names.size(), nl.net_count() + 2u /*supplies*/ + 2u);
+  // Every device terminal must be a valid node.
+  for (const auto& d : flat.devices) {
+    EXPECT_GE(d.gate, 0);
+    EXPECT_LT(static_cast<size_t>(d.gate), flat.node_names.size());
+    EXPECT_GE(d.drain, 0);
+    EXPECT_GE(d.source, 0);
+  }
+}
+
+TEST(FlattenTest, DominoKeeperAlwaysOn) {
+  core::MacroSpec spec;
+  spec.type = "mux";
+  spec.n = 4;
+  spec.params["bits"] = 1;
+  const auto nl = test::generate("mux", "domino_unsplit", spec);
+  const auto flat = flatten(nl, Sizing(nl.label_count(), 2.0));
+  bool keeper_found = false;
+  for (const auto& d : flat.devices) {
+    if (d.name.find("_keep") != std::string::npos) {
+      keeper_found = true;
+      EXPECT_TRUE(d.is_pmos);
+      EXPECT_EQ(d.gate, flat.gnd);
+    }
+  }
+  EXPECT_TRUE(keeper_found);
+}
+
+TEST(SpiceExportTest, WellFormedSubckt) {
+  const auto nl = test::inverter_chain(2, 10.0);
+  const std::string spice = to_spice(nl, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_NE(spice.find(".subckt chain2 in n1 vdd! gnd!"), std::string::npos)
+      << spice;
+  EXPECT_NE(spice.find(".ends chain2"), std::string::npos);
+  // One M-line per device, with width annotations.
+  size_t mlines = 0;
+  std::istringstream stream(spice);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line[0] == 'M') {
+      ++mlines;
+      EXPECT_NE(line.find("w="), std::string::npos);
+      EXPECT_NE(line.find("l=0.180u"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(mlines, 4u);
+}
+
+TEST(SpiceExportTest, ClockAppearsInPortList) {
+  core::MacroSpec spec;
+  spec.type = "mux";
+  spec.n = 4;
+  spec.params["bits"] = 1;
+  const auto nl = test::generate("mux", "domino_unsplit", spec);
+  const std::string spice = to_spice(nl, Sizing(nl.label_count(), 2.0));
+  const auto header_end = spice.find("\nM");
+  const std::string header = spice.substr(0, header_end);
+  EXPECT_NE(header.find(" clk"), std::string::npos);
+  EXPECT_NE(spice.find("pch"), std::string::npos);  // PMOS devices present
+}
+
+TEST(SpiceExportTest, ModelNamesConfigurable) {
+  const auto nl = test::inverter_chain(1);
+  SpiceOptions opt;
+  opt.nmos_model = "nmos_rvt";
+  opt.pmos_model = "pmos_rvt";
+  opt.length_um = 0.13;
+  const std::string spice = to_spice(nl, {1.0, 2.0}, opt);
+  EXPECT_NE(spice.find("nmos_rvt"), std::string::npos);
+  EXPECT_NE(spice.find("pmos_rvt"), std::string::npos);
+  EXPECT_NE(spice.find("l=0.130u"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smart::netlist

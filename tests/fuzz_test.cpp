@@ -1,0 +1,146 @@
+// Robustness sweeps: randomly generated netlists and macro specs pushed
+// through the complete pipeline (validation, STA, logic simulation, path
+// extraction, flattening, serialization, constraint generation, sizing).
+// Nothing here checks specific numbers — these tests check that no input
+// in the supported space crashes, violates an invariant, or produces
+// self-inconsistent results across the independent engines.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "blocks/block.h"
+#include "core/experiment.h"
+#include "helpers.h"
+#include "models/fitter.h"
+#include "netlist/flatten.h"
+#include "netlist/serialize.h"
+#include "netlist/spice_export.h"
+#include "refsim/critical_path.h"
+#include "refsim/logic_sim.h"
+#include "refsim/rc_timer.h"
+#include "timing/paths.h"
+#include "util/rng.h"
+
+namespace smart {
+namespace {
+
+class RandomLogicPipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLogicPipeline, EveryEngineAgreesOnStructure) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  const auto nl =
+      blocks::random_logic("fuzz", 150 + GetParam() * 37, rng);
+  const netlist::Sizing sizing(nl.label_count(), 1.5);
+
+  // STA runs and produces finite results.
+  const refsim::RcTimer timer(tech::default_tech());
+  const auto report = timer.analyze(nl, sizing);
+  EXPECT_GT(report.worst_delay, 0.0);
+  EXPECT_LT(report.worst_delay, 1e7);
+
+  // Batch and per-net capacitance agree.
+  const auto caps = timer.all_net_caps(nl, sizing);
+  for (size_t n = 0; n < nl.net_count(); n += 7) {
+    EXPECT_NEAR(caps[n],
+                timer.net_cap(nl, sizing, static_cast<netlist::NetId>(n)),
+                1e-9);
+  }
+
+  // Critical path reproduces the reported worst delay.
+  const auto cp = refsim::critical_path(nl, sizing, tech::default_tech());
+  EXPECT_NEAR(cp.arrival_ps, report.worst_delay, 1e-6);
+
+  // Flattening conserves devices and width.
+  const auto flat = netlist::flatten(nl, sizing);
+  const auto stats = nl.device_stats(sizing);
+  EXPECT_EQ(flat.devices.size(), static_cast<size_t>(stats.device_count));
+  EXPECT_NEAR(flat.total_width(), stats.total_width,
+              1e-6 * stats.total_width);
+
+  // Serialization round-trips.
+  const auto restored = netlist::from_text(netlist::to_text(nl));
+  EXPECT_EQ(restored.comp_count(), nl.comp_count());
+  const auto report2 = timer.analyze(restored, sizing);
+  EXPECT_NEAR(report2.worst_delay, report.worst_delay, 1e-9);
+
+  // Logic simulation settles with all-known inputs.
+  refsim::LogicSim sim(nl);
+  std::map<netlist::NetId, bool> inputs;
+  for (const auto& p : nl.inputs()) inputs[p.net] = rng.chance(0.5);
+  const auto st = sim.evaluate(inputs);
+  for (const auto& port : nl.outputs()) {
+    EXPECT_TRUE(refsim::is_known(st[static_cast<size_t>(port.net)]))
+        << "output " << nl.net(port.net).name;
+  }
+
+  // Path extraction terminates and its coarsest set is non-empty.
+  timing::PathExtractor extractor(nl);
+  timing::PathStats pstats;
+  const auto paths = extractor.extract({}, &pstats);
+  EXPECT_GT(paths.size(), 0u);
+  EXPECT_GE(pstats.raw_topological, 1.0);
+
+  // SPICE export emits one device line per flattened device.
+  const auto spice = netlist::to_spice(nl, sizing);
+  size_t mlines = 0;
+  for (size_t pos = 0; (pos = spice.find("\nM", pos)) != std::string::npos;
+       ++pos)
+    ++mlines;
+  EXPECT_EQ(mlines, flat.devices.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLogicPipeline,
+                         ::testing::Range(1, 13));
+
+class RandomMacroIso : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMacroIso, IsoDelayProtocolHoldsInvariants) {
+  // Random (type, topology, size) draws; the iso-delay protocol must
+  // either converge with a drop-in-compatible design, or report cleanly.
+  util::Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  const auto& db = macros::builtin_database();
+  const auto types = db.macro_types();
+  const auto& type = types[static_cast<size_t>(
+      rng.uniform_int(0, static_cast<int>(types.size()) - 1))];
+  core::MacroSpec spec;
+  spec.type = type;
+  const int pow2[] = {4, 8, 16};
+  spec.n = pow2[rng.uniform_int(0, 2)];
+  if (type == "decoder") spec.n = rng.uniform_int(2, 5);
+  if (type == "adder" && spec.n == 4) spec.n = 8;
+  spec.params["bits"] = 4;
+  spec.load_ff = rng.uniform(6.0, 40.0);
+  const auto topos = db.topologies(type, &spec);
+  if (topos.empty()) GTEST_SKIP() << "no topology for " << type << " n=" << spec.n;
+  const auto* entry = topos[static_cast<size_t>(
+      rng.uniform_int(0, static_cast<int>(topos.size()) - 1))];
+  const auto nl = entry->generate(spec);
+
+  const auto cmp = core::run_iso_delay(nl, tech::default_tech(),
+                                       models::default_library());
+  ASSERT_TRUE(cmp.baseline.ok);
+  EXPECT_GT(cmp.baseline.measured_delay_ps, 0.0);
+  if (!cmp.ok) {
+    // A clean miss is allowed (e.g. slope-infeasible wide domino): the
+    // result must say so rather than return garbage.
+    EXPECT_FALSE(cmp.smart.message.empty());
+    return;
+  }
+  // Drop-in invariants: no slower, no more pin cap, positive savings cap.
+  EXPECT_LE(cmp.smart.measured_delay_ps,
+            cmp.baseline.measured_delay_ps * 1.03)
+      << type << "/" << entry->name;
+  EXPECT_LT(cmp.width_saving(), 1.0);
+  core::Sizer sizer(tech::default_tech(), models::default_library());
+  const auto base_caps = sizer.input_caps(nl, cmp.baseline.sizing);
+  const auto smart_caps = sizer.input_caps(nl, cmp.smart.sizing);
+  for (size_t i = 0; i < base_caps.size(); ++i)
+    EXPECT_LE(smart_caps[i], base_caps[i] * 1.06)
+        << type << "/" << entry->name << " port " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Draws, RandomMacroIso, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file helpers.h
+/// Shared test fixtures and utilities for the SMART test suite.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "macros/registry.h"
+#include "models/fitter.h"
+#include "netlist/netlist.h"
+#include "refsim/logic_sim.h"
+#include "util/strfmt.h"
+
+namespace smart::test {
+
+/// Builds a chain of `n` inverters (in -> out) with one label pair per
+/// stage; a convenient tiny macro for sizer/refsim tests.
+inline netlist::Netlist inverter_chain(int n, double load_ff = 20.0) {
+  netlist::Netlist nl(util::strfmt("chain%d", n));
+  netlist::NetId prev = nl.add_net("in");
+  nl.add_input(prev);
+  for (int i = 0; i < n; ++i) {
+    const auto nn = nl.add_label(util::strfmt("N%d", i));
+    const auto pp = nl.add_label(util::strfmt("P%d", i));
+    const netlist::NetId next = nl.add_net(util::strfmt("n%d", i));
+    nl.add_inverter(util::strfmt("inv%d", i), prev, next, nn, pp);
+    prev = next;
+  }
+  nl.add_output(prev, load_ff);
+  nl.finalize();
+  return nl;
+}
+
+/// A generated macro plus its logic simulator.
+struct SimMacro {
+  netlist::Netlist nl;
+  refsim::LogicSim sim;
+
+  explicit SimMacro(netlist::Netlist n)
+      : nl(std::move(n)), sim(nl) {}
+};
+
+inline netlist::Netlist generate(const std::string& type,
+                                 const std::string& topo,
+                                 core::MacroSpec spec) {
+  const auto* entry = macros::builtin_database().find(type, topo);
+  if (entry == nullptr)
+    throw std::runtime_error("unknown topology " + type + "/" + topo);
+  return entry->generate(spec);
+}
+
+/// Sets a named input in a logic-sim input map; fails the test on a bad
+/// name via exception.
+inline void set_input(const netlist::Netlist& nl,
+                      std::map<netlist::NetId, bool>& in,
+                      const std::string& name, bool value) {
+  const netlist::NetId id = nl.find_net(name);
+  if (id < 0) throw std::runtime_error("no net named " + name);
+  in[id] = value;
+}
+
+inline refsim::Logic net_value(const netlist::Netlist& nl,
+                               const std::vector<refsim::Logic>& state,
+                               const std::string& name) {
+  const netlist::NetId id = nl.find_net(name);
+  if (id < 0) throw std::runtime_error("no net named " + name);
+  return state.at(static_cast<size_t>(id));
+}
+
+/// Uniform sizing helper.
+inline netlist::Sizing uniform_sizing(const netlist::Netlist& nl, double w) {
+  return netlist::Sizing(nl.label_count(), w);
+}
+
+}  // namespace smart::test

@@ -1,0 +1,163 @@
+// Tests for the switch-level functional simulator: gate primitives, pass
+// structures with Z resolution, domino evaluate semantics, X propagation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "helpers.h"
+#include "refsim/logic_sim.h"
+
+namespace smart::refsim {
+namespace {
+
+using netlist::DominoGate;
+using netlist::LabelId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Stack;
+using netlist::StaticGate;
+using netlist::TransGate;
+using netlist::Tristate;
+
+TEST(LogicSimTest, InverterChainAlternates) {
+  auto nl = test::inverter_chain(3);
+  LogicSim sim(nl);
+  const auto st = sim.evaluate({{nl.find_net("in"), true}});
+  EXPECT_EQ(test::net_value(nl, st, "n0"), Logic::k0);
+  EXPECT_EQ(test::net_value(nl, st, "n1"), Logic::k1);
+  EXPECT_EQ(test::net_value(nl, st, "n2"), Logic::k0);
+}
+
+TEST(LogicSimTest, NandNorTruthTables) {
+  Netlist nl("gates");
+  const NetId a = nl.add_net("a"), b = nl.add_net("b");
+  const NetId nand_o = nl.add_net("nand"), nor_o = nl.add_net("nor");
+  const LabelId n = nl.add_label("N"), p = nl.add_label("P");
+  nl.add_component("nand", nand_o,
+                   StaticGate{Stack::series({Stack::leaf(a, n),
+                                             Stack::leaf(b, n)}),
+                              p});
+  nl.add_component("nor", nor_o,
+                   StaticGate{Stack::parallel({Stack::leaf(a, n),
+                                               Stack::leaf(b, n)}),
+                              p});
+  nl.add_input(a);
+  nl.add_input(b);
+  nl.add_output(nand_o);
+  nl.add_output(nor_o);
+  nl.finalize();
+  LogicSim sim(nl);
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      const auto st = sim.evaluate({{a, av != 0}, {b, bv != 0}});
+      EXPECT_EQ(st[static_cast<size_t>(nand_o)], from_bool(!(av && bv)));
+      EXPECT_EQ(st[static_cast<size_t>(nor_o)], from_bool(!(av || bv)));
+    }
+  }
+}
+
+TEST(LogicSimTest, UnknownInputsPropagateX) {
+  auto nl = test::inverter_chain(2);
+  LogicSim sim(nl);
+  const auto st = sim.evaluate({});  // input unassigned
+  EXPECT_EQ(test::net_value(nl, st, "n1"), Logic::kX);
+}
+
+TEST(LogicSimTest, XBlockedByControllingValue) {
+  // NAND(a=0, b=X) is 1 regardless of b.
+  Netlist nl("nand");
+  const NetId a = nl.add_net("a"), b = nl.add_net("b"), o = nl.add_net("o");
+  const LabelId n = nl.add_label("N"), p = nl.add_label("P");
+  nl.add_component("g", o,
+                   StaticGate{Stack::series({Stack::leaf(a, n),
+                                             Stack::leaf(b, n)}),
+                              p});
+  nl.add_input(a);
+  nl.add_input(b);
+  nl.add_output(o);
+  nl.finalize();
+  LogicSim sim(nl);
+  const auto st = sim.evaluate({{a, false}});
+  EXPECT_EQ(st[static_cast<size_t>(o)], Logic::k1);
+}
+
+TEST(LogicSimTest, SharedPassNodeResolvesSingleDriver) {
+  Netlist nl("pgmux");
+  const NetId d0 = nl.add_net("d0"), d1 = nl.add_net("d1");
+  const NetId s0 = nl.add_net("s0"), s1 = nl.add_net("s1");
+  const NetId o = nl.add_net("o");
+  const LabelId l = nl.add_label("N2");
+  nl.add_component("t0", o, TransGate{d0, s0, l});
+  nl.add_component("t1", o, TransGate{d1, s1, l});
+  nl.add_input(d0);
+  nl.add_input(d1);
+  nl.add_input(s0);
+  nl.add_input(s1);
+  nl.add_output(o);
+  nl.finalize();
+  LogicSim sim(nl);
+  auto st = sim.evaluate({{d0, true}, {d1, false}, {s0, true}, {s1, false}});
+  EXPECT_EQ(st[static_cast<size_t>(o)], Logic::k1);
+  st = sim.evaluate({{d0, true}, {d1, false}, {s0, false}, {s1, true}});
+  EXPECT_EQ(st[static_cast<size_t>(o)], Logic::k0);
+  // Conflicting drivers -> X.
+  st = sim.evaluate({{d0, true}, {d1, false}, {s0, true}, {s1, true}});
+  EXPECT_EQ(st[static_cast<size_t>(o)], Logic::kX);
+  // No driver -> unknown (floating).
+  st = sim.evaluate({{d0, true}, {d1, false}, {s0, false}, {s1, false}});
+  EXPECT_EQ(st[static_cast<size_t>(o)], Logic::kX);
+}
+
+TEST(LogicSimTest, TristateEnableAndZ) {
+  Netlist nl("ts");
+  const NetId d = nl.add_net("d"), e = nl.add_net("e"), o = nl.add_net("o");
+  const LabelId n = nl.add_label("N"), p = nl.add_label("P");
+  nl.add_component("t", o, Tristate{d, e, n, p});
+  nl.add_input(d);
+  nl.add_input(e);
+  nl.add_output(o);
+  nl.finalize();
+  LogicSim sim(nl);
+  auto st = sim.evaluate({{d, true}, {e, true}});
+  EXPECT_EQ(st[static_cast<size_t>(o)], Logic::k0);  // inverting
+  st = sim.evaluate({{d, true}, {e, false}});
+  EXPECT_EQ(st[static_cast<size_t>(o)], Logic::kX);  // floating
+}
+
+TEST(LogicSimTest, DominoEvaluateDischarges) {
+  Netlist nl("dom");
+  const NetId clk = nl.add_net("clk", netlist::NetKind::kClock);
+  const NetId a = nl.add_net("a"), b = nl.add_net("b");
+  const NetId dyn = nl.add_net("dyn"), o = nl.add_net("o");
+  const LabelId n1 = nl.add_label("N1"), p1 = nl.add_label("P1");
+  const LabelId n2 = nl.add_label("N2");
+  const LabelId ni = nl.add_label("NI"), pi = nl.add_label("PI");
+  nl.add_component("g", dyn,
+                   DominoGate{Stack::series({Stack::leaf(a, n1),
+                                             Stack::leaf(b, n1)}),
+                              p1, n2, clk, 0.1});
+  nl.add_inverter("i", dyn, o, ni, pi);
+  nl.add_input(a);
+  nl.add_input(b);
+  nl.add_output(o);
+  nl.finalize();
+  LogicSim sim(nl);
+  // Domino AND: output rises only when both inputs are high.
+  auto st = sim.evaluate({{a, true}, {b, true}});
+  EXPECT_EQ(st[static_cast<size_t>(dyn)], Logic::k0);
+  EXPECT_EQ(st[static_cast<size_t>(o)], Logic::k1);
+  st = sim.evaluate({{a, true}, {b, false}});
+  EXPECT_EQ(st[static_cast<size_t>(dyn)], Logic::k1);
+  EXPECT_EQ(st[static_cast<size_t>(o)], Logic::k0);
+}
+
+TEST(LogicSimTest, ValueHelper) {
+  auto nl = test::inverter_chain(1);
+  LogicSim sim(nl);
+  const auto st = sim.evaluate({{nl.find_net("in"), false}});
+  EXPECT_EQ(LogicSim::value(st, nl.find_net("n0")), Logic::k1);
+}
+
+}  // namespace
+}  // namespace smart::refsim

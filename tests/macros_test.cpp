@@ -1,0 +1,642 @@
+// Functional and structural verification of every macro generator in the
+// design database, driven through the switch-level simulator. Parameterized
+// suites sweep topology and width the way the paper's §6.1 instances do.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "helpers.h"
+#include "util/rng.h"
+#include "util/strfmt.h"
+
+namespace smart::macros {
+namespace {
+
+using netlist::NetId;
+using refsim::Logic;
+using refsim::LogicSim;
+using test::generate;
+using test::set_input;
+using util::strfmt;
+
+// ---------- muxes ----------
+
+class MuxFunctional
+    : public ::testing::TestWithParam<std::tuple<std::string, int, int>> {};
+
+TEST_P(MuxFunctional, SelectsTheRightInput) {
+  const auto& [topo, n, bits] = GetParam();
+  core::MacroSpec spec;
+  spec.type = "mux";
+  spec.n = n;
+  spec.params["bits"] = bits;
+  const auto nl = generate("mux", topo, spec);
+  LogicSim sim(nl);
+  util::Rng rng(n * 100 + bits);
+  const bool domino = topo.find("domino") != std::string::npos;
+  const int selects = topo == "encoded2" ? 1 : (topo == "weak_pass" ? n - 1 : n);
+  for (int sel = 0; sel < n; ++sel) {
+    for (int trial = 0; trial < 4; ++trial) {
+      std::map<NetId, bool> in;
+      std::vector<std::vector<bool>> data(
+          static_cast<size_t>(bits), std::vector<bool>(static_cast<size_t>(n)));
+      for (int b = 0; b < bits; ++b)
+        for (int i = 0; i < n; ++i) {
+          // Domino data must be monotonic (precharged-low rails): any
+          // pattern is fine for steady-state functional checking.
+          data[static_cast<size_t>(b)][static_cast<size_t>(i)] =
+              rng.chance(0.5);
+          set_input(nl, in, strfmt("d%d_%d", b, i),
+                    data[static_cast<size_t>(b)][static_cast<size_t>(i)]);
+        }
+      if (topo == "encoded2") {
+        set_input(nl, in, "s0", sel == 1);
+      } else {
+        for (int i = 0; i < selects; ++i)
+          set_input(nl, in, strfmt("s%d", i), i == sel);
+      }
+      const auto st = sim.evaluate(in);
+      for (int b = 0; b < bits; ++b) {
+        const bool want =
+            data[static_cast<size_t>(b)][static_cast<size_t>(sel)];
+        if (domino && !want) continue;  // domino is monotonic: low output
+                                         // also matches precharge state
+        EXPECT_EQ(test::net_value(nl, st, strfmt("o%d", b)),
+                  refsim::from_bool(want))
+            << topo << " n=" << n << " sel=" << sel << " bit=" << b;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, MuxFunctional,
+    ::testing::Values(
+        std::make_tuple("strong_pass", 2, 1), std::make_tuple("strong_pass", 4, 2),
+        std::make_tuple("strong_pass", 8, 1), std::make_tuple("weak_pass", 3, 2),
+        std::make_tuple("weak_pass", 4, 1), std::make_tuple("encoded2", 2, 4),
+        std::make_tuple("tristate", 2, 2), std::make_tuple("tristate", 4, 1),
+        std::make_tuple("domino_unsplit", 4, 2),
+        std::make_tuple("domino_unsplit", 8, 1),
+        std::make_tuple("domino_split", 4, 2),
+        std::make_tuple("domino_split", 8, 1),
+        std::make_tuple("domino_split", 6, 1),
+        std::make_tuple("strong_pass", 16, 1),
+        std::make_tuple("weak_pass", 5, 1),
+        std::make_tuple("tristate", 8, 2),
+        std::make_tuple("domino_unsplit", 2, 4),
+        std::make_tuple("domino_split", 12, 1),
+        std::make_tuple("domino_split", 16, 1)));
+
+TEST(MuxStructure, LabelCountIndependentOfWidth) {
+  // Regularity: all slices share labels, so label count must not grow with
+  // the datapath width.
+  for (const char* topo : {"strong_pass", "tristate", "domino_unsplit"}) {
+    core::MacroSpec a, b;
+    a.type = b.type = "mux";
+    a.n = b.n = 4;
+    a.params["bits"] = 2;
+    b.params["bits"] = 16;
+    EXPECT_EQ(generate("mux", topo, a).label_count(),
+              generate("mux", topo, b).label_count())
+        << topo;
+  }
+}
+
+TEST(MuxStructure, DominoHasClockAndPassHasNot) {
+  core::MacroSpec spec;
+  spec.type = "mux";
+  spec.n = 4;
+  spec.params["bits"] = 1;
+  EXPECT_GE(generate("mux", "domino_unsplit", spec).find_net("clk"), 0);
+  EXPECT_EQ(generate("mux", "strong_pass", spec).find_net("clk"), -1);
+}
+
+TEST(MuxStructure, SplitPartitionsShareLabelsWhenEqual) {
+  core::MacroSpec even, odd;
+  even.type = odd.type = "mux";
+  even.n = 8;  // 4+4: identical partitions share labels
+  odd.n = 7;   // 3+4: distinct labels
+  even.params["bits"] = odd.params["bits"] = 1;
+  const auto nl_even = generate("mux", "domino_split", even);
+  const auto nl_odd = generate("mux", "domino_split", odd);
+  EXPECT_LT(nl_even.label_count(), nl_odd.label_count());
+}
+
+// ---------- incrementors / decrementors ----------
+
+class IncrementorFunctional : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementorFunctional, AddsOne) {
+  const int bits = GetParam();
+  core::MacroSpec spec;
+  spec.type = "incrementor";
+  spec.n = bits;
+  const auto nl = generate("incrementor", "ks_prefix", spec);
+  LogicSim sim(nl);
+  util::Rng rng(bits);
+  for (int trial = 0; trial < 24; ++trial) {
+    uint64_t v = 0;
+    for (int i = 0; i < bits; ++i)
+      v |= static_cast<uint64_t>(rng.chance(0.5)) << i;
+    if (trial == 0) v = (1ull << bits) - 1;  // all ones: full carry ripple
+    if (trial == 1) v = 0;
+    std::map<NetId, bool> in;
+    for (int i = 0; i < bits; ++i)
+      set_input(nl, in, strfmt("in%d", i), (v >> i) & 1);
+    const auto st = sim.evaluate(in);
+    const uint64_t want = v + 1;
+    for (int i = 0; i < bits; ++i)
+      EXPECT_EQ(test::net_value(nl, st, strfmt("out%d", i)),
+                refsim::from_bool((want >> i) & 1))
+          << "bits=" << bits << " v=" << v << " bit " << i;
+    EXPECT_EQ(test::net_value(nl, st, "carry"),
+              refsim::from_bool((want >> bits) & 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, IncrementorFunctional,
+                         ::testing::Values(2, 3, 5, 8, 13, 27, 48));
+
+class DecrementorFunctional : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecrementorFunctional, SubtractsOne) {
+  const int bits = GetParam();
+  core::MacroSpec spec;
+  spec.type = "decrementor";
+  spec.n = bits;
+  const auto nl = generate("decrementor", "ks_prefix", spec);
+  LogicSim sim(nl);
+  util::Rng rng(bits + 7);
+  for (int trial = 0; trial < 16; ++trial) {
+    uint64_t v = 0;
+    for (int i = 0; i < bits; ++i)
+      v |= static_cast<uint64_t>(rng.chance(0.5)) << i;
+    if (trial == 0) v = 0;  // full borrow ripple
+    std::map<NetId, bool> in;
+    for (int i = 0; i < bits; ++i)
+      set_input(nl, in, strfmt("in%d", i), (v >> i) & 1);
+    const auto st = sim.evaluate(in);
+    const uint64_t mask = (bits == 64) ? ~0ull : ((1ull << bits) - 1);
+    const uint64_t want = (v - 1) & mask;
+    for (int i = 0; i < bits; ++i)
+      EXPECT_EQ(test::net_value(nl, st, strfmt("out%d", i)),
+                refsim::from_bool((want >> i) & 1))
+          << "bits=" << bits << " v=" << v << " bit " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DecrementorFunctional,
+                         ::testing::Values(3, 8, 64));
+
+TEST(IncrementorStructure, LogDepthLabels) {
+  // Label count grows with log(width), not width: the per-level sharing.
+  core::MacroSpec a, b;
+  a.type = b.type = "incrementor";
+  a.n = 8;
+  b.n = 64;
+  const auto la = generate("incrementor", "ks_prefix", a).label_count();
+  const auto lb = generate("incrementor", "ks_prefix", b).label_count();
+  EXPECT_LT(lb, la * 3);
+}
+
+// ---------- zero detects ----------
+
+class ZeroDetectFunctional
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(ZeroDetectFunctional, FlagsExactlyZero) {
+  const auto& [topo, bits] = GetParam();
+  core::MacroSpec spec;
+  spec.type = "zero_detect";
+  spec.n = bits;
+  const auto nl = generate("zero_detect", topo, spec);
+  LogicSim sim(nl);
+  util::Rng rng(bits);
+  // All-zero, each single-one position, and random patterns.
+  for (int t = 0; t <= bits + 8; ++t) {
+    std::map<NetId, bool> in;
+    uint64_t pattern = 0;
+    if (t == 0) {
+      pattern = 0;
+    } else if (t <= bits) {
+      pattern = 1ull << (t - 1);
+    } else {
+      for (int i = 0; i < bits; ++i)
+        pattern |= static_cast<uint64_t>(rng.chance(0.3)) << i;
+    }
+    for (int i = 0; i < bits; ++i)
+      set_input(nl, in, strfmt("in%d", i), (pattern >> i) & 1);
+    const auto st = sim.evaluate(in);
+    EXPECT_EQ(test::net_value(nl, st, "zero"),
+              refsim::from_bool(pattern == 0))
+        << topo << " bits=" << bits << " pattern=" << pattern;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, ZeroDetectFunctional,
+    ::testing::Values(std::make_tuple("static_tree", 6),
+                      std::make_tuple("static_tree", 8),
+                      std::make_tuple("static_tree", 16),
+                      std::make_tuple("static_tree", 22),
+                      std::make_tuple("static_tree", 32),
+                      std::make_tuple("static_tree", 63),
+                      std::make_tuple("domino_or", 8),
+                      std::make_tuple("domino_or", 22),
+                      std::make_tuple("domino_or", 63)));
+
+// ---------- decoders ----------
+
+class DecoderFunctional : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecoderFunctional, OneHotOutput) {
+  const int n = GetParam();
+  core::MacroSpec spec;
+  spec.type = "decoder";
+  spec.n = n;
+  const auto nl = generate("decoder", "predecode", spec);
+  LogicSim sim(nl);
+  const int words = 1 << n;
+  EXPECT_EQ(nl.outputs().size(), static_cast<size_t>(words));
+  for (int v = 0; v < words; ++v) {
+    std::map<NetId, bool> in;
+    for (int i = 0; i < n; ++i)
+      set_input(nl, in, strfmt("a%d", i), (v >> i) & 1);
+    const auto st = sim.evaluate(in);
+    for (int w = 0; w < words; ++w)
+      EXPECT_EQ(test::net_value(nl, st, strfmt("o%d", w)),
+                refsim::from_bool(w == v))
+          << "n=" << n << " v=" << v << " w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DecoderFunctional,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+// ---------- encoders ----------
+
+class EncoderFunctional : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderFunctional, FindsHighestSetBit) {
+  const int n = GetParam();
+  core::MacroSpec spec;
+  spec.type = "encoder";
+  spec.n = n;
+  const auto nl = generate("encoder", "priority", spec);
+  LogicSim sim(nl);
+  int idx_bits = 0;
+  while ((1 << idx_bits) < n) ++idx_bits;
+  util::Rng rng(n);
+  for (int t = 0; t <= n + 12; ++t) {
+    uint64_t v = 0;
+    if (t == 0) {
+      v = 0;  // nothing set: valid must be low
+    } else if (t <= n) {
+      v = 1ull << (t - 1);
+    } else {
+      for (int i = 0; i < n; ++i)
+        v |= static_cast<uint64_t>(rng.chance(0.4)) << i;
+    }
+    std::map<NetId, bool> in;
+    for (int i = 0; i < n; ++i)
+      set_input(nl, in, strfmt("in%d", i), (v >> i) & 1);
+    const auto st = sim.evaluate(in);
+    EXPECT_EQ(test::net_value(nl, st, "valid"), refsim::from_bool(v != 0))
+        << "n=" << n << " v=" << v;
+    if (v == 0) continue;
+    int highest = 63;
+    while (!((v >> highest) & 1)) --highest;
+    for (int k = 0; k < idx_bits; ++k)
+      EXPECT_EQ(test::net_value(nl, st, strfmt("idx%d", k)),
+                refsim::from_bool((highest >> k) & 1))
+          << "n=" << n << " v=" << v << " bit " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EncoderFunctional,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+// ---------- adders ----------
+
+class AdderFunctional : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderFunctional, AddsDualRail) {
+  const int bits = GetParam();
+  core::MacroSpec spec;
+  spec.type = "adder";
+  spec.n = bits;
+  const auto nl = generate("adder", "domino_cla", spec);
+  LogicSim sim(nl);
+  util::Rng rng(bits * 3);
+  for (int trial = 0; trial < 30; ++trial) {
+    uint64_t a = 0, b = 0;
+    for (int i = 0; i < bits; ++i) {
+      a |= static_cast<uint64_t>(rng.chance(0.5)) << i;
+      b |= static_cast<uint64_t>(rng.chance(0.5)) << i;
+    }
+    const bool cin = rng.chance(0.5);
+    if (trial == 0) {  // worst-case ripple
+      a = (bits == 64) ? ~0ull : ((1ull << bits) - 1);
+      b = 0;
+    }
+    std::map<NetId, bool> in;
+    for (int i = 0; i < bits; ++i) {
+      set_input(nl, in, strfmt("a%d_t", i), (a >> i) & 1);
+      set_input(nl, in, strfmt("a%d_f", i), !((a >> i) & 1));
+      set_input(nl, in, strfmt("b%d_t", i), (b >> i) & 1);
+      set_input(nl, in, strfmt("b%d_f", i), !((b >> i) & 1));
+    }
+    set_input(nl, in, "cin_t", cin);
+    set_input(nl, in, "cin_f", !cin);
+    const auto st = sim.evaluate(in);
+    const unsigned __int128 sum = static_cast<unsigned __int128>(a) + b +
+                                  (cin ? 1 : 0);
+    for (int i = 0; i < bits; ++i) {
+      const bool want = (sum >> i) & 1;
+      EXPECT_EQ(test::net_value(nl, st, strfmt("s%d_t", i)),
+                refsim::from_bool(want))
+          << "bits=" << bits << " bit " << i;
+      EXPECT_EQ(test::net_value(nl, st, strfmt("s%d_f", i)),
+                refsim::from_bool(!want));
+    }
+    const bool wantc = (sum >> bits) & 1;
+    EXPECT_EQ(test::net_value(nl, st, "cout_t"), refsim::from_bool(wantc));
+    EXPECT_EQ(test::net_value(nl, st, "cout_f"), refsim::from_bool(!wantc));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderFunctional,
+                         ::testing::Values(8, 16, 32, 64));
+
+class StaticAdderFunctional : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaticAdderFunctional, AddsSingleRail) {
+  const int bits = GetParam();
+  core::MacroSpec spec;
+  spec.type = "adder";
+  spec.n = bits;
+  const auto nl = generate("adder", "static_cla", spec);
+  LogicSim sim(nl);
+  util::Rng rng(bits * 11);
+  for (int trial = 0; trial < 24; ++trial) {
+    uint64_t a = 0, b = 0;
+    for (int i = 0; i < bits; ++i) {
+      a |= static_cast<uint64_t>(rng.chance(0.5)) << i;
+      b |= static_cast<uint64_t>(rng.chance(0.5)) << i;
+    }
+    const bool cin = rng.chance(0.5);
+    if (trial == 0) {
+      a = (bits == 64) ? ~0ull : ((1ull << bits) - 1);
+      b = 0;
+    }
+    std::map<NetId, bool> in;
+    for (int i = 0; i < bits; ++i) {
+      set_input(nl, in, strfmt("a%d", i), (a >> i) & 1);
+      set_input(nl, in, strfmt("b%d", i), (b >> i) & 1);
+    }
+    set_input(nl, in, "cin", cin);
+    const auto st = sim.evaluate(in);
+    const unsigned __int128 sum =
+        static_cast<unsigned __int128>(a) + b + (cin ? 1 : 0);
+    for (int i = 0; i < bits; ++i)
+      EXPECT_EQ(test::net_value(nl, st, strfmt("s%d", i)),
+                refsim::from_bool((sum >> i) & 1))
+          << "bits=" << bits << " bit " << i;
+    EXPECT_EQ(test::net_value(nl, st, "cout"),
+              refsim::from_bool((sum >> bits) & 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, StaticAdderFunctional,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST(AdderStructure, StaticVariantHasNoClock) {
+  core::MacroSpec spec;
+  spec.type = "adder";
+  spec.n = 8;
+  const auto nl = generate("adder", "static_cla", spec);
+  EXPECT_EQ(nl.find_net("clk"), -1);
+  const auto stats = nl.device_stats(netlist::Sizing(nl.label_count(), 2.0));
+  EXPECT_DOUBLE_EQ(stats.clock_gate_width, 0.0);
+}
+
+TEST(AdderStructure, AlternatesFootedStages) {
+  core::MacroSpec spec;
+  spec.type = "adder";
+  spec.n = 16;
+  const auto nl = generate("adder", "domino_cla", spec);
+  int footed = 0, unfooted = 0;
+  for (const auto& comp : nl.comps()) {
+    if (const auto* d = comp.as_domino())
+      (d->evaluate_label >= 0 ? footed : unfooted)++;
+  }
+  EXPECT_GT(footed, 0);
+  EXPECT_GT(unfooted, 0);
+}
+
+// ---------- comparators ----------
+
+class ComparatorFunctional : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ComparatorFunctional, EqualityOverRandomPairs) {
+  const std::string topo = GetParam();
+  core::MacroSpec spec;
+  spec.type = "comparator";
+  spec.n = 32;
+  const auto nl = generate("comparator", topo, spec);
+  LogicSim sim(nl);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    uint64_t a = 0;
+    for (int i = 0; i < 32; ++i)
+      a |= static_cast<uint64_t>(rng.chance(0.5)) << i;
+    uint64_t b = a;
+    if (trial % 2 == 1) b ^= 1ull << rng.uniform_int(0, 31);
+    std::map<NetId, bool> in;
+    for (int i = 0; i < 32; ++i) {
+      set_input(nl, in, strfmt("a%d_t", i), (a >> i) & 1);
+      set_input(nl, in, strfmt("a%d_f", i), !((a >> i) & 1));
+      set_input(nl, in, strfmt("b%d_t", i), (b >> i) & 1);
+      set_input(nl, in, strfmt("b%d_f", i), !((b >> i) & 1));
+    }
+    const auto st = sim.evaluate(in);
+    EXPECT_EQ(test::net_value(nl, st, "eq"), refsim::from_bool(a == b))
+        << topo << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, ComparatorFunctional,
+                         ::testing::Values("xorsum2_nor4", "xorsum1_nor8",
+                                           "xorsum4_nor4"));
+
+TEST(ComparatorStructure, ClockLoadDiffersAcrossTopologies) {
+  // The Fig 7 effect: the number of clocked gates varies by configuration.
+  core::MacroSpec spec;
+  spec.type = "comparator";
+  spec.n = 32;
+  const auto a = generate("comparator", "xorsum1_nor8", spec);
+  const auto c = generate("comparator", "xorsum4_nor4", spec);
+  const auto sa = a.device_stats(netlist::Sizing(a.label_count(), 2.0));
+  const auto sc = c.device_stats(netlist::Sizing(c.label_count(), 2.0));
+  EXPECT_NE(sa.clock_gate_width, sc.clock_gate_width);
+}
+
+// ---------- shifters ----------
+
+class RotatorFunctional : public ::testing::TestWithParam<int> {};
+
+TEST_P(RotatorFunctional, RotatesRightByAmount) {
+  const int bits = GetParam();
+  core::MacroSpec spec;
+  spec.type = "shifter";
+  spec.n = bits;
+  const auto nl = generate("shifter", "barrel_rotate", spec);
+  LogicSim sim(nl);
+  int stages = 0;
+  while ((1 << stages) < bits) ++stages;
+  util::Rng rng(bits);
+  for (int amt = 0; amt < bits; amt += std::max(1, bits / 8)) {
+    uint64_t v = 0;
+    for (int i = 0; i < bits; ++i)
+      v |= static_cast<uint64_t>(rng.chance(0.5)) << i;
+    std::map<NetId, bool> in;
+    for (int i = 0; i < bits; ++i)
+      set_input(nl, in, strfmt("in%d", i), (v >> i) & 1);
+    for (int k = 0; k < stages; ++k)
+      set_input(nl, in, strfmt("s%d", k), (amt >> k) & 1);
+    const auto st = sim.evaluate(in);
+    for (int i = 0; i < bits; ++i) {
+      const bool want = (v >> ((i + amt) % bits)) & 1;
+      EXPECT_EQ(test::net_value(nl, st, strfmt("o%d", i)),
+                refsim::from_bool(want))
+          << "bits=" << bits << " amt=" << amt << " bit " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RotatorFunctional,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+TEST(RotatorStructure, LabelsPerStageNotPerBit) {
+  core::MacroSpec a, b;
+  a.type = b.type = "shifter";
+  a.n = 8;
+  b.n = 32;
+  const auto la = generate("shifter", "barrel_rotate", a).label_count();
+  const auto lb = generate("shifter", "barrel_rotate", b).label_count();
+  // 3 stages -> 5 label groups each; 5 stages -> the same per stage.
+  EXPECT_EQ(la % 3, 0u);
+  EXPECT_EQ(lb / 5, la / 3);
+}
+
+// ---------- register files ----------
+
+class RegFileFunctional
+    : public ::testing::TestWithParam<std::tuple<std::string, int, int>> {};
+
+TEST_P(RegFileFunctional, ReadsSelectedEntry) {
+  const auto& [topo, entries, bits] = GetParam();
+  core::MacroSpec spec;
+  spec.type = "register_file";
+  spec.n = entries;
+  spec.params["bits"] = bits;
+  const auto nl = generate("register_file", topo, spec);
+  LogicSim sim(nl);
+  util::Rng rng(entries * 7 + bits);
+  const bool domino = topo == "domino_read";
+  for (int sel = 0; sel < entries; ++sel) {
+    std::map<NetId, bool> in;
+    std::vector<uint64_t> words(static_cast<size_t>(entries), 0);
+    for (int e = 0; e < entries; ++e) {
+      set_input(nl, in, strfmt("wl%d", e), e == sel);
+      for (int b = 0; b < bits; ++b) {
+        const bool bit = rng.chance(0.5);
+        words[static_cast<size_t>(e)] |= static_cast<uint64_t>(bit) << b;
+        set_input(nl, in, strfmt("d%d_%d", e, b), bit);
+      }
+    }
+    const auto st = sim.evaluate(in);
+    for (int b = 0; b < bits; ++b) {
+      const bool want = (words[static_cast<size_t>(sel)] >> b) & 1;
+      if (domino && !want) continue;  // monotonic: low matches precharge
+      EXPECT_EQ(test::net_value(nl, st, strfmt("o%d", b)),
+                refsim::from_bool(want))
+          << topo << " entries=" << entries << " sel=" << sel;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RegFileFunctional,
+    ::testing::Values(std::make_tuple("pass_read", 4, 4),
+                      std::make_tuple("pass_read", 8, 8),
+                      std::make_tuple("pass_read", 16, 4),
+                      std::make_tuple("domino_read", 4, 4),
+                      std::make_tuple("domino_read", 8, 8),
+                      std::make_tuple("domino_read", 16, 4)));
+
+TEST(RegFileStructure, DominoPortHasClock) {
+  core::MacroSpec spec;
+  spec.type = "register_file";
+  spec.n = 4;
+  spec.params["bits"] = 2;
+  EXPECT_GE(generate("register_file", "domino_read", spec).find_net("clk"),
+            0);
+  EXPECT_EQ(generate("register_file", "pass_read", spec).find_net("clk"),
+            -1);
+}
+
+// ---------- registry ----------
+
+TEST(RegistryTest, AllExpectedTypesPresent) {
+  const auto& db = builtin_database();
+  const auto types = db.macro_types();
+  for (const char* t : {"mux", "incrementor", "decrementor", "zero_detect",
+                        "decoder", "adder", "comparator", "shifter", "encoder",
+                        "register_file"}) {
+    EXPECT_NE(std::find(types.begin(), types.end(), t), types.end()) << t;
+  }
+  core::MacroSpec spec;
+  spec.type = "mux";
+  spec.n = 2;
+  EXPECT_GE(db.topologies("mux", &spec).size(), 3u);  // encoded2 applies
+  spec.n = 8;
+  // encoded2 does not apply to n=8; split does.
+  bool has_encoded = false, has_split = false;
+  for (const auto* e : db.topologies("mux", &spec)) {
+    has_encoded |= e->name == "encoded2";
+    has_split |= e->name == "domino_split";
+  }
+  EXPECT_FALSE(has_encoded);
+  EXPECT_TRUE(has_split);
+}
+
+TEST(RegistryTest, DatabaseIsExpandable) {
+  core::MacroDatabase db;
+  register_all(db);
+  const size_t before = db.topologies("mux").size();
+  db.register_topology("mux",
+                       {"custom", "designer-provided topology",
+                        [](const core::MacroSpec& s) {
+                          return test::inverter_chain(s.n);
+                        },
+                        nullptr});
+  EXPECT_EQ(db.topologies("mux").size(), before + 1);
+  EXPECT_NE(db.find("mux", "custom"), nullptr);
+  // Duplicate names rejected.
+  EXPECT_THROW(db.register_topology(
+                   "mux", {"custom", "dup",
+                           [](const core::MacroSpec& s) {
+                             return test::inverter_chain(s.n);
+                           },
+                           nullptr}),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace smart::macros

@@ -1,0 +1,194 @@
+// Tests for the posynomial component models and the calibration fitter:
+// consistency with the reference timer, fit quality per class, label
+// variable mapping, and the saturating- vs linear-slope basis.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.h"
+#include "models/arc_model.h"
+#include "models/fitter.h"
+#include "refsim/rc_timer.h"
+
+namespace smart::models {
+namespace {
+
+using netlist::LabelId;
+using netlist::Netlist;
+using netlist::Sizing;
+
+class ModelsTest : public ::testing::Test {
+ protected:
+  const tech::Tech& tech_ = tech::default_tech();
+  const ModelLibrary& lib_ = default_library();
+};
+
+LabelVarMap const_map(const Netlist& nl, const Sizing& sizing) {
+  LabelVarMap map;
+  for (size_t i = 0; i < nl.label_count(); ++i)
+    map.push_back(posy::Monomial(
+        nl.label_width(static_cast<LabelId>(i), sizing)));
+  return map;
+}
+
+TEST_F(ModelsTest, NetCapPosyMatchesReferenceTimer) {
+  // The symbolic capacitance model and the reference timer must agree on
+  // every net of a representative macro.
+  core::MacroSpec spec;
+  spec.type = "mux";
+  spec.n = 4;
+  spec.params["bits"] = 2;
+  const auto nl = test::generate("mux", "strong_pass", spec);
+  const Sizing sizing(nl.label_count(), 2.5);
+  const auto map = const_map(nl, sizing);
+  const refsim::RcTimer timer(tech_);
+  for (size_t n = 0; n < nl.net_count(); ++n) {
+    const auto id = static_cast<netlist::NetId>(n);
+    const double sym = net_cap_posy(nl, id, map, tech_).eval({});
+    const double ref = timer.net_cap(nl, sizing, id);
+    EXPECT_NEAR(sym, ref, 1e-9) << nl.net(id).name;
+  }
+}
+
+TEST_F(ModelsTest, ClassifyArcCoversAllKinds) {
+  core::MacroSpec spec;
+  spec.type = "mux";
+  spec.n = 4;
+  spec.params["bits"] = 1;
+  const auto pass = test::generate("mux", "strong_pass", spec);
+  bool saw_pass_data = false, saw_pass_ctrl = false, saw_static = false;
+  for (const auto& arc : pass.arcs()) {
+    const ArcClass c = classify_arc(pass, arc);
+    saw_pass_data |= c == ArcClass::kPassData;
+    saw_pass_ctrl |= c == ArcClass::kPassControl;
+    saw_static |= c == ArcClass::kStatic;
+  }
+  EXPECT_TRUE(saw_pass_data);
+  EXPECT_TRUE(saw_pass_ctrl);
+  EXPECT_TRUE(saw_static);
+
+  const auto dom = test::generate("mux", "domino_unsplit", spec);
+  bool saw_eval = false, saw_clk = false, saw_pre = false;
+  for (const auto& arc : dom.arcs()) {
+    const ArcClass c = classify_arc(dom, arc);
+    saw_eval |= c == ArcClass::kDominoFooted;
+    saw_clk |= c == ArcClass::kDominoClkEval;
+    saw_pre |= c == ArcClass::kDominoPrecharge;
+  }
+  EXPECT_TRUE(saw_eval);
+  EXPECT_TRUE(saw_clk);
+  EXPECT_TRUE(saw_pre);
+}
+
+TEST_F(ModelsTest, MakeLabelVarsRespectsFixedLabels) {
+  Netlist nl("f");
+  const auto a = nl.add_net("a"), b = nl.add_net("b");
+  const auto n = nl.add_label("N", 0.5, 20.0);
+  const auto p = nl.add_label("P");
+  nl.fix_label(p, 3.0);
+  nl.add_inverter("i", a, b, n, p);
+  nl.add_input(a);
+  nl.add_output(b);
+  nl.finalize();
+  posy::VarTable vars;
+  const auto map = make_label_vars(nl, vars);
+  EXPECT_EQ(vars.size(), 1u);  // only the free label becomes a variable
+  EXPECT_TRUE(map[static_cast<size_t>(p)].is_constant());
+  EXPECT_DOUBLE_EQ(map[static_cast<size_t>(p)].coeff(), 3.0);
+  EXPECT_DOUBLE_EQ(vars.info(0).lower, 0.5);
+  EXPECT_DOUBLE_EQ(vars.info(0).upper, 20.0);
+}
+
+TEST_F(ModelsTest, FitQualityIsTightPerClass) {
+  FitReport report;
+  calibrate(tech_, &report);
+  for (size_t c = 0; c < static_cast<size_t>(ArcClass::kCount); ++c) {
+    const auto& f = report.per_class[c];
+    EXPECT_GT(f.samples, 50) << "class " << c;
+    // Delay models within a few percent RMS of the reference timer.
+    EXPECT_LT(f.delay_rms_rel, 0.08) << "class " << c;
+    EXPECT_LT(f.slope_rms_rel, 0.05) << "class " << c;
+  }
+}
+
+TEST_F(ModelsTest, SaturatingBasisBeatsLinearBasis) {
+  FitReport sat, lin;
+  calibrate(tech_, &sat, FitOptions{true});
+  calibrate(tech_, &lin, FitOptions{false});
+  // Averaged over classes, the saturating basis fits at least as well.
+  double sat_sum = 0.0, lin_sum = 0.0;
+  for (size_t c = 0; c < static_cast<size_t>(ArcClass::kCount); ++c) {
+    sat_sum += sat.per_class[c].delay_rms_rel;
+    lin_sum += lin.per_class[c].delay_rms_rel;
+  }
+  EXPECT_LE(sat_sum, lin_sum + 1e-9);
+}
+
+TEST_F(ModelsTest, StaticClassRecoversElmoreConstant) {
+  FitReport report;
+  const auto lib = calibrate(tech_, &report);
+  const auto& m = lib.coeffs(ArcClass::kStatic);
+  EXPECT_NEAR(m.a_rc, tech_.elmore_ln2, 0.02);
+  EXPECT_NEAR(m.b_rc, tech_.slope_factor, 0.02);
+}
+
+TEST_F(ModelsTest, DominoClassAbsorbsKeeperPenalty) {
+  // The fitted RC coefficient of domino evaluate classes exceeds ln2: the
+  // keeper contention the posynomial model cannot represent is folded into
+  // the coefficient.
+  const auto& m = lib_.coeffs(ArcClass::kDominoFooted);
+  EXPECT_GT(m.a_rc, tech_.elmore_ln2 * 1.05);
+}
+
+TEST_F(ModelsTest, ControlClassesCarryLocalInverterIntrinsic) {
+  EXPECT_GT(lib_.coeffs(ArcClass::kPassControl).a_int,
+            lib_.coeffs(ArcClass::kPassData).a_int + 1.0);
+  EXPECT_GT(lib_.coeffs(ArcClass::kTristateEnable).a_int,
+            lib_.coeffs(ArcClass::kTristateData).a_int + 1.0);
+}
+
+TEST_F(ModelsTest, ArcModelTracksReferenceOnChain) {
+  // End-to-end check on a circuit the fitter never saw: per-arc model
+  // delay within ~15% of the reference timer at moderate operating points.
+  auto nl = test::inverter_chain(3, 25.0);
+  const Sizing sizing = {2.0, 4.0, 3.0, 6.0, 5.0, 10.0};
+  const auto map = const_map(nl, sizing);
+  const refsim::RcTimer timer(tech_);
+  for (const auto& arc : nl.arcs()) {
+    for (bool rise : {false, true}) {
+      const auto cap = net_cap_posy(nl, arc.to, map, tech_);
+      const auto mp = arc_model_posy(nl, arc, rise, posy::Posynomial(40.0),
+                                     cap, map, lib_, tech_);
+      const auto ref = timer.arc_delay(nl, sizing, arc, rise, 40.0);
+      const double model = mp.delay.eval({});
+      EXPECT_NEAR(model, ref.delay_ps, 0.15 * ref.delay_ps + 2.0);
+    }
+  }
+}
+
+TEST_F(ModelsTest, RcPosyMonotoneDecreasingInDriverWidth) {
+  auto nl = test::inverter_chain(1, 30.0);
+  posy::VarTable vars;
+  const auto map = make_label_vars(nl, vars);
+  const auto& arc = nl.arcs()[0];
+  const auto cap = net_cap_posy(nl, arc.to, map, tech_);
+  const auto rc = arc_rc_posy(nl, arc, false, cap, map, tech_);
+  // Evaluate at growing NMOS width (variable 0), fixed PMOS.
+  double prev = 1e18;
+  for (double w : {0.5, 1.0, 2.0, 4.0}) {
+    const double v = rc.eval({w, 2.0});
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST_F(ModelsTest, DefaultLibraryIsCalibrated) {
+  // default_library() must carry fitted (saturating-basis) coefficients;
+  // the control classes' local-inverter intrinsics prove a fit ran.
+  EXPECT_TRUE(lib_.coeffs(ArcClass::kStatic).saturating_slope);
+  EXPECT_GT(lib_.coeffs(ArcClass::kPassControl).a_int, 1.0);
+}
+
+}  // namespace
+}  // namespace smart::models

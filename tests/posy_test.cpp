@@ -1,0 +1,196 @@
+// Unit and property tests for monomial / posynomial algebra.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "posy/posynomial.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace smart::posy {
+namespace {
+
+TEST(VarTableTest, AddFindBounds) {
+  VarTable vars;
+  const VarId x = vars.add("x", 0.5, 10.0);
+  const VarId y = vars.add("y");
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars.find("x"), x);
+  EXPECT_EQ(vars.find("nope"), -1);
+  EXPECT_DOUBLE_EQ(vars.info(x).lower, 0.5);
+  vars.set_bounds(y, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(vars.info(y).upper, 2.0);
+}
+
+TEST(VarTableTest, RejectsDuplicatesAndBadBounds) {
+  VarTable vars;
+  vars.add("x");
+  EXPECT_THROW(vars.add("x"), util::Error);
+  EXPECT_THROW(vars.add("neg", -1.0, 1.0), util::Error);
+  EXPECT_THROW(vars.add("empty", 2.0, 1.0), util::Error);
+}
+
+TEST(MonomialTest, EvalMatchesDefinition) {
+  VarTable vars;
+  const VarId x = vars.add("x"), y = vars.add("y");
+  Monomial m(3.0);
+  m.mul_var(x, 2.0).mul_var(y, -1.0);
+  EXPECT_NEAR(m.eval({2.0, 4.0}), 3.0 * 4.0 / 4.0, 1e-12);
+}
+
+TEST(MonomialTest, ExponentsMergeAndCancel) {
+  VarTable vars;
+  const VarId x = vars.add("x");
+  Monomial m;
+  m.mul_var(x, 2.0);
+  m.mul_var(x, -2.0);
+  EXPECT_TRUE(m.is_constant());
+}
+
+TEST(MonomialTest, ProductAndPow) {
+  VarTable vars;
+  const VarId x = vars.add("x");
+  const Monomial a = Monomial(2.0) * Monomial::variable(x, 1.0);
+  const Monomial b = a.pow(2.0);
+  EXPECT_NEAR(b.eval({3.0}), 36.0, 1e-12);
+  const Monomial inv = a.inverse();
+  EXPECT_NEAR(inv.eval({3.0}) * a.eval({3.0}), 1.0, 1e-12);
+}
+
+TEST(MonomialTest, EvalLogConsistent) {
+  VarTable vars;
+  const VarId x = vars.add("x"), y = vars.add("y");
+  Monomial m(0.5);
+  m.mul_var(x, 1.5).mul_var(y, -0.5);
+  const util::Vec xv = {2.0, 5.0};
+  util::Vec yv = {std::log(2.0), std::log(5.0)};
+  EXPECT_NEAR(std::exp(m.eval_log(yv)), m.eval(xv), 1e-12);
+}
+
+TEST(PosynomialTest, ZeroAndConstants) {
+  Posynomial zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_TRUE(zero.is_constant());
+  EXPECT_DOUBLE_EQ(zero.constant_value(), 0.0);
+  Posynomial c(4.0);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_DOUBLE_EQ(c.constant_value(), 4.0);
+  EXPECT_THROW(Posynomial(-1.0), util::Error);
+}
+
+TEST(PosynomialTest, TermMergingByVariablePart) {
+  VarTable vars;
+  const VarId x = vars.add("x");
+  Posynomial p = Posynomial::variable(x);
+  p += Monomial(2.0) * Monomial::variable(x);
+  EXPECT_EQ(p.num_terms(), 1u);
+  EXPECT_NEAR(p.eval({5.0}), 15.0, 1e-12);
+}
+
+TEST(PosynomialTest, SelfAdditionDoubles) {
+  VarTable vars;
+  const VarId x = vars.add("x");
+  Posynomial p = Posynomial::variable(x) + Posynomial(1.0);
+  p += p;
+  EXPECT_NEAR(p.eval({3.0}), 8.0, 1e-12);
+}
+
+TEST(PosynomialTest, ProductDistributes) {
+  VarTable vars;
+  const VarId x = vars.add("x"), y = vars.add("y");
+  const Posynomial p = Posynomial::variable(x) + Posynomial(2.0);
+  const Posynomial q = Posynomial::variable(y) + Posynomial(3.0);
+  const Posynomial r = p * q;
+  // (x+2)(y+3) at x=1,y=1 -> 3*4=12
+  EXPECT_NEAR(r.eval({1.0, 1.0}), 12.0, 1e-12);
+  EXPECT_EQ(r.num_terms(), 4u);
+}
+
+TEST(PosynomialTest, SelfProductSquares) {
+  VarTable vars;
+  const VarId x = vars.add("x");
+  Posynomial p = Posynomial::variable(x) + Posynomial(1.0);
+  p *= p;
+  EXPECT_NEAR(p.eval({2.0}), 9.0, 1e-12);
+}
+
+TEST(PosynomialTest, DivisionByMonomial) {
+  VarTable vars;
+  const VarId x = vars.add("x"), y = vars.add("y");
+  Posynomial p = Posynomial::variable(x) + Posynomial(4.0);
+  p /= Monomial::variable(y);
+  EXPECT_NEAR(p.eval({2.0, 4.0}), (2.0 + 4.0) / 4.0, 1e-12);
+}
+
+TEST(PosynomialTest, EvalLogMatchesEval) {
+  util::Rng rng(7);
+  VarTable vars;
+  const VarId x = vars.add("x"), y = vars.add("y"), z = vars.add("z");
+  for (int trial = 0; trial < 50; ++trial) {
+    Posynomial p;
+    const int terms = rng.uniform_int(1, 6);
+    for (int t = 0; t < terms; ++t) {
+      Monomial m(rng.uniform(0.1, 10.0));
+      m.mul_var(x, rng.uniform(-2, 2));
+      m.mul_var(y, rng.uniform(-2, 2));
+      m.mul_var(z, rng.uniform(-2, 2));
+      p += m;
+    }
+    const util::Vec xv = {rng.uniform(0.1, 20), rng.uniform(0.1, 20),
+                          rng.uniform(0.1, 20)};
+    const util::Vec yv = {std::log(xv[0]), std::log(xv[1]), std::log(xv[2])};
+    EXPECT_NEAR(std::exp(p.eval_log(yv)), p.eval(xv),
+                1e-9 * p.eval(xv));
+  }
+}
+
+TEST(PosynomialTest, ScalingRules) {
+  VarTable vars;
+  const VarId x = vars.add("x");
+  Posynomial p = Posynomial::variable(x) + Posynomial(1.0);
+  p *= 0.0;
+  EXPECT_TRUE(p.is_zero());
+  Posynomial q = Posynomial::variable(x);
+  EXPECT_THROW(q *= -2.0, util::Error);
+}
+
+TEST(PosynomialTest, ToStringMentionsVariables) {
+  VarTable vars;
+  const VarId w = vars.add("Wp");
+  const Posynomial p = Posynomial::variable(w, -1.0) * 2.0 + Posynomial(1.0);
+  const std::string s = p.to_string(vars);
+  EXPECT_NE(s.find("Wp"), std::string::npos);
+}
+
+// Property: posynomials are closed under + and * (coefficients stay
+// positive), and evaluation is always positive for positive inputs.
+TEST(PosynomialProperty, PositivityClosure) {
+  util::Rng rng(42);
+  VarTable vars;
+  const VarId x = vars.add("x"), y = vars.add("y");
+  for (int trial = 0; trial < 100; ++trial) {
+    auto random_posy = [&]() {
+      Posynomial p;
+      const int terms = rng.uniform_int(1, 4);
+      for (int t = 0; t < terms; ++t) {
+        Monomial m(rng.uniform(0.01, 5.0));
+        m.mul_var(x, rng.uniform(-3, 3));
+        m.mul_var(y, rng.uniform(-3, 3));
+        p += m;
+      }
+      return p;
+    };
+    const Posynomial p = random_posy(), q = random_posy();
+    const util::Vec at = {rng.uniform(0.01, 100), rng.uniform(0.01, 100)};
+    EXPECT_GT((p + q).eval(at), 0.0);
+    EXPECT_GT((p * q).eval(at), 0.0);
+    EXPECT_NEAR((p + q).eval(at), p.eval(at) + q.eval(at),
+                1e-9 * (p.eval(at) + q.eval(at)));
+    EXPECT_NEAR((p * q).eval(at), p.eval(at) * q.eval(at),
+                1e-9 * p.eval(at) * q.eval(at));
+  }
+}
+
+}  // namespace
+}  // namespace smart::posy

@@ -1,0 +1,280 @@
+// Tests for the reference RC timing engine: Elmore behaviour, monotonicity
+// properties, slope propagation, domino phases, and keeper contention.
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "refsim/rc_timer.h"
+#include "tech/tech.h"
+
+namespace smart::refsim {
+namespace {
+
+using netlist::DominoGate;
+using netlist::LabelId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Sizing;
+using netlist::Stack;
+
+class RcTimerTest : public ::testing::Test {
+ protected:
+  const tech::Tech& tech_ = tech::default_tech();
+  RcTimer timer_{tech_};
+};
+
+TEST_F(RcTimerTest, NetCapCountsGateDiffusionWireAndLoad) {
+  auto nl = test::inverter_chain(2, 10.0);
+  const Sizing s = {1.0, 2.0, 3.0, 4.0};
+  // Net n0 (between the inverters): gate of stage 2 (3+4 um), diffusion of
+  // stage 1 (1+2 um), wire + one fanout arc.
+  const double cap = timer_.net_cap(nl, s, nl.find_net("n0"));
+  const double want = tech_.c_gate * 7.0 + tech_.c_diff * 3.0 +
+                      tech_.c_wire + tech_.c_wire_per_fanout;
+  EXPECT_NEAR(cap, want, 1e-9);
+  // Output net includes the port load.
+  const double out_cap = timer_.net_cap(nl, s, nl.find_net("n1"));
+  EXPECT_NEAR(out_cap, tech_.c_diff * 7.0 + tech_.c_wire + 10.0, 1e-9);
+}
+
+TEST_F(RcTimerTest, ExtraWireCapSlowsTheNet) {
+  auto nl = test::inverter_chain(2, 10.0);
+  Sizing s(nl.label_count(), 2.0);
+  const double base = timer_.analyze(nl, s).worst_delay;
+  nl.set_extra_wire(nl.find_net("n0"), 30.0);  // long route between stages
+  const double routed = timer_.analyze(nl, s).worst_delay;
+  EXPECT_GT(routed, base + 5.0);
+  EXPECT_NEAR(timer_.net_cap(nl, s, nl.find_net("n0")),
+              timer_.all_net_caps(nl, s)[static_cast<size_t>(
+                  nl.find_net("n0"))],
+              1e-9);
+}
+
+TEST_F(RcTimerTest, DelayDecreasesWithWidth) {
+  auto nl = test::inverter_chain(3, 30.0);
+  double prev = 1e12;
+  for (double w : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    Sizing s(nl.label_count(), w);
+    const auto rep = timer_.analyze(nl, s);
+    EXPECT_LT(rep.worst_delay, prev);
+    prev = rep.worst_delay;
+  }
+}
+
+TEST_F(RcTimerTest, DelayIncreasesWithLoad) {
+  double prev = 0.0;
+  for (double load : {5.0, 20.0, 80.0}) {
+    auto nl = test::inverter_chain(2, load);
+    Sizing s(nl.label_count(), 2.0);
+    const auto rep = timer_.analyze(nl, s);
+    EXPECT_GT(rep.worst_delay, prev);
+    prev = rep.worst_delay;
+  }
+}
+
+TEST_F(RcTimerTest, DelayIncreasesWithInputSlope) {
+  auto nl = test::inverter_chain(1, 10.0);
+  Sizing s(nl.label_count(), 2.0);
+  double prev = 0.0;
+  for (double slope : {5.0, 30.0, 90.0, 200.0}) {
+    nl.mutable_inputs()[0].slope_ps = slope;
+    const auto rep = timer_.analyze(nl, s);
+    EXPECT_GT(rep.worst_delay, prev);
+    prev = rep.worst_delay;
+  }
+}
+
+TEST_F(RcTimerTest, SlopeSaturates) {
+  // The incremental delay per ps of input slope must shrink at large
+  // slopes (the deliberate non-posynomial behaviour).
+  auto nl = test::inverter_chain(1, 10.0);
+  Sizing s(nl.label_count(), 2.0);
+  auto delay_at = [&](double slope) {
+    nl.mutable_inputs()[0].slope_ps = slope;
+    return timer_.analyze(nl, s).worst_delay;
+  };
+  const double d_low = delay_at(20.0) - delay_at(10.0);
+  const double d_high = delay_at(210.0) - delay_at(200.0);
+  EXPECT_LT(d_high, d_low);
+}
+
+TEST_F(RcTimerTest, ArrivalAccountsForInputArrivalTime) {
+  auto nl = test::inverter_chain(2, 10.0);
+  Sizing s(nl.label_count(), 2.0);
+  const double base = timer_.analyze(nl, s).worst_delay;
+  nl.mutable_inputs()[0].arrival_ps = 25.0;
+  EXPECT_NEAR(timer_.analyze(nl, s).worst_delay, base + 25.0, 1e-9);
+}
+
+TEST_F(RcTimerTest, StackDepthSlowsFall) {
+  // NAND3 fall through a 3-stack is slower than an inverter fall at equal
+  // widths and load.
+  Netlist inv("inv");
+  {
+    const NetId a = inv.add_net("a"), o = inv.add_net("o");
+    const LabelId n = inv.add_label("N"), p = inv.add_label("P");
+    inv.add_inverter("i", a, o, n, p);
+    inv.add_input(a);
+    inv.add_output(o, 20.0);
+    inv.finalize();
+  }
+  Netlist nand3("nand3");
+  {
+    const NetId a = nand3.add_net("a"), b = nand3.add_net("b");
+    const NetId c = nand3.add_net("c"), o = nand3.add_net("o");
+    const LabelId n = nand3.add_label("N"), p = nand3.add_label("P");
+    nand3.add_component("g", o,
+                        netlist::StaticGate{
+                            Stack::series({Stack::leaf(a, n),
+                                           Stack::leaf(b, n),
+                                           Stack::leaf(c, n)}),
+                            p});
+    nand3.add_input(a);
+    nand3.add_input(b);
+    nand3.add_input(c);
+    nand3.add_output(o, 20.0);
+    nand3.finalize();
+  }
+  const Sizing s = {2.0, 4.0};
+  const auto arc_inv = inv.arcs()[0];
+  const auto ed_inv = timer_.arc_delay(inv, s, arc_inv, false, 30.0);
+  const auto ed_nand =
+      timer_.arc_delay(nand3, s, nand3.arcs()[0], false, 30.0);
+  EXPECT_GT(ed_nand.delay_ps, ed_inv.delay_ps);
+}
+
+class DominoFixture : public ::testing::Test {
+ protected:
+  DominoFixture() : nl_("dom") {
+    clk_ = nl_.add_net("clk", netlist::NetKind::kClock);
+    d_ = nl_.add_net("d");
+    dyn_ = nl_.add_net("dyn");
+    out_ = nl_.add_net("out");
+    n1_ = nl_.add_label("N1");
+    p1_ = nl_.add_label("P1");
+    n2_ = nl_.add_label("N2");
+    ni_ = nl_.add_label("NI");
+    pi_ = nl_.add_label("PI");
+    nl_.add_component("g", dyn_,
+                      DominoGate{Stack::leaf(d_, n1_), p1_, n2_, clk_, 0.1});
+    nl_.add_inverter("oi", dyn_, out_, ni_, pi_);
+    nl_.add_input(d_);
+    nl_.add_output(out_, 15.0);
+    nl_.finalize();
+  }
+  const tech::Tech& tech_ = tech::default_tech();
+  RcTimer timer_{tech_};
+  Netlist nl_;
+  NetId clk_, d_, dyn_, out_;
+  LabelId n1_, p1_, n2_, ni_, pi_;
+};
+
+TEST_F(DominoFixture, EvaluateAndPrechargeBothReported) {
+  const Sizing s = {2.0, 1.0, 3.0, 1.5, 3.0};
+  const auto rep = timer_.analyze(nl_, s);
+  EXPECT_GT(rep.worst_delay, 0.0);
+  EXPECT_GT(rep.worst_precharge, 0.0);
+}
+
+TEST_F(DominoFixture, WiderPrechargeSpeedsPrecharge) {
+  Sizing s = {2.0, 0.5, 3.0, 1.5, 3.0};
+  const double slow = timer_.analyze(nl_, s).worst_precharge;
+  s[1] = 4.0;
+  const double fast = timer_.analyze(nl_, s).worst_precharge;
+  EXPECT_LT(fast, slow);
+}
+
+TEST_F(DominoFixture, StrongerKeeperSlowsEvaluate) {
+  // Keeper strength scales with the precharge width; evaluate slows down.
+  Sizing s = {2.0, 0.5, 3.0, 1.5, 3.0};
+  const double weak = timer_.analyze(nl_, s).worst_delay;
+  s[1] = 6.0;  // much stronger keeper (0.1 * 6.0)
+  const double strong = timer_.analyze(nl_, s).worst_delay;
+  EXPECT_GT(strong, weak);
+}
+
+TEST_F(DominoFixture, OutputOnlyRisesInEvaluate) {
+  const Sizing s = {2.0, 1.0, 3.0, 1.5, 3.0};
+  const auto rep = timer_.analyze(nl_, s);
+  const auto& ot = rep.outputs.at(0);
+  EXPECT_GT(ot.arr_rise, 0.0);          // dyn falls -> out rises
+  EXPECT_LT(ot.arr_fall, -1e100);       // never falls while evaluating
+}
+
+TEST_F(DominoFixture, UnfootedPrechargeWaitsForInputReset) {
+  // Build a D1 -> D2 chain; the D2 stage's precharge must trail the D1
+  // stage's reset ripple.
+  Netlist chain("chain");
+  const NetId clk = chain.add_net("clk", netlist::NetKind::kClock);
+  const NetId d = chain.add_net("d");
+  const NetId dyn1 = chain.add_net("dyn1"), mid = chain.add_net("mid");
+  const NetId dyn2 = chain.add_net("dyn2"), out = chain.add_net("out");
+  const LabelId n1 = chain.add_label("N1"), p1 = chain.add_label("P1");
+  const LabelId nf = chain.add_label("NF");
+  const LabelId ni = chain.add_label("NI"), pi = chain.add_label("PI");
+  const LabelId n2 = chain.add_label("N2"), p2 = chain.add_label("P2");
+  const LabelId ni2 = chain.add_label("NI2"), pi2 = chain.add_label("PI2");
+  chain.add_component("g1", dyn1,
+                      DominoGate{Stack::leaf(d, n1), p1, nf, clk, 0.1});
+  chain.add_inverter("i1", dyn1, mid, ni, pi);
+  chain.add_component("g2", dyn2,
+                      DominoGate{Stack::leaf(mid, n2), p2, -1, clk, 0.1});
+  chain.add_inverter("i2", dyn2, out, ni2, pi2);
+  chain.add_input(d);
+  chain.add_output(out, 15.0);
+  chain.finalize();
+  const Sizing s(chain.label_count(), 2.0);
+  const auto rep = timer_.analyze(chain, s);
+
+  // Precharge settle of the chain must exceed the lone D1 stage's.
+  Netlist d1_only("d1");
+  const NetId clkb = d1_only.add_net("clk", netlist::NetKind::kClock);
+  const NetId db = d1_only.add_net("d");
+  const NetId dynb = d1_only.add_net("dyn");
+  const LabelId n1b = d1_only.add_label("N1"), p1b = d1_only.add_label("P1");
+  const LabelId nfb = d1_only.add_label("NF");
+  d1_only.add_component("g", dynb,
+                        DominoGate{Stack::leaf(db, n1b), p1b, nfb, clkb, 0.1});
+  d1_only.add_input(db);
+  d1_only.add_output(dynb, 15.0);
+  d1_only.finalize();
+  const auto rep1 = timer_.analyze(d1_only, Sizing(3, 2.0));
+  EXPECT_GT(rep.worst_precharge, rep1.worst_precharge);
+}
+
+TEST_F(RcTimerTest, PassGateControlSlowerThanData) {
+  Netlist nl("pg");
+  const NetId d = nl.add_net("d"), s = nl.add_net("s"), o = nl.add_net("o");
+  const LabelId l = nl.add_label("N2");
+  nl.add_component("t", o, netlist::TransGate{d, s, l});
+  nl.add_input(d);
+  nl.add_input(s);
+  nl.add_output(o, 10.0);
+  nl.finalize();
+  const Sizing sz = {2.0};
+  const auto data_arc = nl.arcs()[0];
+  const auto ctrl_arc = nl.arcs()[1];
+  ASSERT_EQ(data_arc.kind, netlist::ArcKind::kPassData);
+  const auto ed_data = timer_.arc_delay(nl, sz, data_arc, true, 30.0);
+  const auto ed_ctrl = timer_.arc_delay(nl, sz, ctrl_arc, true, 30.0);
+  // Control path pays for the local inverter before conduction.
+  EXPECT_GT(ed_ctrl.delay_ps, ed_data.delay_ps);
+}
+
+TEST_F(RcTimerTest, TristateEnableSlowerThanData) {
+  Netlist nl("ts");
+  const NetId d = nl.add_net("d"), e = nl.add_net("e"), o = nl.add_net("o");
+  const LabelId n = nl.add_label("N1"), p = nl.add_label("P1");
+  nl.add_component("t", o, netlist::Tristate{d, e, n, p});
+  nl.add_input(d);
+  nl.add_input(e);
+  nl.add_output(o, 10.0);
+  nl.finalize();
+  const Sizing sz = {2.0, 4.0};
+  const auto ed_data = timer_.arc_delay(nl, sz, nl.arcs()[0], false, 30.0);
+  const auto ed_en = timer_.arc_delay(nl, sz, nl.arcs()[1], false, 30.0);
+  EXPECT_GT(ed_en.delay_ps, ed_data.delay_ps);
+}
+
+}  // namespace
+}  // namespace smart::refsim

@@ -1,0 +1,207 @@
+// Tests for the SMART sizing loop (Fig 4): convergence, monotone area-delay
+// behaviour, infeasibility handling, OTB and cost-metric effects, and the
+// iso-delay experiment protocol.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "helpers.h"
+#include "models/fitter.h"
+#include "refsim/rc_timer.h"
+
+namespace smart::core {
+namespace {
+
+class SizerTest : public ::testing::Test {
+ protected:
+  const tech::Tech& tech_ = tech::default_tech();
+  const models::ModelLibrary& lib_ = models::default_library();
+  Sizer sizer_{tech_, lib_};
+};
+
+TEST_F(SizerTest, ConvergesOnChainAtModerateSpec) {
+  const auto nl = test::inverter_chain(3, 30.0);
+  SizerOptions opt;
+  opt.delay_spec_ps = 120.0;
+  const auto r = sizer_.size(nl, opt);
+  ASSERT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.message, "converged");
+  EXPECT_LE(r.measured_delay_ps, 120.0 * (1.0 + opt.converge_tol));
+  EXPECT_GT(r.total_width_um, 0.0);
+  EXPECT_GT(r.respec_iterations, 0);
+}
+
+TEST_F(SizerTest, TighterSpecCostsMoreWidth) {
+  const auto nl = test::inverter_chain(3, 30.0);
+  double prev_width = 1e18;
+  for (double spec : {90.0, 110.0, 140.0, 180.0}) {
+    SizerOptions opt;
+    opt.delay_spec_ps = spec;
+    const auto r = sizer_.size(nl, opt);
+    ASSERT_TRUE(r.ok) << "spec " << spec << ": " << r.message;
+    EXPECT_LT(r.total_width_um, prev_width) << "spec " << spec;
+    prev_width = r.total_width_um;
+  }
+}
+
+TEST_F(SizerTest, ImpossibleSpecReportsBestEffort) {
+  const auto nl = test::inverter_chain(3, 30.0);
+  SizerOptions opt;
+  opt.delay_spec_ps = 5.0;  // physically unreachable
+  const auto r = sizer_.size(nl, opt);
+  EXPECT_NE(r.message, "converged");
+}
+
+TEST_F(SizerTest, SolutionRespectsSlopeBudget) {
+  const auto nl = test::inverter_chain(4, 30.0);
+  SizerOptions opt;
+  opt.delay_spec_ps = 150.0;
+  opt.slope_budget_ps = 100.0;
+  const auto r = sizer_.size(nl, opt);
+  ASSERT_TRUE(r.ok);
+  const refsim::RcTimer timer(tech_);
+  const auto rep = timer.analyze(nl, r.sizing);
+  // Model mismatch allows a little overshoot; grossly violating edges
+  // would mean the slope constraints are not wired through.
+  EXPECT_LT(rep.max_internal_slope, opt.slope_budget_ps * 1.25);
+}
+
+TEST_F(SizerTest, InputCapLimitRespected) {
+  const auto nl = test::inverter_chain(3, 40.0);
+  SizerOptions opt;
+  opt.delay_spec_ps = 110.0;
+  opt.input_cap_limit_ff = 4.0;
+  const auto r = sizer_.size(nl, opt);
+  ASSERT_TRUE(r.ok) << r.message;
+  const auto caps = sizer_.input_caps(nl, r.sizing);
+  EXPECT_LE(caps[0], 4.0 * 1.06);  // limit plus the strictness slack
+}
+
+TEST_F(SizerTest, MeasureReportsConsistentNumbers) {
+  const auto nl = test::inverter_chain(2, 15.0);
+  const netlist::Sizing s(nl.label_count(), 2.0);
+  const auto m = sizer_.measure(nl, s);
+  EXPECT_TRUE(m.ok);
+  EXPECT_GT(m.measured_delay_ps, 0.0);
+  EXPECT_DOUBLE_EQ(m.total_width_um, nl.device_stats(s).total_width);
+}
+
+TEST_F(SizerTest, OtbReducesDominoWidth) {
+  // Time borrowing relaxes per-stage deadlines, so the no-OTB design can
+  // only be wider (or equal) at the same end-to-end spec.
+  core::MacroSpec spec;
+  spec.type = "comparator";
+  spec.n = 16;
+  const auto nl = test::generate("comparator", "xorsum2_nor4", spec);
+  SizerOptions opt;
+  opt.delay_spec_ps = 220.0;
+  opt.precharge_spec_ps = 160.0;
+  opt.otb = true;
+  const auto with = sizer_.size(nl, opt);
+  opt.otb = false;
+  const auto without = sizer_.size(nl, opt);
+  ASSERT_TRUE(with.ok) << with.message;
+  ASSERT_TRUE(without.ok) << without.message;
+  EXPECT_LE(with.total_width_um, without.total_width_um * 1.02);
+}
+
+TEST_F(SizerTest, ClockLoadMetricShrinksClockWidth) {
+  core::MacroSpec spec;
+  spec.type = "mux";
+  spec.n = 4;
+  spec.params["bits"] = 4;
+  const auto nl = test::generate("mux", "domino_unsplit", spec);
+  SizerOptions opt;
+  opt.delay_spec_ps = 120.0;
+  opt.precharge_spec_ps = 150.0;
+  opt.cost = CostMetric::kTotalWidth;
+  const auto by_width = sizer_.size(nl, opt);
+  opt.cost = CostMetric::kClockLoad;
+  const auto by_clock = sizer_.size(nl, opt);
+  ASSERT_TRUE(by_width.ok) << by_width.message;
+  ASSERT_TRUE(by_clock.ok) << by_clock.message;
+  EXPECT_LE(by_clock.clock_width_um, by_width.clock_width_um * 1.05);
+}
+
+TEST_F(SizerTest, IsoDelayExperimentSavesWidth) {
+  core::MacroSpec spec;
+  spec.type = "decoder";
+  spec.n = 4;
+  const auto nl = test::generate("decoder", "predecode", spec);
+  const auto cmp = run_iso_delay(nl, tech_, lib_);
+  ASSERT_TRUE(cmp.ok) << cmp.smart.message;
+  // SMART at iso-delay must beat the over-designed baseline.
+  EXPECT_GT(cmp.width_saving(), 0.05);
+  // And not be slower than the original (within tolerance).
+  EXPECT_LE(cmp.smart.measured_delay_ps,
+            cmp.baseline.measured_delay_ps * 1.03);
+}
+
+TEST_F(SizerTest, IsoDelayDropInConstraintsHold) {
+  core::MacroSpec spec;
+  spec.type = "mux";
+  spec.n = 4;
+  spec.params["bits"] = 4;
+  const auto nl = test::generate("mux", "strong_pass", spec);
+  const auto cmp = run_iso_delay(nl, tech_, lib_);
+  ASSERT_TRUE(cmp.ok) << cmp.smart.message;
+  Sizer sizer(tech_, lib_);
+  const auto base_caps = sizer.input_caps(nl, cmp.baseline.sizing);
+  const auto smart_caps = sizer.input_caps(nl, cmp.smart.sizing);
+  for (size_t i = 0; i < base_caps.size(); ++i)
+    EXPECT_LE(smart_caps[i], base_caps[i] * 1.06) << "port " << i;
+}
+
+TEST_F(SizerTest, ReportsPathAndConstraintStatistics) {
+  core::MacroSpec spec;
+  spec.type = "zero_detect";
+  spec.n = 16;
+  const auto nl = test::generate("zero_detect", "static_tree", spec);
+  SizerOptions opt;
+  opt.delay_spec_ps = 200.0;
+  const auto r = sizer_.size(nl, opt);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.path_stats.final_paths, 0u);
+  EXPECT_GT(r.constraint_count, r.path_stats.final_paths);
+  EXPECT_GT(r.gp_newton_iterations, 0);
+}
+
+TEST_F(SizerTest, WidthGridSnapsUpAndStillMeetsSpec) {
+  const auto nl = test::inverter_chain(3, 30.0);
+  SizerOptions opt;
+  opt.delay_spec_ps = 120.0;
+  opt.width_grid_um = 0.25;
+  const auto r = sizer_.size(nl, opt);
+  ASSERT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.message, "converged");
+  for (double w : r.sizing) {
+    const double cells = w / 0.25;
+    EXPECT_NEAR(cells, std::round(cells), 1e-6) << w;
+  }
+  EXPECT_LE(r.measured_delay_ps, 120.0 * (1.0 + opt.converge_tol));
+  // Snapping up costs at most one grid cell per label vs continuous.
+  SizerOptions cont = opt;
+  cont.width_grid_um = -1.0;
+  const auto rc = sizer_.size(nl, cont);
+  EXPECT_LE(r.total_width_um,
+            rc.total_width_um + 0.25 * 2 * static_cast<double>(nl.label_count()));
+}
+
+TEST_F(SizerTest, ReportDescribesSolution) {
+  const auto nl = test::inverter_chain(2, 15.0);
+  SizerOptions opt;
+  opt.delay_spec_ps = 150.0;
+  const auto r = sizer_.size(nl, opt);
+  ASSERT_TRUE(r.ok);
+  const std::string report = describe_solution(nl, r, tech_);
+  EXPECT_NE(report.find("chain2"), std::string::npos);
+  EXPECT_NE(report.find("converged"), std::string::npos);
+  EXPECT_NE(report.find("N0"), std::string::npos);  // label table
+  EXPECT_NE(report.find("mW"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smart::core

@@ -1,0 +1,188 @@
+// Unit tests for the util library: formatting, tables, RNG determinism,
+// and the dense linear algebra used by the GP solver and model fitter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/linalg.h"
+#include "util/rng.h"
+#include "util/strfmt.h"
+#include "util/table.h"
+
+namespace smart::util {
+namespace {
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("x=%d y=%.2f s=%s", 7, 1.5, "hi"), "x=7 y=1.50 s=hi");
+  EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Strfmt, HandlesLongStrings) {
+  const std::string big(10000, 'a');
+  EXPECT_EQ(strfmt("%s", big.c_str()).size(), big.size());
+}
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(SMART_CHECK(false, "boom"), Error);
+  try {
+    SMART_CHECK(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"),
+              std::string::npos);
+  }
+  EXPECT_NO_THROW(SMART_CHECK(true, "fine"));
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2.5"});
+  const std::string out = t.render("Title");
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Matrix, MulAndTranspose) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Vec x = {1, 1, 1};
+  const Vec y = a.mul(x);
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], 15);
+  const Vec z = a.mul_transpose({1, 1});
+  EXPECT_DOUBLE_EQ(z[0], 5);
+  EXPECT_DOUBLE_EQ(z[1], 7);
+  EXPECT_DOUBLE_EQ(z[2], 9);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  // A = L L^T with known solution.
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  const Vec x = cholesky_solve(a, {8, 7});
+  EXPECT_NEAR(x[0], 1.25, 1e-9);
+  EXPECT_NEAR(x[1], 1.5, 1e-9);
+}
+
+TEST(Cholesky, RegularizesNearSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 1;  // rank 1
+  const Vec x = cholesky_solve(a, {2, 2});
+  // Regularized solution still approximately satisfies the system.
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-3);
+}
+
+TEST(Cholesky, RandomSpdRoundTrip) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 5;
+    Matrix b(n, n);
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j < n; ++j) b(i, j) = rng.gaussian(0, 1);
+    // A = B B^T + I is SPD.
+    Matrix a(n, n);
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j < n; ++j) {
+        double s = (i == j) ? 1.0 : 0.0;
+        for (size_t k = 0; k < n; ++k) s += b(i, k) * b(j, k);
+        a(i, j) = s;
+      }
+    Vec want(n);
+    for (size_t i = 0; i < n; ++i) want[i] = rng.gaussian(0, 2);
+    const Vec rhs = a.mul(want);
+    const Vec got = cholesky_solve(a, rhs);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], want[i], 1e-6);
+  }
+}
+
+TEST(Nnls, MatchesUnconstrainedWhenPositive) {
+  // Exact positive solution: NNLS must find it.
+  Matrix a(4, 2);
+  a(0, 0) = 1;
+  a(1, 1) = 1;
+  a(2, 0) = 1;
+  a(2, 1) = 1;
+  a(3, 0) = 2;
+  const Vec want = {1.5, 2.5};
+  const Vec b = a.mul(want);
+  const Vec x = nnls(a, b);
+  EXPECT_NEAR(x[0], 1.5, 1e-6);
+  EXPECT_NEAR(x[1], 2.5, 1e-6);
+}
+
+TEST(Nnls, ClampsNegativeComponents) {
+  // Best unconstrained fit would need a negative coefficient.
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 1;
+  a(1, 0) = 0;
+  a(1, 1) = 1;
+  const Vec x = nnls(a, {1.0, -2.0});
+  EXPECT_GE(x[0], 0.0);
+  EXPECT_GE(x[1], 0.0);
+}
+
+TEST(Nnls, ResidualNotWorseThanZero) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a(8, 3);
+    Vec b(8);
+    for (size_t i = 0; i < 8; ++i) {
+      b[i] = rng.gaussian(0, 1);
+      for (size_t j = 0; j < 3; ++j) a(i, j) = rng.uniform(0, 1);
+    }
+    const Vec x = nnls(a, b);
+    for (double v : x) EXPECT_GE(v, 0.0);
+    Vec r = a.mul(x);
+    axpy(-1.0, b, r);
+    EXPECT_LE(norm2(r), norm2(b) + 1e-9);
+  }
+}
+
+TEST(VecOps, DotNormAxpy) {
+  Vec a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32);
+  EXPECT_DOUBLE_EQ(norm_inf(b), 6);
+  axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[2], 12);
+  const Vec c = scaled(a, -1.0);
+  EXPECT_DOUBLE_EQ(c[0], -1);
+}
+
+}  // namespace
+}  // namespace smart::util

@@ -1,0 +1,271 @@
+// smart_cli — command-line front end to the SMART design advisor.
+//
+//   smart_cli list
+//   smart_cli advise --type mux --n 8 --bits 8 --load 15 --delay 120
+//                    [--cost width|power|clock] [--topology NAME]
+//   smart_cli spice  --type mux --topology strong_pass --n 4 [--bits 8]
+//                    [--delay 100]
+//   smart_cli save   --type mux --topology strong_pass --n 4   (.snl text)
+//   smart_cli paths  --type adder --topology domino_cla --n 64
+//   smart_cli noise  --type mux --topology domino_unsplit --n 8 [--bits 8]
+//
+// `advise` runs the full Fig-1 flow (generate every applicable topology,
+// GP-size each against the spec, verify with the reference timer, rank by
+// cost); `spice` emits the sized subcircuit; `paths` prints the §5.2
+// pruning statistics; `noise` runs the domino reliability checks.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/advisor.h"
+#include "core/corners.h"
+#include "core/report.h"
+#include "macros/registry.h"
+#include "models/fitter.h"
+#include "netlist/serialize.h"
+#include "netlist/spice_export.h"
+#include "refsim/critical_path.h"
+#include "refsim/noise.h"
+#include "timing/paths.h"
+#include "util/strfmt.h"
+#include "util/table.h"
+
+using namespace smart;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string str(const std::string& key, const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double num(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    args.flags[key] = argv[i + 1];
+  }
+  return args;
+}
+
+core::MacroSpec spec_from(const Args& args) {
+  core::MacroSpec spec;
+  spec.type = args.str("type");
+  spec.n = static_cast<int>(args.num("n", 4));
+  if (args.has("bits")) spec.params["bits"] = args.num("bits", 8);
+  if (args.has("m")) spec.params["m"] = args.num("m", 0);
+  spec.load_ff = args.num("load", 15.0);
+  if (args.has("slope")) spec.input_slope_ps = args.num("slope", -1.0);
+  return spec;
+}
+
+core::CostMetric cost_from(const Args& args) {
+  const std::string cost = args.str("cost", "width");
+  if (cost == "power") return core::CostMetric::kPower;
+  if (cost == "clock") return core::CostMetric::kClockLoad;
+  return core::CostMetric::kTotalWidth;
+}
+
+netlist::Netlist generate_named(const Args& args) {
+  const auto spec = spec_from(args);
+  const std::string topo = args.str("topology");
+  const auto* entry = macros::builtin_database().find(spec.type, topo);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown topology %s/%s (try: smart_cli list)\n",
+                 spec.type.c_str(), topo.c_str());
+    std::exit(2);
+  }
+  return entry->generate(spec);
+}
+
+int cmd_list() {
+  const auto& db = macros::builtin_database();
+  util::Table table({"type", "topology", "description"});
+  for (const auto& type : db.macro_types()) {
+    for (const auto* entry : db.topologies(type))
+      table.add_row({type, entry->name, entry->description});
+  }
+  std::printf("%s", table.render("SMART design database").c_str());
+  return 0;
+}
+
+int cmd_advise(const Args& args) {
+  core::AdvisorRequest request;
+  request.spec = spec_from(args);
+  request.delay_spec_ps = args.num("delay", -1.0);
+  request.cost = cost_from(args);
+  core::DesignAdvisor advisor(macros::builtin_database(),
+                              tech::default_tech(),
+                              models::default_library());
+  const auto advice = advisor.advise(request);
+  if (advice.solutions.empty()) {
+    std::fprintf(stderr, "no solution: %s\n", advice.message.c_str());
+    return 1;
+  }
+  std::printf("spec: %.1f ps%s\n\n", advice.derived_delay_spec_ps,
+              request.delay_spec_ps <= 0 ? " (derived from hand baseline)"
+                                         : "");
+  util::Table table({"rank", "topology", "cost", "delay (ps)", "width (um)",
+                     "status"});
+  int rank = 1;
+  for (const auto& sol : advice.solutions) {
+    table.add_row({util::strfmt("%d", rank++), sol.topology,
+                   util::strfmt("%.2f", sol.cost_value),
+                   util::strfmt("%.1f", sol.sizing.measured_delay_ps),
+                   util::strfmt("%.1f", sol.sizing.total_width_um),
+                   sol.meets_spec ? "meets spec" : "misses spec"});
+  }
+  std::printf("%s\n", table.render("ranked solutions").c_str());
+  const auto* best = advice.best();
+  std::printf("%s", core::describe_solution(best->netlist, best->sizing,
+                                            tech::default_tech()).c_str());
+  const auto cp = refsim::critical_path(best->netlist, best->sizing.sizing,
+                                        tech::default_tech());
+  std::printf("\n%s", refsim::describe_critical_path(best->netlist, cp).c_str());
+  return 0;
+}
+
+int cmd_spice(const Args& args) {
+  auto nl = generate_named(args);
+  netlist::Sizing sizing;
+  if (args.num("delay", -1.0) > 0) {
+    core::Sizer sizer(tech::default_tech(), models::default_library());
+    core::SizerOptions opt;
+    opt.delay_spec_ps = args.num("delay", 100.0);
+    const auto r = sizer.size(nl, opt);
+    if (!r.ok) {
+      std::fprintf(stderr, "sizing failed: %s\n", r.message.c_str());
+      return 1;
+    }
+    sizing = r.sizing;
+  } else {
+    core::BaselineSizer baseline(tech::default_tech());
+    sizing = baseline.size(nl);
+  }
+  std::printf("%s", netlist::to_spice(nl, sizing).c_str());
+  return 0;
+}
+
+int cmd_save(const Args& args) {
+  const auto nl = generate_named(args);
+  std::printf("%s", netlist::to_text(nl).c_str());
+  return 0;
+}
+
+int cmd_paths(const Args& args) {
+  const auto nl = generate_named(args);
+  timing::PathExtractor extractor(nl);
+  timing::PathStats stats;
+  const auto paths = extractor.extract({}, &stats);
+  util::Table table({"stage", "paths"});
+  table.add_row({"raw topological", util::strfmt("%.0f", stats.raw_topological)});
+  table.add_row({"edge-annotated", util::strfmt("%.0f", stats.raw_edge_paths)});
+  table.add_row({"after regularity", util::strfmt("%zu", stats.after_regularity)});
+  table.add_row({"after precedence", util::strfmt("%zu", stats.after_precedence)});
+  table.add_row({"after dominance", util::strfmt("%zu", paths.size())});
+  std::printf("%s", table.render(nl.name() + " path statistics").c_str());
+  return 0;
+}
+
+int cmd_corners(const Args& args) {
+  const auto nl = generate_named(args);
+  core::BaselineSizer baseline(tech::default_tech());
+  auto sizing = baseline.size(nl);
+  std::string basis = "hand baseline";
+  if (args.num("delay", -1.0) > 0) {
+    // Sign-off style: size at the slow corner, verify everywhere.
+    const auto slow = tech::default_tech().at_corner(tech::Corner::kSlow);
+    const auto slow_lib = models::calibrate(slow);
+    core::Sizer sizer(slow, slow_lib);
+    core::SizerOptions opt;
+    opt.delay_spec_ps = args.num("delay", 100.0);
+    const auto r = sizer.size(nl, opt);
+    if (!r.ok) {
+      std::fprintf(stderr, "slow-corner sizing failed: %s\n",
+                   r.message.c_str());
+      return 1;
+    }
+    sizing = r.sizing;
+    basis = util::strfmt("SMART @ slow corner, spec %.0f ps",
+                         args.num("delay", 100.0));
+  }
+  const auto sweep =
+      core::measure_corners(nl, sizing, tech::default_tech());
+  util::Table table({"corner", "delay (ps)", "precharge (ps)",
+                     "max slope (ps)"});
+  for (const auto* m : {&sweep.fast, &sweep.typical, &sweep.slow}) {
+    const char* name = m->corner == tech::Corner::kFast    ? "fast"
+                       : m->corner == tech::Corner::kSlow ? "slow"
+                                                           : "typical";
+    table.add_row({name, util::strfmt("%.1f", m->delay_ps),
+                   util::strfmt("%.1f", m->precharge_ps),
+                   util::strfmt("%.1f", m->max_slope_ps)});
+  }
+  std::printf("%s", table.render(nl.name() + " corner sweep (" + basis +
+                                 ")").c_str());
+  return 0;
+}
+
+int cmd_noise(const Args& args) {
+  const auto nl = generate_named(args);
+  core::BaselineSizer baseline(tech::default_tech());
+  const auto sizing = baseline.size(nl);
+  const auto reports =
+      refsim::analyze_domino_noise(nl, sizing, tech::default_tech());
+  if (reports.empty()) {
+    std::printf("%s has no domino gates; nothing to check\n",
+                nl.name().c_str());
+    return 0;
+  }
+  util::Table table({"gate", "charge share", "keeper strength", "verdict"});
+  for (const auto& r : reports) {
+    table.add_row({r.name, util::strfmt("%.2f", r.charge_share),
+                   util::strfmt("%.3f", r.keeper_strength),
+                   r.ok() ? "ok" : "CHECK"});
+  }
+  std::printf("%s", table.render(nl.name() + " domino noise report").c_str());
+  return refsim::noise_clean(reports) ? 0 : 1;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: smart_cli <list|advise|spice|save|paths|noise|corners> "
+               "[--type T "
+               "--topology X --n N --bits B --load FF --delay PS --cost "
+               "width|power|clock]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "list") return cmd_list();
+    if (args.command == "advise") return cmd_advise(args);
+    if (args.command == "spice") return cmd_spice(args);
+    if (args.command == "save") return cmd_save(args);
+    if (args.command == "paths") return cmd_paths(args);
+    if (args.command == "noise") return cmd_noise(args);
+    if (args.command == "corners") return cmd_corners(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  usage();
+  return args.command.empty() ? 1 : 2;
+}
