@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sizer.dir/ablation_sizer.cpp.o"
+  "CMakeFiles/ablation_sizer.dir/ablation_sizer.cpp.o.d"
+  "ablation_sizer"
+  "ablation_sizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composed_datapath.dir/composed_datapath.cpp.o"
+  "CMakeFiles/composed_datapath.dir/composed_datapath.cpp.o.d"
+  "composed_datapath"
+  "composed_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composed_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

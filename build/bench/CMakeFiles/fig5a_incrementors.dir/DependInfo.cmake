@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5a_incrementors.cpp" "bench/CMakeFiles/fig5a_incrementors.dir/fig5a_incrementors.cpp.o" "gcc" "bench/CMakeFiles/fig5a_incrementors.dir/fig5a_incrementors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blocks/CMakeFiles/smart_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/macros/CMakeFiles/smart_macros.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/smart_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/smart_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/smart_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/smart_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/refsim/CMakeFiles/smart_refsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/smart_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/posy/CMakeFiles/smart_posy.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/smart_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_incrementors.dir/fig5a_incrementors.cpp.o"
+  "CMakeFiles/fig5a_incrementors.dir/fig5a_incrementors.cpp.o.d"
+  "fig5a_incrementors"
+  "fig5a_incrementors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_incrementors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

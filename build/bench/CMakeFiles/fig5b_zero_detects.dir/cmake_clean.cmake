@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_zero_detects.dir/fig5b_zero_detects.cpp.o"
+  "CMakeFiles/fig5b_zero_detects.dir/fig5b_zero_detects.cpp.o.d"
+  "fig5b_zero_detects"
+  "fig5b_zero_detects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_zero_detects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_decoders.dir/fig5c_decoders.cpp.o"
+  "CMakeFiles/fig5c_decoders.dir/fig5c_decoders.cpp.o.d"
+  "fig5c_decoders"
+  "fig5c_decoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_decoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

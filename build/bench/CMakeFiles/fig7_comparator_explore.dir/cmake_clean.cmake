@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_comparator_explore.dir/fig7_comparator_explore.cpp.o"
+  "CMakeFiles/fig7_comparator_explore.dir/fig7_comparator_explore.cpp.o.d"
+  "fig7_comparator_explore"
+  "fig7_comparator_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_comparator_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

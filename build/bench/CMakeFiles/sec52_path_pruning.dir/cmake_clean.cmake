@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_path_pruning.dir/sec52_path_pruning.cpp.o"
+  "CMakeFiles/sec52_path_pruning.dir/sec52_path_pruning.cpp.o.d"
+  "sec52_path_pruning"
+  "sec52_path_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_path_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

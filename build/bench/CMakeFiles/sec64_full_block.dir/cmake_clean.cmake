@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec64_full_block.dir/sec64_full_block.cpp.o"
+  "CMakeFiles/sec64_full_block.dir/sec64_full_block.cpp.o.d"
+  "sec64_full_block"
+  "sec64_full_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_full_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

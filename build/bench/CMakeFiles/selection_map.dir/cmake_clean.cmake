@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_map.dir/selection_map.cpp.o"
+  "CMakeFiles/selection_map.dir/selection_map.cpp.o.d"
+  "selection_map"
+  "selection_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_muxes.dir/table1_muxes.cpp.o"
+  "CMakeFiles/table1_muxes.dir/table1_muxes.cpp.o.d"
+  "table1_muxes"
+  "table1_muxes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_muxes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_tradeoff.dir/adder_tradeoff.cpp.o"
+  "CMakeFiles/adder_tradeoff.dir/adder_tradeoff.cpp.o.d"
+  "adder_tradeoff"
+  "adder_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_power_reduction.dir/block_power_reduction.cpp.o"
+  "CMakeFiles/block_power_reduction.dir/block_power_reduction.cpp.o.d"
+  "block_power_reduction"
+  "block_power_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_power_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

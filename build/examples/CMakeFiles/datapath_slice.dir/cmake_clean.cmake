@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datapath_slice.dir/datapath_slice.cpp.o"
+  "CMakeFiles/datapath_slice.dir/datapath_slice.cpp.o.d"
+  "datapath_slice"
+  "datapath_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datapath_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

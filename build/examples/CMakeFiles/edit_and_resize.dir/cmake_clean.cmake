@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edit_and_resize.dir/edit_and_resize.cpp.o"
+  "CMakeFiles/edit_and_resize.dir/edit_and_resize.cpp.o.d"
+  "edit_and_resize"
+  "edit_and_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edit_and_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

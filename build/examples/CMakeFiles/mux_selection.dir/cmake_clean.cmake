@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_selection.dir/mux_selection.cpp.o"
+  "CMakeFiles/mux_selection.dir/mux_selection.cpp.o.d"
+  "mux_selection"
+  "mux_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_blocks.dir/block.cpp.o"
+  "CMakeFiles/smart_blocks.dir/block.cpp.o.d"
+  "libsmart_blocks.a"
+  "libsmart_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

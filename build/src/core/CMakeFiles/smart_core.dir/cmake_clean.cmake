@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_core.dir/advisor.cpp.o"
+  "CMakeFiles/smart_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/smart_core.dir/baseline.cpp.o"
+  "CMakeFiles/smart_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/smart_core.dir/constraints.cpp.o"
+  "CMakeFiles/smart_core.dir/constraints.cpp.o.d"
+  "CMakeFiles/smart_core.dir/corners.cpp.o"
+  "CMakeFiles/smart_core.dir/corners.cpp.o.d"
+  "CMakeFiles/smart_core.dir/database.cpp.o"
+  "CMakeFiles/smart_core.dir/database.cpp.o.d"
+  "CMakeFiles/smart_core.dir/experiment.cpp.o"
+  "CMakeFiles/smart_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/smart_core.dir/report.cpp.o"
+  "CMakeFiles/smart_core.dir/report.cpp.o.d"
+  "CMakeFiles/smart_core.dir/sizer.cpp.o"
+  "CMakeFiles/smart_core.dir/sizer.cpp.o.d"
+  "libsmart_core.a"
+  "libsmart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_gp.dir/problem.cpp.o"
+  "CMakeFiles/smart_gp.dir/problem.cpp.o.d"
+  "CMakeFiles/smart_gp.dir/solver.cpp.o"
+  "CMakeFiles/smart_gp.dir/solver.cpp.o.d"
+  "libsmart_gp.a"
+  "libsmart_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/macros/adder.cpp" "src/macros/CMakeFiles/smart_macros.dir/adder.cpp.o" "gcc" "src/macros/CMakeFiles/smart_macros.dir/adder.cpp.o.d"
+  "/root/repo/src/macros/comparator.cpp" "src/macros/CMakeFiles/smart_macros.dir/comparator.cpp.o" "gcc" "src/macros/CMakeFiles/smart_macros.dir/comparator.cpp.o.d"
+  "/root/repo/src/macros/decoder.cpp" "src/macros/CMakeFiles/smart_macros.dir/decoder.cpp.o" "gcc" "src/macros/CMakeFiles/smart_macros.dir/decoder.cpp.o.d"
+  "/root/repo/src/macros/encoder.cpp" "src/macros/CMakeFiles/smart_macros.dir/encoder.cpp.o" "gcc" "src/macros/CMakeFiles/smart_macros.dir/encoder.cpp.o.d"
+  "/root/repo/src/macros/incrementor.cpp" "src/macros/CMakeFiles/smart_macros.dir/incrementor.cpp.o" "gcc" "src/macros/CMakeFiles/smart_macros.dir/incrementor.cpp.o.d"
+  "/root/repo/src/macros/mux.cpp" "src/macros/CMakeFiles/smart_macros.dir/mux.cpp.o" "gcc" "src/macros/CMakeFiles/smart_macros.dir/mux.cpp.o.d"
+  "/root/repo/src/macros/register_file.cpp" "src/macros/CMakeFiles/smart_macros.dir/register_file.cpp.o" "gcc" "src/macros/CMakeFiles/smart_macros.dir/register_file.cpp.o.d"
+  "/root/repo/src/macros/registry.cpp" "src/macros/CMakeFiles/smart_macros.dir/registry.cpp.o" "gcc" "src/macros/CMakeFiles/smart_macros.dir/registry.cpp.o.d"
+  "/root/repo/src/macros/shifter.cpp" "src/macros/CMakeFiles/smart_macros.dir/shifter.cpp.o" "gcc" "src/macros/CMakeFiles/smart_macros.dir/shifter.cpp.o.d"
+  "/root/repo/src/macros/zero_detect.cpp" "src/macros/CMakeFiles/smart_macros.dir/zero_detect.cpp.o" "gcc" "src/macros/CMakeFiles/smart_macros.dir/zero_detect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/smart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/smart_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/smart_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/smart_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/smart_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/refsim/CMakeFiles/smart_refsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/smart_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/posy/CMakeFiles/smart_posy.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/smart_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_macros.dir/adder.cpp.o"
+  "CMakeFiles/smart_macros.dir/adder.cpp.o.d"
+  "CMakeFiles/smart_macros.dir/comparator.cpp.o"
+  "CMakeFiles/smart_macros.dir/comparator.cpp.o.d"
+  "CMakeFiles/smart_macros.dir/decoder.cpp.o"
+  "CMakeFiles/smart_macros.dir/decoder.cpp.o.d"
+  "CMakeFiles/smart_macros.dir/encoder.cpp.o"
+  "CMakeFiles/smart_macros.dir/encoder.cpp.o.d"
+  "CMakeFiles/smart_macros.dir/incrementor.cpp.o"
+  "CMakeFiles/smart_macros.dir/incrementor.cpp.o.d"
+  "CMakeFiles/smart_macros.dir/mux.cpp.o"
+  "CMakeFiles/smart_macros.dir/mux.cpp.o.d"
+  "CMakeFiles/smart_macros.dir/register_file.cpp.o"
+  "CMakeFiles/smart_macros.dir/register_file.cpp.o.d"
+  "CMakeFiles/smart_macros.dir/registry.cpp.o"
+  "CMakeFiles/smart_macros.dir/registry.cpp.o.d"
+  "CMakeFiles/smart_macros.dir/shifter.cpp.o"
+  "CMakeFiles/smart_macros.dir/shifter.cpp.o.d"
+  "CMakeFiles/smart_macros.dir/zero_detect.cpp.o"
+  "CMakeFiles/smart_macros.dir/zero_detect.cpp.o.d"
+  "libsmart_macros.a"
+  "libsmart_macros.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_macros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_models.dir/arc_model.cpp.o"
+  "CMakeFiles/smart_models.dir/arc_model.cpp.o.d"
+  "CMakeFiles/smart_models.dir/fitter.cpp.o"
+  "CMakeFiles/smart_models.dir/fitter.cpp.o.d"
+  "libsmart_models.a"
+  "libsmart_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

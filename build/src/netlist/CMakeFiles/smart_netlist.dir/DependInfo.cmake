@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/compose.cpp" "src/netlist/CMakeFiles/smart_netlist.dir/compose.cpp.o" "gcc" "src/netlist/CMakeFiles/smart_netlist.dir/compose.cpp.o.d"
+  "/root/repo/src/netlist/flatten.cpp" "src/netlist/CMakeFiles/smart_netlist.dir/flatten.cpp.o" "gcc" "src/netlist/CMakeFiles/smart_netlist.dir/flatten.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/smart_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/smart_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/serialize.cpp" "src/netlist/CMakeFiles/smart_netlist.dir/serialize.cpp.o" "gcc" "src/netlist/CMakeFiles/smart_netlist.dir/serialize.cpp.o.d"
+  "/root/repo/src/netlist/spice_export.cpp" "src/netlist/CMakeFiles/smart_netlist.dir/spice_export.cpp.o" "gcc" "src/netlist/CMakeFiles/smart_netlist.dir/spice_export.cpp.o.d"
+  "/root/repo/src/netlist/stack.cpp" "src/netlist/CMakeFiles/smart_netlist.dir/stack.cpp.o" "gcc" "src/netlist/CMakeFiles/smart_netlist.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/smart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_netlist.dir/compose.cpp.o"
+  "CMakeFiles/smart_netlist.dir/compose.cpp.o.d"
+  "CMakeFiles/smart_netlist.dir/flatten.cpp.o"
+  "CMakeFiles/smart_netlist.dir/flatten.cpp.o.d"
+  "CMakeFiles/smart_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/smart_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/smart_netlist.dir/serialize.cpp.o"
+  "CMakeFiles/smart_netlist.dir/serialize.cpp.o.d"
+  "CMakeFiles/smart_netlist.dir/spice_export.cpp.o"
+  "CMakeFiles/smart_netlist.dir/spice_export.cpp.o.d"
+  "CMakeFiles/smart_netlist.dir/stack.cpp.o"
+  "CMakeFiles/smart_netlist.dir/stack.cpp.o.d"
+  "libsmart_netlist.a"
+  "libsmart_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_posy.dir/monomial.cpp.o"
+  "CMakeFiles/smart_posy.dir/monomial.cpp.o.d"
+  "CMakeFiles/smart_posy.dir/posynomial.cpp.o"
+  "CMakeFiles/smart_posy.dir/posynomial.cpp.o.d"
+  "libsmart_posy.a"
+  "libsmart_posy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_posy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_power.dir/power.cpp.o"
+  "CMakeFiles/smart_power.dir/power.cpp.o.d"
+  "libsmart_power.a"
+  "libsmart_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

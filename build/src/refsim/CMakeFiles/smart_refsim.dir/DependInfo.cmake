@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refsim/critical_path.cpp" "src/refsim/CMakeFiles/smart_refsim.dir/critical_path.cpp.o" "gcc" "src/refsim/CMakeFiles/smart_refsim.dir/critical_path.cpp.o.d"
+  "/root/repo/src/refsim/logic_sim.cpp" "src/refsim/CMakeFiles/smart_refsim.dir/logic_sim.cpp.o" "gcc" "src/refsim/CMakeFiles/smart_refsim.dir/logic_sim.cpp.o.d"
+  "/root/repo/src/refsim/noise.cpp" "src/refsim/CMakeFiles/smart_refsim.dir/noise.cpp.o" "gcc" "src/refsim/CMakeFiles/smart_refsim.dir/noise.cpp.o.d"
+  "/root/repo/src/refsim/rc_timer.cpp" "src/refsim/CMakeFiles/smart_refsim.dir/rc_timer.cpp.o" "gcc" "src/refsim/CMakeFiles/smart_refsim.dir/rc_timer.cpp.o.d"
+  "/root/repo/src/refsim/slack.cpp" "src/refsim/CMakeFiles/smart_refsim.dir/slack.cpp.o" "gcc" "src/refsim/CMakeFiles/smart_refsim.dir/slack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/smart_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/smart_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

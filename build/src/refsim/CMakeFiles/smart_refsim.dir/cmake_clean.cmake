@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_refsim.dir/critical_path.cpp.o"
+  "CMakeFiles/smart_refsim.dir/critical_path.cpp.o.d"
+  "CMakeFiles/smart_refsim.dir/logic_sim.cpp.o"
+  "CMakeFiles/smart_refsim.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/smart_refsim.dir/noise.cpp.o"
+  "CMakeFiles/smart_refsim.dir/noise.cpp.o.d"
+  "CMakeFiles/smart_refsim.dir/rc_timer.cpp.o"
+  "CMakeFiles/smart_refsim.dir/rc_timer.cpp.o.d"
+  "CMakeFiles/smart_refsim.dir/slack.cpp.o"
+  "CMakeFiles/smart_refsim.dir/slack.cpp.o.d"
+  "libsmart_refsim.a"
+  "libsmart_refsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_refsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

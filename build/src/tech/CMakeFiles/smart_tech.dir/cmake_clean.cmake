@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_tech.dir/tech.cpp.o"
+  "CMakeFiles/smart_tech.dir/tech.cpp.o.d"
+  "libsmart_tech.a"
+  "libsmart_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

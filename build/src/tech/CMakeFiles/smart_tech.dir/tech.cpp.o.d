@@ -1,0 +1,3 @@
+src/tech/CMakeFiles/smart_tech.dir/tech.cpp.o: \
+ /root/repo/src/tech/tech.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/tech/tech.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_timing.dir/paths.cpp.o"
+  "CMakeFiles/smart_timing.dir/paths.cpp.o.d"
+  "libsmart_timing.a"
+  "libsmart_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

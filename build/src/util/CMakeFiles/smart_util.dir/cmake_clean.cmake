@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_util.dir/linalg.cpp.o"
+  "CMakeFiles/smart_util.dir/linalg.cpp.o.d"
+  "CMakeFiles/smart_util.dir/logging.cpp.o"
+  "CMakeFiles/smart_util.dir/logging.cpp.o.d"
+  "CMakeFiles/smart_util.dir/table.cpp.o"
+  "CMakeFiles/smart_util.dir/table.cpp.o.d"
+  "libsmart_util.a"
+  "libsmart_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_files_test.dir/database_files_test.cpp.o"
+  "CMakeFiles/database_files_test.dir/database_files_test.cpp.o.d"
+  "database_files_test"
+  "database_files_test.pdb"
+  "database_files_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

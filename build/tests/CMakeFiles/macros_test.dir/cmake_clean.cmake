@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macros_test.dir/macros_test.cpp.o"
+  "CMakeFiles/macros_test.dir/macros_test.cpp.o.d"
+  "macros_test"
+  "macros_test.pdb"
+  "macros_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macros_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

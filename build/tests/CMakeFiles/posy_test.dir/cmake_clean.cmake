@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posy_test.dir/posy_test.cpp.o"
+  "CMakeFiles/posy_test.dir/posy_test.cpp.o.d"
+  "posy_test"
+  "posy_test.pdb"
+  "posy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refsim_test.dir/refsim_test.cpp.o"
+  "CMakeFiles/refsim_test.dir/refsim_test.cpp.o.d"
+  "refsim_test"
+  "refsim_test.pdb"
+  "refsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_cli.dir/smart_cli.cpp.o"
+  "CMakeFiles/smart_cli.dir/smart_cli.cpp.o.d"
+  "smart_cli"
+  "smart_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
