@@ -14,6 +14,7 @@
 #include "refsim/logic_sim.h"
 #include "refsim/rc_timer.h"
 #include "timing/paths.h"
+#include "util/fault.h"
 
 namespace {
 
@@ -106,6 +107,36 @@ void BM_FullSizingLoop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullSizingLoop);
+
+// The fault-injection hooks stay compiled into release builds; their
+// disarmed fast path must stay at one relaxed atomic load per site.
+void BM_FaultHookDisarmed(benchmark::State& state) {
+  util::FaultInjector::instance().disarm();
+  double v = 1.0;
+  for (auto _ : state) {
+    v = util::fault_corrupt(util::FaultClass::kModelCoeffPerturb,
+                            "model.coeff.a_rc", v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_FaultHookDisarmed);
+
+// Worst-case cost of a sizing request that walks the whole degradation
+// ladder (GP poisoned -> relaxed retry -> baseline fallback). A sizing
+// service pays this per poisoned instance, so it must stay bounded.
+void BM_SizerDegradationLadder(benchmark::State& state) {
+  const auto nl = make_macro("zero_detect", "static_tree", 32);
+  core::Sizer sizer(tech::default_tech(), models::default_library());
+  core::SizerOptions opt;
+  opt.delay_spec_ps = 180.0;
+  util::FaultInjector::instance().arm(util::FaultClass::kModelNonFinite,
+                                      "model.coeff");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sizer.size(nl, opt));
+  }
+  util::FaultInjector::instance().disarm();
+}
+BENCHMARK(BM_SizerDegradationLadder);
 
 }  // namespace
 

@@ -1,6 +1,7 @@
 #include "core/advisor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <future>
 
 #include "power/power.h"
@@ -45,69 +46,112 @@ Advice DesignAdvisor::advise(const AdvisorRequest& request) const {
   double delay_spec = request.delay_spec_ps;
   double pre_spec = request.precharge_spec_ps;
   if (delay_spec <= 0.0) {
-    netlist::Netlist ref = topos.front()->generate(request.spec);
-    apply_site_wiring(ref, request.spec);
-    BaselineSizer baseline(*tech_, request.baseline);
-    const auto ref_sizing = baseline.size(ref);
-    const refsim::RcTimer timer(*tech_);
-    const auto rep = timer.analyze(ref, ref_sizing);
-    delay_spec = rep.worst_delay;
-    if (pre_spec <= 0.0 && rep.worst_precharge > 0.0)
-      pre_spec = rep.worst_precharge;
+    try {
+      netlist::Netlist ref = topos.front()->generate(request.spec);
+      apply_site_wiring(ref, request.spec);
+      BaselineSizer baseline(*tech_, request.baseline);
+      const auto ref_sizing = baseline.size(ref);
+      const refsim::RcTimer timer(*tech_);
+      const auto rep = timer.analyze(ref, ref_sizing);
+      delay_spec = rep.worst_delay;
+      if (pre_spec <= 0.0 && rep.worst_precharge > 0.0)
+        pre_spec = rep.worst_precharge;
+    } catch (const std::exception& e) {
+      advice.message = util::strfmt(
+          "could not derive a delay spec from the reference design: %s",
+          e.what());
+      return advice;
+    }
+    if (!(delay_spec > 0.0) || !std::isfinite(delay_spec)) {
+      advice.message = util::strfmt(
+          "reference design produced an unusable delay spec (%g ps)",
+          delay_spec);
+      return advice;
+    }
   }
   advice.derived_delay_spec_ps = delay_spec;
 
+  // Sizes one candidate. Must not throw: a poisoned candidate (bad model,
+  // degenerate GP, generator bug) is reported, not fatal — the sweep over
+  // the remaining topologies continues.
   auto size_one = [&](const TopologyEntry* entry) {
-    Solution sol{entry->name, entry->generate(request.spec), SizerResult{},
+    Solution sol{entry->name, netlist::Netlist{entry->name}, SizerResult{},
                  0.0, false};
-    apply_site_wiring(sol.netlist, request.spec);
-    SizerOptions sopt = request.sizer;
-    sopt.delay_spec_ps = delay_spec;
-    sopt.precharge_spec_ps = pre_spec;
-    sopt.cost = request.cost;
-    Sizer sizer(*tech_, *lib_);
-    if (sopt.input_cap_limit_ff <= 0.0 && sopt.input_cap_limits_ff.empty()) {
-      // Drop-in-replacement rule: the SMART solution may not present more
-      // pin capacitance than this topology's baseline-sized design would.
-      BaselineSizer baseline(*tech_, request.baseline);
-      sopt.input_cap_limits_ff =
-          sizer.input_caps(sol.netlist, baseline.size(sol.netlist));
-    }
-    sol.sizing = sizer.size(sol.netlist, sopt);
-    if (sol.sizing.ok) {
-      sol.meets_spec = sol.sizing.message == "converged";
-      sol.cost_value = metric_value(sol.netlist, sol.sizing.sizing,
-                                    request.cost, request.sizer.activity,
-                                    *tech_);
+    try {
+      sol.netlist = entry->generate(request.spec);
+      apply_site_wiring(sol.netlist, request.spec);
+      SizerOptions sopt = request.sizer;
+      sopt.delay_spec_ps = delay_spec;
+      sopt.precharge_spec_ps = pre_spec;
+      sopt.cost = request.cost;
+      Sizer sizer(*tech_, *lib_);
+      if (sopt.input_cap_limit_ff <= 0.0 &&
+          sopt.input_cap_limits_ff.empty()) {
+        // Drop-in-replacement rule: the SMART solution may not present more
+        // pin capacitance than this topology's baseline-sized design would.
+        BaselineSizer baseline(*tech_, request.baseline);
+        sopt.input_cap_limits_ff =
+            sizer.input_caps(sol.netlist, baseline.size(sol.netlist));
+      }
+      sol.sizing = sizer.size(sol.netlist, sopt);
+      if (sol.sizing.ok && sol.sizing.rung != SizingRung::kBaseline) {
+        sol.meets_spec = sol.sizing.rung == SizingRung::kGp &&
+                         sol.sizing.message == "converged";
+        sol.cost_value = metric_value(sol.netlist, sol.sizing.sizing,
+                                      request.cost, request.sizer.activity,
+                                      *tech_);
+      }
+    } catch (const std::exception& e) {
+      sol.sizing.ok = false;
+      sol.sizing.status = util::Status::Fail(
+          util::FailureReason::kInternal, e.what());
+      sol.sizing.message = sol.sizing.status.to_string();
     }
     return sol;
   };
 
   std::vector<Solution> sized;
+  sized.reserve(topos.size());
   if (request.parallel && topos.size() > 1) {
     std::vector<std::future<Solution>> futures;
     futures.reserve(topos.size());
-    for (const TopologyEntry* entry : topos)
-      futures.push_back(
-          std::async(std::launch::async, size_one, entry));
+    for (const TopologyEntry* entry : topos) {
+      try {
+        futures.push_back(std::async(std::launch::async, size_one, entry));
+      } catch (const std::system_error&) {
+        // Thread exhaustion under load: finish this candidate inline
+        // rather than failing the whole sweep.
+        sized.push_back(size_one(entry));
+      }
+    }
     for (auto& f : futures) sized.push_back(f.get());
   } else {
     for (const TopologyEntry* entry : topos) sized.push_back(size_one(entry));
   }
+
   for (auto& sol : sized) {
-    if (!sol.sizing.ok) {
+    // A candidate only ranks when the optimizer produced its sizing; failed
+    // and baseline-degraded candidates are reported with their structured
+    // reason instead ("reported, not fatal").
+    if (!sol.sizing.ok || sol.sizing.rung == SizingRung::kBaseline) {
       advice.message += util::strfmt("[%s: %s] ", sol.topology.c_str(),
                                      sol.sizing.message.c_str());
+      advice.failures.push_back({sol.topology, sol.sizing.status,
+                                 sol.sizing.rung, sol.sizing.message});
       continue;
     }
     advice.solutions.push_back(std::move(sol));
   }
 
-  std::sort(advice.solutions.begin(), advice.solutions.end(),
-            [](const Solution& a, const Solution& b) {
-              if (a.meets_spec != b.meets_spec) return a.meets_spec;
-              return a.cost_value < b.cost_value;
-            });
+  // Deterministic ranking: stable sort plus a full tie-break chain so equal
+  // costs cannot reorder between runs (or between parallel/serial sizing).
+  std::stable_sort(advice.solutions.begin(), advice.solutions.end(),
+                   [](const Solution& a, const Solution& b) {
+                     if (a.meets_spec != b.meets_spec) return a.meets_spec;
+                     if (a.cost_value != b.cost_value)
+                       return a.cost_value < b.cost_value;
+                     return a.topology < b.topology;
+                   });
   if (advice.message.empty()) advice.message = "ok";
   return advice;
 }
@@ -122,10 +166,15 @@ std::vector<TradeoffPoint> DesignAdvisor::tradeoff_curve(
     opt.delay_spec_ps = spec;
     if (base_options.precharge_spec_ps <= 0.0)
       opt.precharge_spec_ps = spec * 1.5;
+    // A curve point that cannot meet its spec is simply marked infeasible;
+    // walking the degradation ladder would only slow the sweep down.
+    opt.allow_relaxed_retry = false;
+    opt.allow_baseline_fallback = false;
     const auto result = sizer.size(nl, opt);
     TradeoffPoint point;
     point.delay_spec_ps = spec;
-    point.feasible = result.ok && result.message == "converged";
+    point.feasible = result.ok && result.rung == SizingRung::kGp &&
+                     result.message == "converged";
     if (result.ok) {
       point.measured_delay_ps = result.measured_delay_ps;
       point.total_width_um = result.total_width_um;

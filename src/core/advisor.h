@@ -37,9 +37,23 @@ struct AdvisorRequest {
   bool parallel = true;
 };
 
-/// Result of advising one macro instance.
+/// A candidate topology that could not be sized by the optimizer: either
+/// the sizer failed outright or it degraded to the baseline fallback. The
+/// status carries the structured FailureReason so sweep drivers can react
+/// mechanically (skip, retry, or alert) per reason.
+struct FailedCandidate {
+  std::string topology;
+  util::Status status;
+  SizingRung rung = SizingRung::kGp;  ///< rung of the reported result
+  std::string message;                ///< sizer's human-readable message
+};
+
+/// Result of advising one macro instance. A poisoned or unsizable
+/// candidate never aborts the sweep: it is recorded in `failures` and the
+/// remaining topologies are ranked as usual.
 struct Advice {
   std::vector<Solution> solutions;  ///< ranked, best first
+  std::vector<FailedCandidate> failures;  ///< skipped candidates + reasons
   double derived_delay_spec_ps = 0.0;
   std::string message;
 

@@ -38,7 +38,11 @@ IsoDelayComparison run_iso_delay(const netlist::Netlist& nl,
       sopt.slope_budget_ps, base_report.max_internal_slope * 1.02);
 
   cmp.smart = sizer.size(nl, sopt);
-  cmp.ok = cmp.smart.ok && cmp.smart.message == "converged";
+  // Degraded-rung results (relaxed constraints or baseline fallback) are
+  // usable sizings but not iso-delay wins: drop-in invariants only hold for
+  // a fully constrained GP solve.
+  cmp.ok = cmp.smart.ok && cmp.smart.rung == SizingRung::kGp &&
+           cmp.smart.message == "converged";
 
   power::PowerEstimator estimator(tech);
   cmp.baseline_power = estimator.estimate(nl, base_sizing, opt.activity);

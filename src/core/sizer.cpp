@@ -9,6 +9,21 @@
 
 namespace smart::core {
 
+using util::FailureReason;
+using util::Status;
+
+const char* to_string(SizingRung rung) {
+  switch (rung) {
+    case SizingRung::kGp:
+      return "gp";
+    case SizingRung::kGpRelaxed:
+      return "gp_relaxed";
+    case SizingRung::kBaseline:
+      return "baseline_fallback";
+  }
+  return "unknown";
+}
+
 SizerResult Sizer::measure(const netlist::Netlist& nl,
                            const netlist::Sizing& sizing) const {
   const refsim::RcTimer timer(*tech_);
@@ -34,9 +49,8 @@ std::vector<double> Sizer::input_caps(const netlist::Netlist& nl,
   return caps;
 }
 
-SizerResult Sizer::size(const netlist::Netlist& nl,
-                        const SizerOptions& opt) const {
-  SMART_CHECK(opt.delay_spec_ps > 0.0, "delay spec must be positive");
+SizerResult Sizer::size_gp(const netlist::Netlist& nl,
+                           const SizerOptions& opt) const {
   const refsim::RcTimer timer(*tech_);
 
   const double target_delay = opt.delay_spec_ps;
@@ -59,6 +73,8 @@ SizerResult Sizer::size(const netlist::Netlist& nl,
   double built_slope_budget = -1.0;
   SizerResult best;
   best.message = "no feasible GP solve";
+  Status last_fail = Status::Fail(FailureReason::kInfeasible,
+                                  "no feasible GP solve");
   double best_err = 1e300;
   bool best_meets = false;
   double prev_width = -1.0;
@@ -98,6 +114,7 @@ SizerResult Sizer::size(const netlist::Netlist& nl,
       // The model may overestimate delay (it is conservative); relax the
       // model-facing spec and retry. If the target is truly unreachable the
       // loop ends with a best-effort result whose message says so.
+      last_fail = sol.diagnostics;
       if (!best.ok) {
         best.message = util::strfmt(
             "infeasible at model spec %.1f ps: %s", model_spec,
@@ -110,6 +127,22 @@ SizerResult Sizer::size(const netlist::Netlist& nl,
                               opt.slope_budget_ps * 2.0);
       continue;
     }
+    if (sol.status == gp::SolveStatus::kNumericalError ||
+        sol.status == gp::SolveStatus::kTimeout ||
+        sol.status == gp::SolveStatus::kInvalidInput) {
+      // Poisoned problem data or an exhausted deadline: retrying the respec
+      // loop cannot fix either, so hand the structured reason up the ladder.
+      last_fail = sol.diagnostics;
+      if (!best.ok) {
+        best.message = util::strfmt("GP solve failed: %s",
+                                    sol.message.c_str());
+        best.path_stats = gen.path_stats;
+      }
+      break;
+    }
+    // kOptimal and kMaxIter both carry a usable finite point; a best-effort
+    // kMaxIter solution is verified against the reference timer like any
+    // other and kept only if it measures well.
 
     warm_start = sol.x;
     auto sizing = sizing_from_solution(nl, gen, sol.x);
@@ -123,6 +156,16 @@ SizerResult Sizer::size(const netlist::Netlist& nl,
     }
     const auto report = timer.analyze(nl, sizing);
     const auto stats = nl.device_stats(sizing);
+    if (!std::isfinite(report.worst_delay) ||
+        !std::isfinite(report.worst_precharge) ||
+        !std::isfinite(stats.total_width)) {
+      // Reference verification produced garbage (e.g. an injected timer
+      // fault): this sizing cannot be trusted or compared.
+      last_fail = Status::Fail(FailureReason::kNumericalError,
+                               "non-finite reference-timer measurement");
+      if (!best.ok) best.message = last_fail.to_string();
+      break;
+    }
 
     // The delay spec is an upper bound: a design that is *faster* than the
     // target at minimum feasible width (e.g. pinned by slope constraints)
@@ -192,7 +235,93 @@ SizerResult Sizer::size(const netlist::Netlist& nl,
   }
 
   best.gp_newton_iterations = total_newton;
+  best.status = best.ok ? Status::Ok() : last_fail;
   return best;
+}
+
+SizerResult Sizer::size(const netlist::Netlist& nl,
+                        const SizerOptions& opt) const {
+  if (!(opt.delay_spec_ps > 0.0)) {
+    SizerResult r;
+    r.status = Status::Fail(FailureReason::kInvalidInput,
+                            "delay spec must be positive");
+    r.message = r.status.to_string();
+    return r;
+  }
+
+  // Rung 1: the full GP sizing loop.
+  SizerResult first;
+  try {
+    first = size_gp(nl, opt);
+  } catch (const util::Error& e) {
+    first.ok = false;
+    first.status = Status::Fail(FailureReason::kNumericalError, e.what());
+    first.message = first.status.to_string();
+  } catch (const std::exception& e) {
+    first.ok = false;
+    first.status = Status::Fail(FailureReason::kInternal, e.what());
+    first.message = first.status.to_string();
+  }
+  if (first.ok) return first;
+  const Status gp_failure = first.status.ok()
+                                ? Status::Fail(FailureReason::kInfeasible,
+                                               first.message)
+                                : first.status;
+
+  // Rung 2: the slope and input-cap constraints are the usual source of
+  // over-tight problems — drop them and retry a short respec loop.
+  if (opt.allow_relaxed_retry &&
+      (opt.enforce_slopes || opt.input_cap_limit_ff > 0.0 ||
+       !opt.input_cap_limits_ff.empty())) {
+    SizerOptions relaxed = opt;
+    relaxed.enforce_slopes = false;
+    relaxed.input_cap_limit_ff = -1.0;
+    relaxed.input_cap_limits_ff.clear();
+    relaxed.max_respec_iters = std::min(opt.max_respec_iters, 4);
+    SizerResult second;
+    try {
+      second = size_gp(nl, relaxed);
+    } catch (const std::exception&) {
+      second.ok = false;
+    }
+    if (second.ok) {
+      second.rung = SizingRung::kGpRelaxed;
+      second.message = util::strfmt(
+          "%s (relaxed: slope/cap constraints dropped after %s)",
+          second.message.c_str(), gp_failure.to_string().c_str());
+      util::log_warn(util::strfmt("sizer: %s degraded to relaxed GP (%s)",
+                                  nl.name().c_str(),
+                                  gp_failure.to_string().c_str()));
+      return second;
+    }
+  }
+
+  // Rung 3: proportional baseline sizing. Always yields a functional (if
+  // over-designed) sizing, so sweeps over many candidates keep moving; the
+  // status preserves why the optimizer could not do better.
+  if (opt.allow_baseline_fallback) {
+    try {
+      const BaselineSizer baseline(*tech_, opt.fallback_baseline);
+      SizerResult third = measure(nl, baseline.size(nl));
+      if (std::isfinite(third.measured_delay_ps) &&
+          std::isfinite(third.total_width_um)) {
+        third.rung = SizingRung::kBaseline;
+        third.status = gp_failure;
+        third.gp_newton_iterations = first.gp_newton_iterations;
+        third.message = util::strfmt("degraded to baseline fallback (%s)",
+                                     gp_failure.to_string().c_str());
+        util::log_warn(util::strfmt("sizer: %s degraded to baseline (%s)",
+                                    nl.name().c_str(),
+                                    gp_failure.to_string().c_str()));
+        return third;
+      }
+    } catch (const std::exception&) {
+      // fall through to the failed first-rung result
+    }
+  }
+
+  first.status = gp_failure;
+  return first;
 }
 
 }  // namespace smart::core

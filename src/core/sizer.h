@@ -12,9 +12,11 @@
 
 #include <string>
 
+#include "core/baseline.h"
 #include "core/constraints.h"
 #include "gp/solver.h"
 #include "refsim/rc_timer.h"
+#include "util/status.h"
 
 namespace smart::core {
 
@@ -47,7 +49,24 @@ struct SizerOptions {
   /// width cost — the practical answer to the NP-complete discrete-sizing
   /// problem the paper cites as [5]). <= 0 leaves widths continuous.
   double width_grid_um = -1.0;
+
+  /// Degraded-mode ladder (see SizingRung). Rung 2 retries a failed GP with
+  /// slope and input-cap constraints dropped; rung 3 falls back to the
+  /// proportional baseline sizer so the caller always gets *a* sizing.
+  bool allow_relaxed_retry = true;
+  bool allow_baseline_fallback = true;
+  /// Options of the rung-3 baseline fallback.
+  BaselineOptions fallback_baseline;
 };
+
+/// Which rung of the degradation ladder produced a SizerResult.
+enum class SizingRung {
+  kGp = 0,       ///< the full GP sizing loop
+  kGpRelaxed,    ///< GP with slope/input-cap constraints dropped (rung 2)
+  kBaseline,     ///< proportional baseline fallback (rung 3)
+};
+
+const char* to_string(SizingRung rung);
 
 struct SizerResult {
   bool ok = false;
@@ -66,6 +85,13 @@ struct SizerResult {
   /// eval/pre path tags, slope_<net>, incap_<net>, stage<k> deadlines.
   std::vector<std::string> binding_constraints;
   std::string message;
+  /// Which ladder rung produced the sizing. kGp/kGpRelaxed results came
+  /// from the optimizer; kBaseline means the GP failed and the result is
+  /// the proportional fallback (status then records why the GP failed).
+  SizingRung rung = SizingRung::kGp;
+  /// ok() for healthy GP results; carries the structured FailureReason of
+  /// the GP failure for degraded (kBaseline) or failed (!ok) results.
+  util::Status status;
 };
 
 /// Sizes macros against a technology and calibrated model library.
@@ -74,7 +100,10 @@ class Sizer {
   Sizer(const tech::Tech& tech, const models::ModelLibrary& lib)
       : tech_(&tech), lib_(&lib) {}
 
-  /// Runs the full sizing loop on a finalized netlist.
+  /// Runs the full sizing loop on a finalized netlist. Never throws: GP
+  /// failures walk the degradation ladder (relaxed constraints, then the
+  /// proportional baseline) and the returned result's rung/status/message
+  /// say which rung produced it and why degradation was needed.
   SizerResult size(const netlist::Netlist& nl,
                    const SizerOptions& opt) const;
 
@@ -89,6 +118,11 @@ class Sizer {
                                  const netlist::Sizing& sizing) const;
 
  private:
+  /// Rung 1/2 worker: the GP respec loop. Reports failure through the
+  /// result's status instead of throwing.
+  SizerResult size_gp(const netlist::Netlist& nl,
+                      const SizerOptions& opt) const;
+
   const tech::Tech* tech_;
   const models::ModelLibrary* lib_;
 };

@@ -1,18 +1,23 @@
 #include "gp/solver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <limits>
 
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/logging.h"
+#include "util/rng.h"
 #include "util/strfmt.h"
 
 namespace smart::gp {
 namespace {
 
+using util::FailureReason;
 using util::Matrix;
+using util::Status;
 using util::Vec;
 
 /// A compiled convex function in the log domain:
@@ -149,11 +154,54 @@ Func compile(const posy::Posynomial& p) {
   return f;
 }
 
-/// Barrier-method state shared by both phases.
+/// Validates problem data before any numerics touch it: every coefficient
+/// must be finite and positive, every exponent finite, the box non-empty.
+/// Returns the structured reason a solve cannot proceed, or Ok.
+Status validate_problem(const GpProblem& problem) {
+  if (problem.vars().size() == 0)
+    return Status::Fail(FailureReason::kInvalidInput, "GP has no variables");
+  if (problem.objective().is_zero())
+    return Status::Fail(FailureReason::kInvalidInput, "GP objective not set");
+  for (size_t i = 0; i < problem.vars().size(); ++i) {
+    const auto& info = problem.vars().info(static_cast<posy::VarId>(i));
+    if (!(info.lower > 0.0) || !std::isfinite(info.lower) ||
+        !std::isfinite(info.upper) || info.upper < info.lower * (1 - 1e-12))
+      return Status::Fail(
+          FailureReason::kInvalidInput,
+          util::strfmt("variable %s has empty or non-positive box",
+                       info.name.c_str()));
+  }
+  auto check_posy = [](const posy::Posynomial& p,
+                       const std::string& where) -> Status {
+    for (const auto& t : p.terms()) {
+      if (!std::isfinite(t.coeff()))
+        return Status::Fail(FailureReason::kNumericalError,
+                            "non-finite coefficient in " + where);
+      if (!(t.coeff() > 0.0))
+        return Status::Fail(FailureReason::kInvalidInput,
+                            "non-positive coefficient in " + where);
+      for (const auto& fac : t.factors())
+        if (!std::isfinite(fac.exp))
+          return Status::Fail(FailureReason::kNumericalError,
+                              "non-finite exponent in " + where);
+    }
+    return Status::Ok();
+  };
+  if (auto s = check_posy(problem.objective(), "objective"); !s.ok())
+    return s;
+  for (const auto& c : problem.constraints())
+    if (auto s = check_posy(c.lhs, "constraint " + c.tag); !s.ok()) return s;
+  return Status::Ok();
+}
+
+/// Barrier-method state shared by both phases. Non-owning: the compiled
+/// functions and bounds live in the caller so multi-start restarts don't
+/// re-copy them per attempt.
 struct BarrierProblem {
-  std::vector<Func> constraints;  ///< F_j(y) <= 0
-  Func objective;                 ///< minimized (times barrier weight t)
-  Vec ylo, yhi;                   ///< strict box bounds in log domain
+  const std::vector<Func>* constraints = nullptr;  ///< F_j(y) <= 0
+  const Func* objective = nullptr;  ///< minimized (times barrier weight t)
+  const Vec* ylo = nullptr;         ///< strict box bounds in log domain
+  const Vec* yhi = nullptr;
 };
 
 /// Scratch buffers reused across barrier evaluations.
@@ -161,6 +209,25 @@ struct BarrierScratch {
   std::vector<double> g_local;
   std::vector<double> h_local;
   std::vector<double> z;
+};
+
+/// Wall-clock budget for one solve() call (shared across restarts).
+struct Deadline {
+  std::chrono::steady_clock::time_point at;
+  bool enabled = false;
+
+  static Deadline from_ms(double ms) {
+    Deadline d;
+    if (ms >= 0.0) {
+      d.enabled = true;
+      d.at = std::chrono::steady_clock::now() +
+             std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0));
+    }
+    return d;
+  }
+  bool expired() const {
+    return enabled && std::chrono::steady_clock::now() >= at;
+  }
 };
 
 /// Evaluates the barrier objective
@@ -208,14 +275,14 @@ double barrier_eval(const BarrierProblem& bp, double t, const Vec& y,
   const bool derivs = grad != nullptr || hess != nullptr;
   {
     const double f0 =
-        derivs ? bp.objective.eval_local(y, scratch.g_local, scratch.h_local,
-                                         scratch.z)
-               : bp.objective.value_at(y);
+        derivs ? bp.objective->eval_local(y, scratch.g_local,
+                                          scratch.h_local, scratch.z)
+               : bp.objective->value_at(y);
     phi += t * f0;
-    if (derivs) scatter(bp.objective, t, t, 0.0);
+    if (derivs) scatter(*bp.objective, t, t, 0.0);
   }
 
-  for (const auto& fj : bp.constraints) {
+  for (const auto& fj : *bp.constraints) {
     const double v =
         derivs ? fj.eval_local(y, scratch.g_local, scratch.h_local, scratch.z)
                : fj.value_at(y);
@@ -228,8 +295,8 @@ double barrier_eval(const BarrierProblem& bp, double t, const Vec& y,
   }
 
   for (size_t i = 0; i < n; ++i) {
-    const double a = y[i] - bp.ylo[i];
-    const double b = bp.yhi[i] - y[i];
+    const double a = y[i] - (*bp.ylo)[i];
+    const double b = (*bp.yhi)[i] - y[i];
     if (a <= 0.0 || b <= 0.0) return std::numeric_limits<double>::infinity();
     phi += -std::log(a) - std::log(b);
     if (grad) (*grad)[i] += -1.0 / a + 1.0 / b;
@@ -238,31 +305,62 @@ double barrier_eval(const BarrierProblem& bp, double t, const Vec& y,
   return phi;
 }
 
+/// How a Newton minimization ended. kNonFinite covers both NaN/Inf in the
+/// barrier value or step and an unsolvable (indefinite) Newton system.
+enum class NewtonFailure { kNone, kNonFinite, kTimeout };
+
 struct NewtonOutcome {
   int iterations = 0;
   bool converged = false;
+  NewtonFailure failure = NewtonFailure::kNone;
 };
 
 /// Damped Newton minimization of the barrier objective for fixed t.
 /// early_exit, when set, is checked after every accepted step and stops the
-/// minimization as soon as it returns true (used by phase I).
+/// minimization as soon as it returns true (used by phase I). `y` only ever
+/// moves to finite accepted points: a failed iteration leaves it at the
+/// last good iterate, so callers can always report a usable point.
 NewtonOutcome newton_minimize(const BarrierProblem& bp, double t, Vec& y,
                               const SolverOptions& opt,
+                              const Deadline& deadline,
                               const std::function<bool(const Vec&)>&
                                   early_exit = {}) {
   const size_t n = y.size();
   NewtonOutcome out;
+  if (util::fault_fires(util::FaultClass::kSolverExhaustIters, "gp.newton")) {
+    out.iterations = opt.max_newton_iters;
+    return out;
+  }
   Vec grad(n, 0.0);
   BarrierScratch scratch;
   for (int it = 0; it < opt.max_newton_iters; ++it) {
+    if (deadline.expired()) {
+      out.failure = NewtonFailure::kTimeout;
+      return out;
+    }
     Matrix hess(n, n, 0.0);
-    const double phi = barrier_eval(bp, t, y, &grad, &hess, scratch);
-    SMART_CHECK(std::isfinite(phi), "barrier evaluated outside domain");
+    double phi = barrier_eval(bp, t, y, &grad, &hess, scratch);
+    phi = util::fault_corrupt(util::FaultClass::kSolverNonFinite,
+                              "gp.newton.phi", phi);
+    if (!std::isfinite(phi)) {
+      out.failure = NewtonFailure::kNonFinite;
+      return out;
+    }
     // Levenberg-style floor keeps the system solvable when the Hessian is
     // nearly singular (e.g. slack variables far from activity).
     for (size_t i = 0; i < n; ++i) hess(i, i) += 1e-12;
-    Vec step = util::cholesky_solve(hess, util::scaled(grad, -1.0));
+    Vec step;
+    try {
+      step = util::cholesky_solve(hess, util::scaled(grad, -1.0));
+    } catch (const util::Error&) {
+      out.failure = NewtonFailure::kNonFinite;
+      return out;
+    }
     const double decrement2 = -util::dot(grad, step);
+    if (!std::isfinite(decrement2)) {
+      out.failure = NewtonFailure::kNonFinite;
+      return out;
+    }
     out.iterations = it + 1;
     if (decrement2 / 2.0 < opt.tolerance * 1e-2) {
       out.converged = true;
@@ -296,162 +394,333 @@ NewtonOutcome newton_minimize(const BarrierProblem& bp, double t, Vec& y,
   return out;
 }
 
+/// Status/diagnostic pairing shared by run-attempt exits.
+FailureReason reason_of(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal:
+      return FailureReason::kNone;
+    case SolveStatus::kInfeasible:
+      return FailureReason::kInfeasible;
+    case SolveStatus::kMaxIter:
+      return FailureReason::kMaxIter;
+    case SolveStatus::kTimeout:
+      return FailureReason::kTimeout;
+    case SolveStatus::kNumericalError:
+      return FailureReason::kNumericalError;
+    case SolveStatus::kInvalidInput:
+      return FailureReason::kInvalidInput;
+  }
+  return FailureReason::kInternal;
+}
+
+}  // namespace
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kMaxIter:
+      return "max_iterations";
+    case SolveStatus::kTimeout:
+      return "timeout";
+    case SolveStatus::kNumericalError:
+      return "numerical_error";
+    case SolveStatus::kInvalidInput:
+      return "invalid_input";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Finite best-effort point for solves that fail before producing one.
+GpResult failed_result(const GpProblem& problem, SolveStatus status,
+                       std::string detail) {
+  GpResult result;
+  result.status = status;
+  result.message = detail;
+  result.diagnostics = Status::Fail(reason_of(status), std::move(detail));
+  const size_t n = problem.vars().size();
+  result.x.assign(n, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& info = problem.vars().info(static_cast<posy::VarId>(i));
+    if (info.lower > 0.0 && std::isfinite(info.lower) &&
+        std::isfinite(info.upper) && info.upper >= info.lower)
+      result.x[i] = std::sqrt(info.lower * info.upper);
+  }
+  return result;
+}
+
 }  // namespace
 
 GpResult GpSolver::solve(const GpProblem& problem) const {
-  return run(problem, nullptr);
+  try {
+    return run(problem, nullptr);
+  } catch (const std::exception& e) {
+    return failed_result(problem, SolveStatus::kNumericalError, e.what());
+  }
 }
 
 GpResult GpSolver::solve_from(const GpProblem& problem,
                               const util::Vec& x0) const {
-  SMART_CHECK(x0.size() == problem.vars().size(),
-              "warm start size mismatch");
-  return run(problem, &x0);
+  if (x0.size() != problem.vars().size()) {
+    return failed_result(problem, SolveStatus::kInvalidInput,
+                         "warm start size mismatch");
+  }
+  try {
+    return run(problem, &x0);
+  } catch (const std::exception& e) {
+    return failed_result(problem, SolveStatus::kNumericalError, e.what());
+  }
 }
 
 GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
   const auto& vars = problem.vars();
   const size_t n = vars.size();
   GpResult result;
-  SMART_CHECK(n > 0, "GP has no variables");
-  SMART_CHECK(!problem.objective().is_zero(), "GP objective not set");
+
+  // Reject malformed data up front; the fallback point is finite by
+  // construction so downstream consumers never see NaN widths.
+  if (Status v = validate_problem(problem); !v.ok()) {
+    return failed_result(problem,
+                         v.reason == FailureReason::kNumericalError
+                             ? SolveStatus::kNumericalError
+                             : SolveStatus::kInvalidInput,
+                         v.detail);
+  }
 
   // Log-domain box bounds.
   Vec ylo(n), yhi(n);
   for (size_t i = 0; i < n; ++i) {
     const auto& info = vars.info(static_cast<posy::VarId>(i));
     ylo[i] = std::log(info.lower);
-    yhi[i] = std::log(info.upper);
-    SMART_CHECK(yhi[i] > ylo[i] - 1e-15, "empty variable box");
+    yhi[i] = std::log(std::max(info.upper, info.lower));
   }
 
   std::vector<Func> constraints;
   constraints.reserve(problem.constraints().size());
-  for (const auto& c : problem.constraints()) constraints.push_back(compile(c.lhs));
+  for (const auto& c : problem.constraints())
+    constraints.push_back(compile(c.lhs));
   Func objective = compile(problem.objective());
-
-  // Start at the warm-start point (clipped strictly inside the box) or
-  // at the box midpoint (geometric mean of the bounds).
-  Vec y(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (x0 != nullptr) {
-      const double margin = 1e-3 * std::max(1.0, yhi[i] - ylo[i]);
-      y[i] = std::clamp(std::log(std::max((*x0)[i], 1e-300)),
-                        ylo[i] + margin, yhi[i] - margin);
-    } else {
-      y[i] = 0.5 * (ylo[i] + yhi[i]);
-    }
-    if (yhi[i] - ylo[i] < 1e-12) y[i] = ylo[i];  // effectively fixed var
+  // Conditioning guardrail: shift the objective's log-coefficients so its
+  // largest term has logc 0 (equivalent to scaling the objective by a
+  // positive constant, which moves no argmin). Keeps t * f0 tame when cost
+  // coefficients are huge (e.g. power objectives in fF*V^2 units).
+  if (!objective.terms.empty()) {
+    double logc_max = -std::numeric_limits<double>::infinity();
+    for (const auto& t : objective.terms)
+      logc_max = std::max(logc_max, t.logc);
+    if (std::fabs(logc_max) > 30.0)
+      for (auto& t : objective.terms) t.logc -= logc_max;
   }
+
+  const Deadline deadline = Deadline::from_ms(options_.deadline_ms);
 
   auto max_constraint = [&](const Vec& yy) {
     double m = -std::numeric_limits<double>::infinity();
-    for (const auto& f : constraints)
-      m = std::max(m, f.value_at(yy));
+    for (const auto& f : constraints) m = std::max(m, f.value_at(yy));
     return m;
   };
 
-  int total_newton = 0;
-
-  // ---- Phase I: find a strictly feasible point ----
-  if (!constraints.empty() && max_constraint(y) >= -options_.feas_margin) {
-    // Augment with auxiliary s: minimize s subject to F_j(y) - s <= 0.
-    BarrierProblem p1;
-    p1.ylo = ylo;
-    p1.yhi = yhi;
-    const double s0 = max_constraint(y) + 1.0;
-    // Generous box for s keeps the barrier well-behaved.
-    p1.ylo.push_back(std::min(-10.0, s0 - 100.0));
-    p1.yhi.push_back(s0 + 100.0);
-    for (const auto& f : constraints) {
-      Func fa = f;
-      fa.linear_vars.push_back(static_cast<int>(n));
-      fa.linear_coef.push_back(-1.0);
-      fa.finish();
-      p1.constraints.push_back(std::move(fa));
-    }
-    Func obj_s;  // objective = s (pure linear)
-    obj_s.linear_vars.push_back(static_cast<int>(n));
-    obj_s.linear_coef.push_back(1.0);
-    obj_s.finish();
-    p1.objective = std::move(obj_s);
-
-    Vec ys = y;
-    ys.push_back(s0);
-    const double want = -2.0 * options_.feas_margin;
-    auto feasible_now = [&](const Vec& yy) {
-      Vec ycore(yy.begin(), yy.begin() + static_cast<long>(n));
-      return max_constraint(ycore) < want;
+  // One barrier solve from a given starting point. Writes into `out`.
+  auto attempt = [&](const Vec& y_init, GpResult& out, int* newton_used) {
+    Vec y = y_init;
+    int total_newton = 0;
+    auto finish = [&](SolveStatus status, const std::string& msg) {
+      out.x.assign(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        double xi = std::exp(y[i]);
+        if (!std::isfinite(xi))
+          xi = std::exp(0.5 * (ylo[i] + yhi[i]));
+        out.x[i] = xi;
+      }
+      out.objective = problem.objective().eval(out.x);
+      double viol = 0.0;
+      out.binding.clear();
+      for (const auto& c : problem.constraints()) {
+        const double v = c.lhs.eval(out.x);
+        viol = std::max(viol, v - 1.0);
+        if (status == SolveStatus::kOptimal &&
+            v >= 1.0 - options_.binding_tol)
+          out.binding.push_back(c.tag);
+      }
+      out.max_violation = viol;
+      out.newton_iterations = total_newton;
+      out.status = status;
+      out.message = msg;
+      out.diagnostics = status == SolveStatus::kOptimal
+                            ? Status::Ok()
+                            : Status::Fail(reason_of(status), msg);
+      *newton_used = total_newton;
     };
-    double t = 1.0;
+
+    // ---- Phase I: find a strictly feasible point ----
+    if (!constraints.empty() && max_constraint(y) >= -options_.feas_margin) {
+      // Augment with auxiliary s: minimize s subject to F_j(y) - s <= 0.
+      Vec ylo1 = ylo, yhi1 = yhi;
+      const double s0 = max_constraint(y) + 1.0;
+      if (!std::isfinite(s0)) {
+        finish(SolveStatus::kNumericalError,
+               "non-finite constraint value at the starting point");
+        return;
+      }
+      // Generous box for s keeps the barrier well-behaved.
+      ylo1.push_back(std::min(-10.0, s0 - 100.0));
+      yhi1.push_back(s0 + 100.0);
+      std::vector<Func> aug;
+      aug.reserve(constraints.size());
+      for (const auto& f : constraints) {
+        Func fa = f;
+        fa.linear_vars.push_back(static_cast<int>(n));
+        fa.linear_coef.push_back(-1.0);
+        fa.finish();
+        aug.push_back(std::move(fa));
+      }
+      Func obj_s;  // objective = s (pure linear)
+      obj_s.linear_vars.push_back(static_cast<int>(n));
+      obj_s.linear_coef.push_back(1.0);
+      obj_s.finish();
+      BarrierProblem p1{&aug, &obj_s, &ylo1, &yhi1};
+
+      Vec ys = y;
+      ys.push_back(s0);
+      const double want = -2.0 * options_.feas_margin;
+      auto feasible_now = [&](const Vec& yy) {
+        Vec ycore(yy.begin(), yy.begin() + static_cast<long>(n));
+        return max_constraint(ycore) < want;
+      };
+      double t = 1.0;
+      NewtonFailure p1_failure = NewtonFailure::kNone;
+      for (int stage = 0; stage < options_.max_barrier_stages; ++stage) {
+        auto outcome =
+            newton_minimize(p1, t, ys, options_, deadline, feasible_now);
+        total_newton += outcome.iterations;
+        if (outcome.failure != NewtonFailure::kNone) {
+          p1_failure = outcome.failure;
+          break;
+        }
+        if (feasible_now(ys)) break;
+        if (static_cast<double>(aug.size()) / t < options_.tolerance) break;
+        t *= options_.barrier_mu;
+      }
+      y.assign(ys.begin(), ys.begin() + static_cast<long>(n));
+      if (p1_failure == NewtonFailure::kTimeout) {
+        finish(SolveStatus::kTimeout, "deadline exceeded in phase I");
+        return;
+      }
+      if (p1_failure == NewtonFailure::kNonFinite) {
+        finish(SolveStatus::kNumericalError,
+               "non-finite value in a phase I Newton step");
+        return;
+      }
+      if (max_constraint(y) >= 0.0) {
+        finish(SolveStatus::kInfeasible,
+               util::strfmt(
+                   "phase I failed: max constraint value %.4g (want < 1)",
+                   std::exp(max_constraint(y))));
+        return;
+      }
+    }
+
+    // ---- Phase II: barrier path following ----
+    const BarrierProblem p2{&constraints, &objective, &ylo, &yhi};
+
+    const double m_total = static_cast<double>(constraints.size()) +
+                           2.0 * static_cast<double>(n);
+    double t = options_.t_initial;
+    // A warm start that is already strictly feasible sits near the previous
+    // optimum — close to its active constraints. Low-t centering would drag
+    // the iterate back toward the analytic center only to return; skip ahead
+    // on the barrier schedule instead.
+    if (x0 != nullptr && max_constraint(y) < -options_.feas_margin)
+      t *= options_.barrier_mu * options_.barrier_mu;
+    bool hit_limit = true;
+    bool stage_exhausted = false;
     for (int stage = 0; stage < options_.max_barrier_stages; ++stage) {
-      auto outcome = newton_minimize(p1, t, ys, options_, feasible_now);
+      auto outcome = newton_minimize(p2, t, y, options_, deadline);
       total_newton += outcome.iterations;
-      if (feasible_now(ys)) break;
-      if (static_cast<double>(p1.constraints.size()) / t <
-          options_.tolerance)
+      if (outcome.failure == NewtonFailure::kTimeout) {
+        finish(SolveStatus::kTimeout, "deadline exceeded in phase II");
+        return;
+      }
+      if (outcome.failure == NewtonFailure::kNonFinite) {
+        finish(SolveStatus::kNumericalError,
+               "non-finite value in a phase II Newton step");
+        return;
+      }
+      stage_exhausted = !outcome.converged &&
+                        outcome.iterations >= options_.max_newton_iters;
+      if (options_.verbose) {
+        util::log_info(util::strfmt("gp: stage %d t=%.3g newton=%d", stage,
+                                    t, outcome.iterations));
+      }
+      if (m_total / t < options_.tolerance) {
+        hit_limit = false;
         break;
+      }
       t *= options_.barrier_mu;
     }
-    y.assign(ys.begin(), ys.begin() + static_cast<long>(n));
-    if (max_constraint(y) >= 0.0) {
-      result.status = SolveStatus::kInfeasible;
-      result.x.assign(n, 0.0);
-      for (size_t i = 0; i < n; ++i) result.x[i] = std::exp(y[i]);
-      result.objective = problem.objective().eval(result.x);
-      result.max_violation = std::exp(max_constraint(y)) - 1.0;
-      result.newton_iterations = total_newton;
-      result.message = util::strfmt(
-          "phase I failed: max constraint value %.4g (want < 1)",
-          std::exp(max_constraint(y)));
-      return result;
+
+    if (hit_limit || stage_exhausted)
+      finish(SolveStatus::kMaxIter, "iteration budget exhausted");
+    else
+      finish(SolveStatus::kOptimal, "optimal");
+  };
+
+  // Initial point: warm start (clipped strictly inside the box) or the box
+  // midpoint (geometric mean of the bounds).
+  Vec y0(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (x0 != nullptr) {
+      const double margin = 1e-3 * std::max(1.0, yhi[i] - ylo[i]);
+      y0[i] = std::clamp(std::log(std::max((*x0)[i], 1e-300)),
+                         ylo[i] + margin, yhi[i] - margin);
+      if (!std::isfinite(y0[i])) y0[i] = 0.5 * (ylo[i] + yhi[i]);
+    } else {
+      y0[i] = 0.5 * (ylo[i] + yhi[i]);
     }
+    if (yhi[i] - ylo[i] < 1e-12) y0[i] = ylo[i];  // effectively fixed var
   }
 
-  // ---- Phase II: barrier path following ----
-  BarrierProblem p2;
-  p2.constraints = std::move(constraints);
-  p2.objective = std::move(objective);
-  p2.ylo = std::move(ylo);
-  p2.yhi = std::move(yhi);
-
-  const double m_total =
-      static_cast<double>(p2.constraints.size()) + 2.0 * static_cast<double>(n);
-  double t = options_.t_initial;
-  // A warm start that is already strictly feasible sits near the previous
-  // optimum — close to its active constraints. Low-t centering would drag
-  // the iterate back toward the analytic center only to return; skip ahead
-  // on the barrier schedule instead.
-  if (x0 != nullptr && max_constraint(y) < -options_.feas_margin)
-    t *= options_.barrier_mu * options_.barrier_mu;
-  bool hit_limit = true;
-  for (int stage = 0; stage < options_.max_barrier_stages; ++stage) {
-    auto outcome = newton_minimize(p2, t, y, options_);
-    total_newton += outcome.iterations;
-    if (options_.verbose) {
-      util::log_info(util::strfmt("gp: stage %d t=%.3g newton=%d", stage, t,
-                                  outcome.iterations));
+  // Multi-start: retry failed solves from deterministically perturbed
+  // initial points. Genuine infeasibility is not retried unless marginal
+  // (small violation) — restarts cannot manufacture feasibility, but they
+  // do rescue phase I runs wedged by a bad starting corner.
+  int cumulative_newton = 0;
+  for (int a = 0; a <= std::max(0, options_.restarts); ++a) {
+    Vec y_start = y0;
+    if (a > 0) {
+      util::Rng rng(options_.restart_seed + static_cast<uint64_t>(a));
+      for (size_t i = 0; i < n; ++i) {
+        if (yhi[i] - ylo[i] < 1e-12) continue;
+        const double span = yhi[i] - ylo[i];
+        const double jitter = rng.uniform(-0.2, 0.2) * std::min(span, 4.0);
+        y_start[i] =
+            std::clamp(y0[i] + jitter, ylo[i] + 1e-3 * span,
+                       yhi[i] - 1e-3 * span);
+      }
     }
-    if (m_total / t < options_.tolerance) {
-      hit_limit = false;
-      break;
-    }
-    t *= options_.barrier_mu;
+    GpResult r;
+    int used = 0;
+    attempt(y_start, r, &used);
+    cumulative_newton += used;
+    const bool better =
+        a == 0 || (r.status == SolveStatus::kOptimal && !result.ok()) ||
+        (!result.ok() && r.max_violation < result.max_violation);
+    if (better) result = std::move(r);
+    result.newton_iterations = cumulative_newton;
+    result.attempts = a + 1;
+    if (result.ok()) break;
+    if (deadline.expired()) break;
+    const bool retryable =
+        result.status == SolveStatus::kMaxIter ||
+        result.status == SolveStatus::kNumericalError ||
+        (result.status == SolveStatus::kInfeasible &&
+         result.max_violation < 0.25);
+    if (!retryable) break;
   }
-
-  result.x.assign(n, 0.0);
-  for (size_t i = 0; i < n; ++i) result.x[i] = std::exp(y[i]);
-  result.objective = problem.objective().eval(result.x);
-  double viol = 0.0;
-  for (const auto& c : problem.constraints()) {
-    const double v = c.lhs.eval(result.x);
-    viol = std::max(viol, v - 1.0);
-    if (v >= 1.0 - options_.binding_tol) result.binding.push_back(c.tag);
-  }
-  result.max_violation = viol;
-  result.newton_iterations = total_newton;
-  result.status = hit_limit ? SolveStatus::kMaxIter : SolveStatus::kOptimal;
-  result.message = hit_limit ? "barrier stage limit reached" : "optimal";
   return result;
 }
 

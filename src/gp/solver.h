@@ -7,11 +7,19 @@
 ///   phase I  — minimize a smoothed max of constraint functions until a
 ///              strictly feasible point is found;
 ///   phase II — standard log-barrier path following with damped Newton.
+///
+/// Guardrails: the solver never throws and never returns non-finite
+/// variable values. Malformed problems, NaN/Inf surfacing mid-solve,
+/// iteration exhaustion and wall-clock overrun all come back as a
+/// SolveStatus plus a structured util::Status diagnostic, and failed
+/// attempts are retried from deterministically perturbed starting points
+/// (multi-start) before giving up.
 
 #include <string>
 
 #include "gp/problem.h"
 #include "util/linalg.h"
+#include "util/status.h"
 
 namespace smart::gp {
 
@@ -26,22 +34,41 @@ struct SolverOptions {
   int max_barrier_stages = 60;
   double feas_margin = 1e-7;     ///< required slack to call a point feasible
   bool verbose = false;
+
+  /// Wall-clock budget for one solve() call including restarts (ms);
+  /// < 0 disables the deadline. Checked once per Newton iteration.
+  double deadline_ms = -1.0;
+  /// Extra solve attempts from perturbed initial points after a failed
+  /// first attempt (kMaxIter, kNumericalError, or marginal kInfeasible).
+  int restarts = 1;
+  /// Seed of the deterministic restart perturbations.
+  uint64_t restart_seed = 0x5eed5eedULL;
 };
 
 enum class SolveStatus {
-  kOptimal,     ///< converged to tolerance
-  kInfeasible,  ///< phase I could not find a strictly feasible point
-  kMaxIter,     ///< iteration limit hit; best point returned
+  kOptimal,         ///< converged to tolerance
+  kInfeasible,      ///< phase I could not find a strictly feasible point
+  kMaxIter,         ///< iteration limit hit; best point returned
+  kTimeout,         ///< deadline_ms exceeded; best point returned
+  kNumericalError,  ///< NaN/Inf in the problem data or a Newton step
+  kInvalidInput,    ///< malformed problem (no vars, empty box, zero objective)
 };
 
-/// Result of a GP solve. x is in the original (positive) domain.
+const char* to_string(SolveStatus status);
+
+/// Result of a GP solve. x is in the original (positive) domain and always
+/// finite, even on failure (failed solves return a clamped best-effort
+/// point so downstream reporting never sees NaN widths).
 struct GpResult {
   SolveStatus status = SolveStatus::kMaxIter;
   util::Vec x;               ///< variable values (size = vars in table)
   double objective = 0.0;    ///< objective value at x
   double max_violation = 0;  ///< max over constraints of (lhs(x) - 1)
   int newton_iterations = 0;
+  int attempts = 1;          ///< solve attempts including restarts
   std::string message;
+  /// Structured failure reason mirroring `status` (ok() iff kOptimal).
+  util::Status diagnostics;
   /// Tags of constraints active at the solution (lhs within binding_tol of
   /// 1) — the designer's answer to "what is limiting this design".
   std::vector<std::string> binding;
@@ -54,13 +81,13 @@ class GpSolver {
  public:
   explicit GpSolver(SolverOptions options = {}) : options_(options) {}
 
-  /// Solves from the box midpoint.
+  /// Solves from the box midpoint. Never throws.
   GpResult solve(const GpProblem& problem) const;
 
   /// Solves warm-started from `x0` (clipped into the variable box). When
   /// x0 is already strictly feasible — the common case in the sizer's
   /// re-specification loop, where consecutive problems differ only in
-  /// their constraint scaling — phase I is skipped entirely.
+  /// their constraint scaling — phase I is skipped entirely. Never throws.
   GpResult solve_from(const GpProblem& problem, const util::Vec& x0) const;
 
  private:

@@ -1,6 +1,7 @@
 #include "models/arc_model.h"
 
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/strfmt.h"
 
 namespace smart::models {
@@ -188,7 +189,14 @@ ArcPosy arc_model_posy(const Netlist& nl, const Arc& arc, bool out_rising,
                        const Posynomial& in_slope, const Posynomial& c_out,
                        const LabelVarMap& labels, const ModelLibrary& lib,
                        const tech::Tech& tech, netlist::Phase phase) {
-  const ModelCoeffs& m = lib.coeffs(classify_arc(nl, arc, phase));
+  ModelCoeffs m = lib.coeffs(classify_arc(nl, arc, phase));
+  // Fault-injection sites: chaos tests corrupt the calibrated coefficients
+  // here — a perturbation models a bad fit, NaN models a poisoned library —
+  // and the solve path must degrade instead of crashing.
+  m.a_rc = util::fault_corrupt(util::FaultClass::kModelCoeffPerturb,
+                               "model.coeff.a_rc", m.a_rc);
+  m.a_int = util::fault_corrupt(util::FaultClass::kModelNonFinite,
+                                "model.coeff.a_int", m.a_int);
   const Posynomial rc =
       arc_rc_posy(nl, arc, out_rising, c_out, labels, tech, phase);
   ArcPosy out;

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace smart::refsim {
 
@@ -350,6 +351,12 @@ TimingReport RcTimer::analyze(const Netlist& nl,
       if (happened(w)) report.worst_precharge = std::max(report.worst_precharge, w);
     }
   }
+  // Fault-injection sites: chaos tests corrupt the reference measurement
+  // here to prove the sizing loop rejects untrustworthy verification.
+  report.worst_delay = util::fault_corrupt(
+      util::FaultClass::kTimerPerturb, "refsim.delay", report.worst_delay);
+  report.worst_delay = util::fault_corrupt(
+      util::FaultClass::kTimerNonFinite, "refsim.delay", report.worst_delay);
   return report;
 }
 

@@ -1,0 +1,97 @@
+#include "util/fault.h"
+
+#include <cstring>
+#include <limits>
+
+namespace smart::util {
+
+const char* to_string(FaultClass c) {
+  switch (c) {
+    case FaultClass::kNone:
+      return "none";
+    case FaultClass::kModelCoeffPerturb:
+      return "model_coeff_perturb";
+    case FaultClass::kModelNonFinite:
+      return "model_non_finite";
+    case FaultClass::kSolverNonFinite:
+      return "solver_non_finite";
+    case FaultClass::kSolverExhaustIters:
+      return "solver_exhaust_iters";
+    case FaultClass::kTimerPerturb:
+      return "timer_perturb";
+    case FaultClass::kTimerNonFinite:
+      return "timer_non_finite";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(FaultClass fault, std::string site_filter,
+                        double magnitude, int skip_hits, int max_fires) {
+  std::lock_guard<std::mutex> lock(mu_);
+  filter_ = std::move(site_filter);
+  magnitude_ = magnitude;
+  hits_.store(0, std::memory_order_relaxed);
+  fired_.store(0, std::memory_order_relaxed);
+  skip_left_.store(skip_hits, std::memory_order_relaxed);
+  fires_left_.store(max_fires, std::memory_order_relaxed);
+  armed_.store(static_cast<int>(fault), std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  armed_.store(static_cast<int>(FaultClass::kNone),
+               std::memory_order_release);
+}
+
+bool FaultInjector::should_fire(FaultClass fault, const char* site) {
+  if (armed() != fault) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!filter_.empty() &&
+        std::strstr(site, filter_.c_str()) == nullptr)
+      return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  // Consume the skip budget atomically so concurrent sites fire exactly
+  // after `skip_hits` matches, not once per racing thread.
+  int left = skip_left_.load(std::memory_order_relaxed);
+  while (left > 0) {
+    if (skip_left_.compare_exchange_weak(left, left - 1,
+                                         std::memory_order_relaxed))
+      return false;
+  }
+  // Consume the fire budget the same way (< 0 = unlimited).
+  int fires = fires_left_.load(std::memory_order_relaxed);
+  while (fires >= 0) {
+    if (fires == 0) return false;
+    if (fires_left_.compare_exchange_weak(fires, fires - 1,
+                                          std::memory_order_relaxed))
+      break;
+  }
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+double FaultInjector::corrupt(FaultClass fault, const char* site,
+                              double value) {
+  if (!should_fire(fault, site)) return value;
+  switch (fault) {
+    case FaultClass::kModelCoeffPerturb:
+    case FaultClass::kTimerPerturb: {
+      std::lock_guard<std::mutex> lock(mu_);
+      return value * magnitude_;
+    }
+    case FaultClass::kModelNonFinite:
+    case FaultClass::kSolverNonFinite:
+    case FaultClass::kTimerNonFinite:
+      return std::numeric_limits<double>::quiet_NaN();
+    default:
+      return value;
+  }
+}
+
+}  // namespace smart::util

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file fault.h
+/// Process-wide fault injector for robustness testing of the sizing
+/// pipeline. Production code is instrumented with named injection *sites*
+/// (e.g. "model.coeff", "gp.newton", "refsim.delay"); tests arm one
+/// FaultClass at a time — optionally filtered to a site substring and
+/// delayed until the Nth hit — and the pipeline must either degrade
+/// gracefully or report a structured FailureReason, never crash.
+///
+/// Disarmed cost is one relaxed atomic load per site, so the hooks stay
+/// compiled into release builds and chaos runs can arm them in situ.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace smart::util {
+
+/// What kind of damage to inject at matching sites.
+enum class FaultClass {
+  kNone = 0,
+  kModelCoeffPerturb,   ///< multiply model coefficients by `magnitude`
+  kModelNonFinite,      ///< poison a model coefficient with NaN
+  kSolverNonFinite,     ///< force a non-finite value inside a Newton step
+  kSolverExhaustIters,  ///< force the Newton iteration budget to exhaust
+  kTimerPerturb,        ///< scale reference-timer delays by `magnitude`
+  kTimerNonFinite,      ///< poison the reference-timer worst delay with NaN
+};
+
+const char* to_string(FaultClass c);
+
+/// Singleton fault injector. Thread-safe: the advisor sizes candidate
+/// topologies concurrently and every thread must observe the armed fault.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Arms `fault`. `site_filter` is a substring match against site names
+  /// ("" matches every site); `magnitude` scales perturbation classes;
+  /// `skip_hits` delays firing until that many matching hits have passed
+  /// (0 = fire on the first hit); `max_fires` stops injecting after that
+  /// many firings (< 0 = unlimited) so tests can poison exactly one
+  /// candidate of a sweep. Re-arming resets the hit counters.
+  void arm(FaultClass fault, std::string site_filter = "",
+           double magnitude = 10.0, int skip_hits = 0, int max_fires = -1);
+
+  /// Disarms; sites go back to the single-atomic-load fast path.
+  void disarm();
+
+  FaultClass armed() const {
+    return static_cast<FaultClass>(armed_.load(std::memory_order_relaxed));
+  }
+
+  /// True when `fault` is armed, the site matches, and the skip count has
+  /// been consumed. Counts a hit on every match. Boolean sites
+  /// (kSolverExhaustIters) call this directly.
+  bool should_fire(FaultClass fault, const char* site);
+
+  /// Value-carrying sites: returns `value` untouched unless the fault
+  /// fires, in which case perturbation classes return value * magnitude and
+  /// non-finite classes return NaN.
+  double corrupt(FaultClass fault, const char* site, double value);
+
+  /// Matching-site hits observed since the last arm() (fired or skipped).
+  int hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Hits that actually fired (corrupted a value / returned true).
+  int fired() const { return fired_.load(std::memory_order_relaxed); }
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<int> armed_{0};  ///< FaultClass; fast disarmed check
+  std::atomic<int> hits_{0};
+  std::atomic<int> fired_{0};
+  std::atomic<int> skip_left_{0};
+  std::atomic<int> fires_left_{-1};  ///< < 0 = unlimited
+  mutable std::mutex mu_;  ///< guards filter_ and magnitude_
+  std::string filter_;
+  double magnitude_ = 10.0;
+};
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultClass fault, std::string site_filter = "",
+                      double magnitude = 10.0, int skip_hits = 0,
+                      int max_fires = -1) {
+    FaultInjector::instance().arm(fault, std::move(site_filter), magnitude,
+                                  skip_hits, max_fires);
+  }
+  ~FaultScope() { FaultInjector::instance().disarm(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+/// Site helper used by instrumented production code: no-op (one atomic
+/// load) while disarmed.
+inline double fault_corrupt(FaultClass fault, const char* site,
+                            double value) {
+  auto& fi = FaultInjector::instance();
+  if (fi.armed() != fault) return value;
+  return fi.corrupt(fault, site, value);
+}
+
+inline bool fault_fires(FaultClass fault, const char* site) {
+  auto& fi = FaultInjector::instance();
+  if (fi.armed() != fault) return false;
+  return fi.should_fire(fault, site);
+}
+
+}  // namespace smart::util

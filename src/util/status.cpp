@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace smart::util {
+
+const char* to_string(FailureReason reason) {
+  switch (reason) {
+    case FailureReason::kNone:
+      return "ok";
+    case FailureReason::kInvalidInput:
+      return "invalid_input";
+    case FailureReason::kInfeasible:
+      return "infeasible";
+    case FailureReason::kMaxIter:
+      return "max_iterations";
+    case FailureReason::kTimeout:
+      return "timeout";
+    case FailureReason::kNumericalError:
+      return "numerical_error";
+    case FailureReason::kFaultInjected:
+      return "fault_injected";
+    case FailureReason::kInternal:
+      return "internal_error";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string s = smart::util::to_string(reason);
+  if (!detail.empty()) {
+    s += ": ";
+    s += detail;
+  }
+  return s;
+}
+
+}  // namespace smart::util

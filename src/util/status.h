@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file status.h
+/// Structured failure taxonomy for the sizing pipeline. Every stage of the
+/// solve path (constraint generation, GP solve, sizing, advising) reports
+/// *why* it failed through a FailureReason instead of a free-form string or
+/// an uncaught exception, so a caller sweeping many candidates can decide
+/// mechanically whether to retry, relax, degrade, or skip — the paper's
+/// promise that a failed topology "is reported, not fatal", made machine
+/// readable.
+
+#include <string>
+
+namespace smart::util {
+
+/// Why a pipeline stage failed. Ordered roughly from "caller's fault" to
+/// "numerics' fault"; kNone means success.
+enum class FailureReason {
+  kNone = 0,        ///< success
+  kInvalidInput,    ///< malformed request (empty problem, non-positive spec)
+  kInfeasible,      ///< constraints admit no feasible point
+  kMaxIter,         ///< iteration budget exhausted before convergence
+  kTimeout,         ///< wall-clock deadline exceeded
+  kNumericalError,  ///< NaN/Inf surfaced in models, constraints, or solver
+  kFaultInjected,   ///< a FaultInjector hook fired (test/chaos runs)
+  kInternal,        ///< invariant violation escaping a lower layer
+};
+
+/// Stable lowercase identifier for logs and machine-readable reports.
+const char* to_string(FailureReason reason);
+
+/// A failure reason plus human-readable context. Cheap to copy, compare on
+/// `reason`, print with to_string().
+struct Status {
+  FailureReason reason = FailureReason::kNone;
+  std::string detail;
+
+  bool ok() const { return reason == FailureReason::kNone; }
+
+  /// "ok" or "<reason>: <detail>".
+  std::string to_string() const;
+
+  static Status Ok() { return {}; }
+  static Status Fail(FailureReason reason, std::string detail = {}) {
+    return {reason, std::move(detail)};
+  }
+};
+
+}  // namespace smart::util

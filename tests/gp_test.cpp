@@ -203,7 +203,13 @@ TEST(GpSolverTest, WarmStartRejectsWrongSize) {
   vars.add("x");
   GpProblem p(vars);
   p.set_objective(Posynomial::variable(0));
-  EXPECT_THROW(GpSolver().solve_from(p, {1.0, 2.0}), util::Error);
+  // The solver never throws: a malformed call comes back as a structured
+  // kInvalidInput result with a finite fallback point.
+  const auto r = GpSolver().solve_from(p, {1.0, 2.0});
+  EXPECT_EQ(r.status, SolveStatus::kInvalidInput);
+  EXPECT_EQ(r.diagnostics.reason, util::FailureReason::kInvalidInput);
+  ASSERT_EQ(r.x.size(), 1u);
+  EXPECT_TRUE(std::isfinite(r.x[0]));
 }
 
 TEST(GpSolverTest, ReportsNewtonIterations) {
