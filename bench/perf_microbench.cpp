@@ -3,14 +3,24 @@
 // simulation throughput. The paper's pitch is designer productivity —
 // "exploration at a different design constraint is very easy" — which
 // rests on the flow being fast; these benches track that.
+//
+// Pass --metrics-out=FILE to additionally export every benchmark's
+// per-iteration real time through the obs metrics registry as gauges
+// (`bench.<name>.real_ns`), BENCH_*.json style, so the perf trajectory is
+// machine-readable across PRs.
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/constraints.h"
 #include "core/sizer.h"
 #include "gp/solver.h"
 #include "macros/registry.h"
 #include "models/fitter.h"
+#include "obs/obs.h"
 #include "refsim/logic_sim.h"
 #include "refsim/rc_timer.h"
 #include "timing/paths.h"
@@ -138,6 +148,109 @@ void BM_SizerDegradationLadder(benchmark::State& state) {
 }
 BENCHMARK(BM_SizerDegradationLadder);
 
+// The telemetry hooks stay compiled into release builds like the fault
+// hooks; their disabled fast path must stay at one relaxed atomic load.
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::Telemetry::instance().enable(false);
+  for (auto _ : state) {
+    obs::Span span("bench.noop");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsCounterDisabled(benchmark::State& state) {
+  obs::Telemetry::instance().enable(false);
+  for (auto _ : state) {
+    obs::Telemetry::instance().counter_add("bench.noop");
+  }
+}
+BENCHMARK(BM_ObsCounterDisabled);
+
+// Full sizing loop with tracing armed: what a traced production run pays
+// over the disabled-path BM_FullSizingLoop number.
+void BM_FullSizingLoopTraced(benchmark::State& state) {
+  const auto nl = make_macro("zero_detect", "static_tree", 32);
+  core::Sizer sizer(tech::default_tech(), models::default_library());
+  core::SizerOptions opt;
+  opt.delay_spec_ps = 180.0;
+  auto& tel = obs::Telemetry::instance();
+  tel.enable(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sizer.size(nl, opt));
+    // Keep the buffers bounded: a long bench run would otherwise grow the
+    // span buffer without limit and measure allocator behavior instead.
+    tel.reset();
+  }
+  tel.enable(false);
+  tel.reset();
+}
+BENCHMARK(BM_FullSizingLoopTraced);
+
+/// Console reporter that also captures each benchmark's adjusted real time
+/// so the run can be exported through the obs metrics registry.
+class MetricsCapture : public benchmark::ConsoleReporter {
+ public:
+  // Plain output: a hand-constructed ConsoleReporter bypasses the library's
+  // isatty-based color detection, and ANSI codes in piped output would
+  // corrupt downstream parsing.
+  MetricsCapture() : benchmark::ConsoleReporter(OO_Tabular) {}
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const auto& run : report) {
+      if (run.error_occurred) continue;
+      results_.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  const std::vector<std::pair<std::string, double>>& results() const {
+    return results_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --metrics-out before google-benchmark sees the arguments.
+  std::string metrics_out;
+  std::vector<char*> pass;
+  pass.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      pass.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(pass.size());
+  benchmark::Initialize(&pass_argc, pass.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, pass.data()))
+    return 1;
+
+  MetricsCapture reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!metrics_out.empty()) {
+    // Telemetry is enabled only after the runs so the export reflects the
+    // un-instrumented numbers.
+    auto& tel = obs::Telemetry::instance();
+    tel.enable(true);
+    tel.reset();
+    for (const auto& [name, real_ns] : reporter.results())
+      tel.gauge_set("bench." + name + ".real_ns", real_ns);
+    if (!tel.write_metrics(metrics_out)) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

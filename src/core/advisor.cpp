@@ -4,6 +4,7 @@
 #include <cmath>
 #include <future>
 
+#include "obs/obs.h"
 #include "power/power.h"
 #include "refsim/rc_timer.h"
 #include "util/check.h"
@@ -33,6 +34,7 @@ double metric_value(const netlist::Netlist& nl, const netlist::Sizing& sizing,
 }  // namespace
 
 Advice DesignAdvisor::advise(const AdvisorRequest& request) const {
+  obs::Span advise_span("advisor.advise");
   Advice advice;
   const auto topos = db_->topologies(request.spec.type, &request.spec);
   if (topos.empty()) {
@@ -75,8 +77,12 @@ Advice DesignAdvisor::advise(const AdvisorRequest& request) const {
   // degenerate GP, generator bug) is reported, not fatal — the sweep over
   // the remaining topologies continues.
   auto size_one = [&](const TopologyEntry* entry) {
+    // Wall time is measured unconditionally (StopWatch) so Advice always
+    // carries per-candidate timing; the span only records when tracing.
+    obs::Span span("advisor.candidate:" + entry->name);
+    obs::StopWatch watch;
     Solution sol{entry->name, netlist::Netlist{entry->name}, SizerResult{},
-                 0.0, false};
+                 0.0, false, 0.0};
     try {
       sol.netlist = entry->generate(request.spec);
       apply_site_wiring(sol.netlist, request.spec);
@@ -106,6 +112,17 @@ Advice DesignAdvisor::advise(const AdvisorRequest& request) const {
       sol.sizing.status = util::Status::Fail(
           util::FailureReason::kInternal, e.what());
       sol.sizing.message = sol.sizing.status.to_string();
+    }
+    sol.wall_ms = watch.elapsed_ms();
+    auto& tel = obs::Telemetry::instance();
+    if (tel.enabled()) {
+      const bool ranked =
+          sol.sizing.ok && sol.sizing.rung != SizingRung::kBaseline;
+      tel.hist_record("advisor.candidate.ms", sol.wall_ms);
+      tel.counter_add(ranked ? "advisor.candidate.ok"
+                             : "advisor.candidate.failed");
+      span.arg("wall_ms", sol.wall_ms);
+      span.arg("ok", ranked ? 1.0 : 0.0);
     }
     return sol;
   };
@@ -137,7 +154,8 @@ Advice DesignAdvisor::advise(const AdvisorRequest& request) const {
       advice.message += util::strfmt("[%s: %s] ", sol.topology.c_str(),
                                      sol.sizing.message.c_str());
       advice.failures.push_back({sol.topology, sol.sizing.status,
-                                 sol.sizing.rung, sol.sizing.message});
+                                 sol.sizing.rung, sol.sizing.message,
+                                 sol.wall_ms});
       continue;
     }
     advice.solutions.push_back(std::move(sol));

@@ -23,6 +23,10 @@ struct Solution {
   SizerResult sizing;
   double cost_value = 0.0;  ///< value of the requested cost metric
   bool meets_spec = false;
+  /// Wall-clock time spent generating + sizing + verifying this candidate.
+  /// Always measured (not gated on tracing) so topology-comparison reports
+  /// can show where a sweep's time went.
+  double wall_ms = 0.0;
 };
 
 struct AdvisorRequest {
@@ -46,6 +50,7 @@ struct FailedCandidate {
   util::Status status;
   SizingRung rung = SizingRung::kGp;  ///< rung of the reported result
   std::string message;                ///< sizer's human-readable message
+  double wall_ms = 0.0;               ///< time burned before giving up
 };
 
 /// Result of advising one macro instance. A poisoned or unsizable

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/strfmt.h"
@@ -11,6 +12,26 @@ namespace smart::core {
 
 using util::FailureReason;
 using util::Status;
+
+namespace {
+
+/// Per-request telemetry: which degradation rung answered (or that none
+/// could), plus the respec iteration count of the returned result.
+void record_sizing(obs::Span& span, const SizerResult& r) {
+  auto& tel = obs::Telemetry::instance();
+  if (!tel.enabled()) return;
+  tel.counter_add("sizer.size.calls");
+  if (r.ok)
+    tel.counter_add(std::string("sizer.rung.") + to_string(r.rung));
+  else
+    tel.counter_add("sizer.failed");
+  tel.hist_record("sizer.respec.iterations", r.respec_iterations);
+  span.arg("ok", r.ok ? 1.0 : 0.0);
+  span.arg("rung", static_cast<double>(r.rung));
+  span.arg("respec_iterations", r.respec_iterations);
+}
+
+}  // namespace
 
 const char* to_string(SizingRung rung) {
   switch (rung) {
@@ -51,6 +72,7 @@ std::vector<double> Sizer::input_caps(const netlist::Netlist& nl,
 
 SizerResult Sizer::size_gp(const netlist::Netlist& nl,
                            const SizerOptions& opt) const {
+  auto& tel = obs::Telemetry::instance();
   const refsim::RcTimer timer(*tech_);
 
   const double target_delay = opt.delay_spec_ps;
@@ -81,28 +103,34 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
   int total_newton = 0;
 
   for (int iter = 0; iter < opt.max_respec_iters; ++iter) {
+    obs::Span iter_span("sizer.respec_iter");
+    iter_span.arg("iter", iter);
+    tel.counter_add("sizer.respec.iters");
     std::vector<double> scaled_required = opt.output_required_ps;
     for (auto& r : scaled_required)
       if (r > 0.0) r *= model_spec / target_delay;  // respec scales ports too
 
-    if (built_slope_budget != slope_budget) {
-      ConstraintOptions copt;
-      copt.delay_spec_ps = model_spec;
-      copt.precharge_spec_ps = model_pre_spec;
-      copt.slope_budget_ps = slope_budget;
-      copt.enforce_slopes = opt.enforce_slopes;
-      copt.otb = opt.otb;
-      copt.cost = opt.cost;
-      copt.activity = opt.activity;
-      copt.prune = opt.prune;
-      copt.input_cap_limit_ff = opt.input_cap_limit_ff;
-      copt.input_cap_limits_ff = opt.input_cap_limits_ff;
-      copt.output_required_ps = scaled_required;
-      gen = generate_problem(nl, copt, *lib_, *tech_);
-      built_slope_budget = slope_budget;
-    } else {
-      assemble_problem(gen, model_spec, model_pre_spec, opt.otb,
-                       scaled_required, nl);
+    {
+      obs::Span gen_span("sizer.constraints");
+      if (built_slope_budget != slope_budget) {
+        ConstraintOptions copt;
+        copt.delay_spec_ps = model_spec;
+        copt.precharge_spec_ps = model_pre_spec;
+        copt.slope_budget_ps = slope_budget;
+        copt.enforce_slopes = opt.enforce_slopes;
+        copt.otb = opt.otb;
+        copt.cost = opt.cost;
+        copt.activity = opt.activity;
+        copt.prune = opt.prune;
+        copt.input_cap_limit_ff = opt.input_cap_limit_ff;
+        copt.input_cap_limits_ff = opt.input_cap_limits_ff;
+        copt.output_required_ps = scaled_required;
+        gen = generate_problem(nl, copt, *lib_, *tech_);
+        built_slope_budget = slope_budget;
+      } else {
+        assemble_problem(gen, model_spec, model_pre_spec, opt.otb,
+                         scaled_required, nl);
+      }
     }
 
     gp::GpSolver solver(opt.gp);
@@ -154,7 +182,10 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
         sizing[li] = std::min(cells * opt.width_grid_um, label.w_max);
       }
     }
-    const auto report = timer.analyze(nl, sizing);
+    const auto report = [&] {
+      obs::Span verify_span("sizer.verify");
+      return timer.analyze(nl, sizing);
+    }();
     const auto stats = nl.device_stats(sizing);
     if (!std::isfinite(report.worst_delay) ||
         !std::isfinite(report.worst_precharge) ||
@@ -209,6 +240,19 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
       best_meets = meets;
     }
 
+    // Model-vs-measured mismatch of this iteration: the GP sized to hit
+    // model_spec, the reference timer measured worst_delay — their ratio is
+    // the model error the respec loop corrects for ("better model accuracy
+    // leads to faster convergence" — §5.1).
+    if (tel.enabled()) {
+      const double mismatch =
+          std::fabs(report.worst_delay / model_spec - 1.0);
+      tel.hist_record("sizer.respec.mismatch", mismatch);
+      iter_span.arg("model_spec_ps", model_spec);
+      iter_span.arg("measured_ps", report.worst_delay);
+      iter_span.arg("mismatch", mismatch);
+    }
+
     util::log_debug(util::strfmt(
         "sizer iter %d: model spec %.1f -> measured %.1f (target %.1f), "
         "width %.1f", iter, model_spec, report.worst_delay, target_delay,
@@ -241,11 +285,13 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
 
 SizerResult Sizer::size(const netlist::Netlist& nl,
                         const SizerOptions& opt) const {
+  obs::Span size_span("sizer.size");
   if (!(opt.delay_spec_ps > 0.0)) {
     SizerResult r;
     r.status = Status::Fail(FailureReason::kInvalidInput,
                             "delay spec must be positive");
     r.message = r.status.to_string();
+    record_sizing(size_span, r);
     return r;
   }
 
@@ -262,7 +308,10 @@ SizerResult Sizer::size(const netlist::Netlist& nl,
     first.status = Status::Fail(FailureReason::kInternal, e.what());
     first.message = first.status.to_string();
   }
-  if (first.ok) return first;
+  if (first.ok) {
+    record_sizing(size_span, first);
+    return first;
+  }
   const Status gp_failure = first.status.ok()
                                 ? Status::Fail(FailureReason::kInfeasible,
                                                first.message)
@@ -292,6 +341,7 @@ SizerResult Sizer::size(const netlist::Netlist& nl,
       util::log_warn(util::strfmt("sizer: %s degraded to relaxed GP (%s)",
                                   nl.name().c_str(),
                                   gp_failure.to_string().c_str()));
+      record_sizing(size_span, second);
       return second;
     }
   }
@@ -313,6 +363,7 @@ SizerResult Sizer::size(const netlist::Netlist& nl,
         util::log_warn(util::strfmt("sizer: %s degraded to baseline (%s)",
                                     nl.name().c_str(),
                                     gp_failure.to_string().c_str()));
+        record_sizing(size_span, third);
         return third;
       }
     } catch (const std::exception&) {
@@ -321,6 +372,7 @@ SizerResult Sizer::size(const netlist::Netlist& nl,
   }
 
   first.status = gp_failure;
+  record_sizing(size_span, first);
   return first;
 }
 

@@ -6,6 +6,7 @@
 #include <functional>
 #include <limits>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -453,6 +454,25 @@ GpResult failed_result(const GpProblem& problem, SolveStatus status,
   return result;
 }
 
+/// Per-solve telemetry: status/iteration counters, restart count, barrier
+/// stage count and the final duality-gap estimate (< 0 = never reached
+/// phase II). One relaxed atomic load when telemetry is disabled.
+void record_solve(obs::Span& span, const GpResult& result, int barrier_stages,
+                  double duality_gap) {
+  auto& tel = obs::Telemetry::instance();
+  if (!tel.enabled()) return;
+  tel.counter_add("gp.solve.calls");
+  tel.counter_add(std::string("gp.solve.status.") + to_string(result.status));
+  tel.hist_record("gp.solve.newton_iters", result.newton_iterations);
+  tel.hist_record("gp.solve.restarts", result.attempts - 1);
+  tel.hist_record("gp.solve.barrier_stages", barrier_stages);
+  if (duality_gap >= 0.0) tel.hist_record("gp.solve.duality_gap", duality_gap);
+  span.arg("newton_iters", result.newton_iterations);
+  span.arg("attempts", result.attempts);
+  span.arg("barrier_stages", barrier_stages);
+  if (duality_gap >= 0.0) span.arg("duality_gap", duality_gap);
+}
+
 }  // namespace
 
 GpResult GpSolver::solve(const GpProblem& problem) const {
@@ -477,6 +497,7 @@ GpResult GpSolver::solve_from(const GpProblem& problem,
 }
 
 GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
+  obs::Span solve_span("gp.solve");
   const auto& vars = problem.vars();
   const size_t n = vars.size();
   GpResult result;
@@ -484,11 +505,14 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
   // Reject malformed data up front; the fallback point is finite by
   // construction so downstream consumers never see NaN widths.
   if (Status v = validate_problem(problem); !v.ok()) {
-    return failed_result(problem,
-                         v.reason == FailureReason::kNumericalError
-                             ? SolveStatus::kNumericalError
-                             : SolveStatus::kInvalidInput,
-                         v.detail);
+    GpResult rejected =
+        failed_result(problem,
+                      v.reason == FailureReason::kNumericalError
+                          ? SolveStatus::kNumericalError
+                          : SolveStatus::kInvalidInput,
+                      v.detail);
+    record_solve(solve_span, rejected, 0, -1.0);
+    return rejected;
   }
 
   // Log-domain box bounds.
@@ -524,6 +548,11 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
     return m;
   };
 
+  // Telemetry accumulators across attempts: barrier stages consumed and
+  // the most recent duality-gap estimate (m_total / t; < 0 until phase II).
+  int total_stages = 0;
+  double last_gap = -1.0;
+
   // One barrier solve from a given starting point. Writes into `out`.
   auto attempt = [&](const Vec& y_init, GpResult& out, int* newton_used) {
     Vec y = y_init;
@@ -558,6 +587,7 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
 
     // ---- Phase I: find a strictly feasible point ----
     if (!constraints.empty() && max_constraint(y) >= -options_.feas_margin) {
+      obs::Span phase1_span("gp.phase1");
       // Augment with auxiliary s: minimize s subject to F_j(y) - s <= 0.
       Vec ylo1 = ylo, yhi1 = yhi;
       const double s0 = max_constraint(y) + 1.0;
@@ -594,6 +624,7 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
       double t = 1.0;
       NewtonFailure p1_failure = NewtonFailure::kNone;
       for (int stage = 0; stage < options_.max_barrier_stages; ++stage) {
+        ++total_stages;
         auto outcome =
             newton_minimize(p1, t, ys, options_, deadline, feasible_now);
         total_newton += outcome.iterations;
@@ -625,6 +656,7 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
     }
 
     // ---- Phase II: barrier path following ----
+    obs::Span phase2_span("gp.phase2");
     const BarrierProblem p2{&constraints, &objective, &ylo, &yhi};
 
     const double m_total = static_cast<double>(constraints.size()) +
@@ -639,6 +671,7 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
     bool hit_limit = true;
     bool stage_exhausted = false;
     for (int stage = 0; stage < options_.max_barrier_stages; ++stage) {
+      ++total_stages;
       auto outcome = newton_minimize(p2, t, y, options_, deadline);
       total_newton += outcome.iterations;
       if (outcome.failure == NewtonFailure::kTimeout) {
@@ -653,9 +686,10 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
       stage_exhausted = !outcome.converged &&
                         outcome.iterations >= options_.max_newton_iters;
       if (options_.verbose) {
-        util::log_info(util::strfmt("gp: stage %d t=%.3g newton=%d", stage,
-                                    t, outcome.iterations));
+        util::log_debug(util::strfmt("gp: stage %d t=%.3g newton=%d", stage,
+                                     t, outcome.iterations));
       }
+      last_gap = m_total / t;
       if (m_total / t < options_.tolerance) {
         hit_limit = false;
         break;
@@ -721,6 +755,7 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
          result.max_violation < 0.25);
     if (!retryable) break;
   }
+  record_solve(solve_span, result, total_stages, last_gap);
   return result;
 }
 

@@ -1,0 +1,279 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smart::obs {
+
+namespace {
+
+/// JSON string escaping for metric/span names (they are identifiers in
+/// practice, but the exporter must never emit malformed JSON).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Finite numbers only: NaN/Inf are not valid JSON literals.
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const size_t idx = static_cast<size_t>(
+      std::clamp(rank - 1.0, 0.0, static_cast<double>(sorted.size() - 1)));
+  return sorted[idx];
+}
+
+HistogramSummary summarize(const std::vector<double>& samples) {
+  HistogramSummary s;
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  for (double v : sorted) s.sum += v;
+  s.mean = s.sum / static_cast<double>(s.count);
+  s.p50 = percentile(sorted, 50.0);
+  s.p90 = percentile(sorted, 90.0);
+  s.p99 = percentile(sorted, 99.0);
+  return s;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = n == content.size() && std::fclose(f) == 0;
+  if (n != content.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+Telemetry::Telemetry() : epoch_(std::chrono::steady_clock::now()) {}
+
+Telemetry& Telemetry::instance() {
+  static Telemetry telemetry;
+  return telemetry;
+}
+
+void Telemetry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  counters_.clear();
+  gauges_.clear();
+  hists_.clear();
+}
+
+double Telemetry::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+uint32_t Telemetry::tid_of(std::thread::id id) {
+  // Caller holds mu_.
+  auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const uint32_t tid = static_cast<uint32_t>(tids_.size()) + 1;
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void Telemetry::counter_add(std::string_view name, double delta) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    counters_.emplace(std::string(name), delta);
+  else
+    it->second += delta;
+}
+
+void Telemetry::gauge_set(std::string_view name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    gauges_.emplace(std::string(name), value);
+  else
+    it->second = value;
+}
+
+void Telemetry::hist_record(std::string_view name, double sample) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end())
+    hists_.emplace(std::string(name), std::vector<double>{sample});
+  else
+    it->second.push_back(sample);
+}
+
+double Telemetry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double Telemetry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramSummary Telemetry::hist_summary(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  return it == hists_.end() ? HistogramSummary{} : summarize(it->second);
+}
+
+size_t Telemetry::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<SpanEvent> Telemetry::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Telemetry::record_span(SpanEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.tid = tid_of(std::this_thread::get_id());
+  events_.push_back(std::move(ev));
+}
+
+std::string Telemetry::chrome_trace_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ev : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
+           json_escape(ev.cat) + "\",\"ph\":\"X\",\"ts\":" +
+           json_num(ev.ts_us) + ",\"dur\":" + json_num(ev.dur_us) +
+           ",\"pid\":1,\"tid\":" + json_num(ev.tid);
+    if (!ev.args.empty()) {
+      out += ",\"args\":{";
+      bool afirst = true;
+      for (const auto& [k, v] : ev.args) {
+        if (!afirst) out += ",";
+        afirst = false;
+        out += "\"" + json_escape(k) + "\":" + json_num(v);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string Telemetry::metrics_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [k, v] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(k) + "\": " + json_num(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [k, v] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(k) + "\": " + json_num(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [k, samples] : hists_) {
+    const HistogramSummary s = summarize(samples);
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(k) + "\": {\"count\": " +
+           json_num(static_cast<double>(s.count)) +
+           ", \"min\": " + json_num(s.min) + ", \"max\": " + json_num(s.max) +
+           ", \"mean\": " + json_num(s.mean) + ", \"sum\": " + json_num(s.sum) +
+           ", \"p50\": " + json_num(s.p50) + ", \"p90\": " + json_num(s.p90) +
+           ", \"p99\": " + json_num(s.p99) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool Telemetry::write_chrome_trace(const std::string& path) const {
+  return write_file(path, chrome_trace_json());
+}
+
+bool Telemetry::write_metrics(const std::string& path) const {
+  return write_file(path, metrics_json());
+}
+
+Span::Span(const char* name, const char* cat) {
+  auto& tel = Telemetry::instance();
+  if (!tel.enabled()) return;
+  live_ = true;
+  ev_.name = name;
+  ev_.cat = cat;
+  start_us_ = tel.now_us();
+}
+
+Span::Span(std::string name, const char* cat) {
+  auto& tel = Telemetry::instance();
+  if (!tel.enabled()) return;
+  live_ = true;
+  ev_.name = std::move(name);
+  ev_.cat = cat;
+  start_us_ = tel.now_us();
+}
+
+Span::~Span() {
+  if (!live_) return;
+  auto& tel = Telemetry::instance();
+  ev_.ts_us = start_us_;
+  ev_.dur_us = tel.now_us() - start_us_;
+  tel.record_span(std::move(ev_));
+}
+
+void Span::arg(const char* key, double value) {
+  if (!live_) return;
+  ev_.args.emplace_back(key, value);
+}
+
+double Span::elapsed_ms() const {
+  if (!live_) return 0.0;
+  return (Telemetry::instance().now_us() - start_us_) / 1000.0;
+}
+
+}  // namespace smart::obs

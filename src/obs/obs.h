@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file obs.h
+/// Observability for the sizing pipeline: an RAII span tracer plus a
+/// metrics registry (counters, gauges, histograms), with exporters for
+/// Chrome `trace_event` JSON (load in chrome://tracing or Perfetto) and a
+/// flat metrics JSON.
+///
+/// The instrumentation stays compiled into release builds, same discipline
+/// as util::FaultInjector: while telemetry is disabled (the default) every
+/// hook costs one relaxed atomic load — no clock read, no allocation, no
+/// lock. Recording is thread-safe throughout; advisor sweeps emit spans
+/// and metrics concurrently from std::async workers.
+///
+/// Naming scheme (see DESIGN.md §7): dot-separated `<stage>.<what>` names,
+/// e.g. `gp.solve.newton_iters`, `timing.prune.reduction`,
+/// `sizer.respec.mismatch`, `advisor.candidate.ms`.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace smart::obs {
+
+/// One completed span in Chrome trace_event "X" (complete-event) form.
+/// Timestamps are microseconds since the process-wide trace epoch.
+struct SpanEvent {
+  std::string name;
+  std::string cat;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  uint32_t tid = 0;
+  /// Numeric annotations, rendered into the event's "args" object.
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/// Summary statistics of one histogram, computed at query/export time.
+/// Percentiles use the nearest-rank method on the sorted samples.
+struct HistogramSummary {
+  size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Process-wide telemetry collector. All recording methods are no-ops
+/// (one relaxed atomic load) while disabled.
+class Telemetry {
+ public:
+  static Telemetry& instance();
+
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded spans and metrics; keeps the enabled flag.
+  void reset();
+
+  // ---- metrics ----
+  void counter_add(std::string_view name, double delta = 1.0);
+  void gauge_set(std::string_view name, double value);
+  void hist_record(std::string_view name, double sample);
+
+  /// Current value of a counter/gauge (0 when never recorded).
+  double counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  /// Summary of a histogram (zeroed when never recorded).
+  HistogramSummary hist_summary(std::string_view name) const;
+
+  // ---- spans ----
+  /// Number of completed spans in the buffer.
+  size_t span_count() const;
+  /// Copy of the span buffer, in completion (end-time) order.
+  std::vector<SpanEvent> spans() const;
+
+  // ---- exporters ----
+  /// Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  std::string chrome_trace_json() const;
+  /// Flat metrics JSON: {"counters":{},"gauges":{},"histograms":{}}.
+  std::string metrics_json() const;
+  /// Write either export to a file; returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+  bool write_metrics(const std::string& path) const;
+
+  // ---- used by Span; not part of the public recording API ----
+  void record_span(SpanEvent ev);
+  double now_us() const;
+
+ private:
+  Telemetry();
+
+  /// Small stable integer id for the calling thread (Chrome "tid").
+  uint32_t tid_of(std::thread::id id);
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+  std::map<std::string, double, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, std::vector<double>, std::less<>> hists_;
+  std::map<std::thread::id, uint32_t> tids_;
+};
+
+/// RAII trace span: records one SpanEvent from construction to destruction.
+/// Nesting falls out of scoping — Chrome reconstructs the stack from
+/// per-thread timestamp containment. While telemetry is disabled the
+/// constructor is one relaxed atomic load and nothing else runs.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "smart");
+  /// Dynamic-name overload for cold paths (e.g. per-candidate spans).
+  explicit Span(std::string name, const char* cat = "smart");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a numeric annotation to the event (ignored while disabled).
+  void arg(const char* key, double value);
+  /// Milliseconds since construction; 0 while disabled.
+  double elapsed_ms() const;
+
+ private:
+  bool live_ = false;
+  double start_us_ = 0.0;
+  SpanEvent ev_;
+};
+
+/// Always-on wall-clock stopwatch, for results that must carry timing even
+/// when tracing is off (e.g. per-candidate wall time in an Advice report).
+class StopWatch {
+ public:
+  StopWatch() : t0_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace smart::obs

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/strfmt.h"
@@ -340,6 +341,13 @@ std::vector<Source> phase_sources(const Netlist& nl, Phase phase) {
 std::vector<Path> PathExtractor::extract(const PruneOptions& opt,
                                          PathStats* stats) const {
   SMART_CHECK(nl_->finalized(), "netlist must be finalized");
+  obs::Span span("timing.extract");
+  auto& tel = obs::Telemetry::instance();
+  // With tracing on, the §5.2 statistics are always collected so the
+  // per-stage reduction factors land in the metrics export even when the
+  // caller did not ask for them.
+  PathStats local_stats;
+  if (stats == nullptr && tel.enabled()) stats = &local_stats;
   Extractor ex(*nl_, opt);
 
   // Stage 1: regularity classes (always computed; with regularity disabled
@@ -468,6 +476,33 @@ std::vector<Path> PathExtractor::extract(const PruneOptions& opt,
   paths.reserve(candidates.size());
   for (auto& c : candidates) paths.push_back(std::move(c.path));
   if (stats) stats->final_paths = paths.size();
+
+  if (stats != nullptr && tel.enabled()) {
+    // Per-stage reduction factors of the three §5.2 pruning techniques.
+    // Stages chain raw -> regularity -> precedence -> dominance; a disabled
+    // stage passes its input through, so its factor reports as 1.
+    auto ratio = [](double from, double to) {
+      return to > 0.0 ? from / to : 0.0;
+    };
+    const double raw = stats->raw_topological;
+    const double reg = static_cast<double>(stats->after_regularity);
+    const double pre = static_cast<double>(stats->after_precedence);
+    const double dom = static_cast<double>(stats->after_dominance);
+    const double fin = static_cast<double>(stats->final_paths);
+    tel.gauge_set("timing.paths.raw_topological", raw);
+    tel.gauge_set("timing.paths.raw_edge", stats->raw_edge_paths);
+    tel.gauge_set("timing.paths.after_regularity", reg);
+    tel.gauge_set("timing.paths.after_precedence", pre);
+    tel.gauge_set("timing.paths.after_dominance", dom);
+    tel.gauge_set("timing.paths.final", fin);
+    tel.gauge_set("timing.prune.regularity.reduction", ratio(raw, reg));
+    tel.gauge_set("timing.prune.precedence.reduction", ratio(reg, pre));
+    tel.gauge_set("timing.prune.dominance.reduction", ratio(pre, dom));
+    tel.gauge_set("timing.prune.reduction", ratio(raw, fin));
+    tel.counter_add("timing.extract.calls");
+    span.arg("raw_topological", raw);
+    span.arg("final_paths", fin);
+  }
   return paths;
 }
 

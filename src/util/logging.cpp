@@ -1,10 +1,46 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <mutex>
+
 namespace smart::util {
 
-LogLevel& log_level() {
-  static LogLevel level = LogLevel::kWarn;
-  return level;
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+/// Guards the sink pointer and serializes writes so concurrent log lines
+/// never interleave.
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::FILE* g_sink = nullptr;  // nullptr = stderr; guarded by sink_mutex()
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool parse_log_level(const std::string& name, LogLevel* out) {
+  if (name == "debug") *out = LogLevel::kDebug;
+  else if (name == "info") *out = LogLevel::kInfo;
+  else if (name == "warn") *out = LogLevel::kWarn;
+  else if (name == "error") *out = LogLevel::kError;
+  else if (name == "off") *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+void set_log_sink(std::FILE* sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  g_sink = sink;
 }
 
 void log(LogLevel level, const std::string& msg) {
@@ -17,7 +53,9 @@ void log(LogLevel level, const std::string& msg) {
     case LogLevel::kError: tag = "E"; break;
     case LogLevel::kOff: return;
   }
-  std::fprintf(stderr, "[smart:%s] %s\n", tag, msg.c_str());
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::FILE* out = g_sink != nullptr ? g_sink : stderr;
+  std::fprintf(out, "[smart:%s] %s\n", tag, msg.c_str());
 }
 
 }  // namespace smart::util

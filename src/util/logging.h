@@ -1,8 +1,12 @@
 #pragma once
 
 /// \file logging.h
-/// Minimal leveled logging to stderr. Quiet by default so benches and tests
-/// print only their own tables; raise the level to debug solver internals.
+/// Minimal leveled logging. Quiet by default so benches and tests print
+/// only their own tables; raise the level to debug solver internals.
+///
+/// Thread-safe: the level is an atomic and every line goes through one
+/// mutex-guarded sink, so advisor sweeps logging from std::async workers
+/// never interleave bytes or race the threshold.
 
 #include <cstdio>
 #include <string>
@@ -11,8 +15,18 @@ namespace smart::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log threshold; messages below it are dropped.
-LogLevel& log_level();
+/// Global log threshold; messages below it are dropped. Thread-safe.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-sensitive).
+/// Returns false and leaves `out` untouched on an unknown name.
+bool parse_log_level(const std::string& name, LogLevel* out);
+
+/// Redirects the log sink (nullptr restores stderr). The caller keeps
+/// ownership of the FILE; used by tests to keep hammering threads off the
+/// terminal. Thread-safe.
+void set_log_sink(std::FILE* sink);
 
 void log(LogLevel level, const std::string& msg);
 

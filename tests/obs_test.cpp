@@ -1,0 +1,452 @@
+// Tests for the observability subsystem: span nesting and ordering,
+// histogram percentile math, disabled-mode zero cost, thread-safe
+// concurrent emission, and well-formedness of both JSON exports (parsed
+// back with a minimal JSON reader below — the exported traces must load in
+// chrome://tracing, so syntactic validity is part of the contract).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sizer.h"
+#include "macros/registry.h"
+#include "models/fitter.h"
+#include "obs/obs.h"
+
+namespace smart::obs {
+namespace {
+
+// ---- minimal recursive-descent JSON reader (test-only) ----
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return string(&out->str);
+    }
+    if (literal("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      return true;
+    }
+    if (literal("null")) return true;
+    return number(out);
+  }
+  bool string(std::string* out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 >= s_.size()) return false;
+            pos_ += 4;  // keep the reader simple: skip the code point
+            break;
+          default: return false;
+        }
+        ++pos_;
+      } else {
+        *out += s_[pos_++];
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) return false;
+    try {
+      out->number = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+  bool array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->array.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || !string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->object.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+/// Enables telemetry on a clean buffer; restores the disabled default so
+/// test order cannot leak state.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& tel = Telemetry::instance();
+    tel.enable(true);
+    tel.reset();
+  }
+  void TearDown() override {
+    auto& tel = Telemetry::instance();
+    tel.enable(false);
+    tel.reset();
+  }
+};
+
+TEST_F(ObsTest, SpanNestingAndOrdering) {
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+      Span sibling("sibling");
+    }
+  }
+  auto& tel = Telemetry::instance();
+  ASSERT_EQ(tel.span_count(), 3u);
+  const auto spans = tel.spans();
+  // Completion order: children end before their parent.
+  EXPECT_EQ(spans[2].name, "outer");
+  const auto& outer = spans[2];
+  for (size_t i = 0; i < 2; ++i) {
+    const auto& child = spans[i];
+    EXPECT_GE(child.ts_us, outer.ts_us);
+    EXPECT_LE(child.ts_us + child.dur_us,
+              outer.ts_us + outer.dur_us + 1e-6);
+    EXPECT_GE(child.dur_us, 0.0);
+  }
+}
+
+TEST_F(ObsTest, SpanArgsAndElapsed) {
+  Span span("with_args");
+  span.arg("k", 42.0);
+  EXPECT_GE(span.elapsed_ms(), 0.0);
+  // Destruction records the args.
+  {
+    Span s2("s2");
+    s2.arg("x", 1.0);
+    s2.arg("y", 2.5);
+  }
+  const auto spans = Telemetry::instance().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].args.size(), 2u);
+  EXPECT_EQ(spans[0].args[1].first, "y");
+  EXPECT_DOUBLE_EQ(spans[0].args[1].second, 2.5);
+}
+
+TEST_F(ObsTest, CountersAndGauges) {
+  auto& tel = Telemetry::instance();
+  tel.counter_add("c.calls");
+  tel.counter_add("c.calls", 2.0);
+  tel.gauge_set("g.value", 3.0);
+  tel.gauge_set("g.value", 7.0);  // last write wins
+  EXPECT_DOUBLE_EQ(tel.counter("c.calls"), 3.0);
+  EXPECT_DOUBLE_EQ(tel.gauge("g.value"), 7.0);
+  EXPECT_DOUBLE_EQ(tel.counter("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(tel.gauge("absent"), 0.0);
+}
+
+TEST_F(ObsTest, HistogramPercentiles) {
+  auto& tel = Telemetry::instance();
+  for (int i = 100; i >= 1; --i)  // insertion order must not matter
+    tel.hist_record("h", static_cast<double>(i));
+  const HistogramSummary s = tel.hist_summary("h");
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+  // Nearest-rank percentiles on 1..100.
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p90, 90.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+
+  // Single-sample histogram: every statistic collapses to the sample.
+  tel.hist_record("one", 4.25);
+  const HistogramSummary o = tel.hist_summary("one");
+  EXPECT_EQ(o.count, 1u);
+  EXPECT_DOUBLE_EQ(o.p50, 4.25);
+  EXPECT_DOUBLE_EQ(o.p99, 4.25);
+
+  EXPECT_EQ(tel.hist_summary("absent").count, 0u);
+}
+
+TEST_F(ObsTest, DisabledModeRecordsNothing) {
+  auto& tel = Telemetry::instance();
+  tel.enable(false);
+  {
+    Span span("invisible");
+    span.arg("k", 1.0);
+    EXPECT_DOUBLE_EQ(span.elapsed_ms(), 0.0);
+  }
+  tel.counter_add("invisible.counter");
+  tel.gauge_set("invisible.gauge", 1.0);
+  tel.hist_record("invisible.hist", 1.0);
+  EXPECT_EQ(tel.span_count(), 0u);
+  EXPECT_DOUBLE_EQ(tel.counter("invisible.counter"), 0.0);
+  EXPECT_EQ(tel.hist_summary("invisible.hist").count, 0u);
+  // The exports are valid JSON even when empty.
+  JsonValue trace, metrics;
+  EXPECT_TRUE(JsonParser(tel.chrome_trace_json()).parse(&trace));
+  EXPECT_TRUE(JsonParser(tel.metrics_json()).parse(&metrics));
+  ASSERT_NE(trace.find("traceEvents"), nullptr);
+  EXPECT_TRUE(trace.find("traceEvents")->array.empty());
+}
+
+TEST_F(ObsTest, ConcurrentEmissionFromManyThreads) {
+  auto& tel = Telemetry::instance();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tel, t] {
+      for (int i = 0; i < kIters; ++i) {
+        Span span("worker");
+        span.arg("thread", t);
+        tel.counter_add("mt.count");
+        tel.hist_record("mt.hist", static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tel.span_count(), static_cast<size_t>(kThreads * kIters));
+  EXPECT_DOUBLE_EQ(tel.counter("mt.count"), kThreads * kIters);
+  EXPECT_EQ(tel.hist_summary("mt.hist").count,
+            static_cast<size_t>(kThreads * kIters));
+  // Each thread got its own stable tid.
+  std::map<uint32_t, int> by_tid;
+  for (const auto& ev : tel.spans()) by_tid[ev.tid]++;
+  EXPECT_EQ(by_tid.size(), static_cast<size_t>(kThreads));
+  for (const auto& [tid, count] : by_tid) EXPECT_EQ(count, kIters);
+}
+
+TEST_F(ObsTest, ChromeTraceExportParsesBack) {
+  auto& tel = Telemetry::instance();
+  {
+    Span span("outer \"quoted\"\nname");  // exercises escaping
+    span.arg("newton_iters", 12.0);
+    Span inner("inner");
+  }
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(tel.chrome_trace_json()).parse(&root));
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(events->array.size(), 2u);
+  for (const auto& ev : events->array) {
+    ASSERT_EQ(ev.kind, JsonValue::Kind::kObject);
+    ASSERT_NE(ev.find("name"), nullptr);
+    ASSERT_NE(ev.find("ph"), nullptr);
+    EXPECT_EQ(ev.find("ph")->str, "X");
+    ASSERT_NE(ev.find("ts"), nullptr);
+    EXPECT_EQ(ev.find("ts")->kind, JsonValue::Kind::kNumber);
+    ASSERT_NE(ev.find("dur"), nullptr);
+    ASSERT_NE(ev.find("tid"), nullptr);
+  }
+  // The quoted name round-trips through the escaper.
+  EXPECT_EQ(events->array[1].find("name")->str, "outer \"quoted\"\nname");
+  const JsonValue* args = events->array[1].find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_NE(args->find("newton_iters"), nullptr);
+  EXPECT_DOUBLE_EQ(args->find("newton_iters")->number, 12.0);
+}
+
+TEST_F(ObsTest, MetricsExportParsesBack) {
+  auto& tel = Telemetry::instance();
+  tel.counter_add("gp.solve.calls", 3.0);
+  tel.gauge_set("timing.prune.reduction", 267.5);
+  for (int i = 1; i <= 10; ++i)
+    tel.hist_record("gp.solve.newton_iters", 10.0 * i);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(tel.metrics_json()).parse(&root));
+  const JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("gp.solve.calls"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("gp.solve.calls")->number, 3.0);
+  const JsonValue* gauges = root.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("timing.prune.reduction")->number, 267.5);
+  const JsonValue* hists = root.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* h = hists->find("gp.solve.newton_iters");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->find("count")->number, 10.0);
+  EXPECT_DOUBLE_EQ(h->find("min")->number, 10.0);
+  EXPECT_DOUBLE_EQ(h->find("max")->number, 100.0);
+  EXPECT_DOUBLE_EQ(h->find("p50")->number, 50.0);
+}
+
+TEST_F(ObsTest, NonFiniteValuesExportAsValidJson) {
+  auto& tel = Telemetry::instance();
+  tel.gauge_set("bad", std::nan(""));
+  tel.hist_record("badh", std::numeric_limits<double>::infinity());
+  JsonValue root;
+  EXPECT_TRUE(JsonParser(tel.metrics_json()).parse(&root));
+}
+
+TEST_F(ObsTest, ResetClearsEverything) {
+  auto& tel = Telemetry::instance();
+  { Span span("s"); }
+  tel.counter_add("c");
+  tel.reset();
+  EXPECT_EQ(tel.span_count(), 0u);
+  EXPECT_DOUBLE_EQ(tel.counter("c"), 0.0);
+  EXPECT_TRUE(tel.enabled());  // reset keeps the flag
+}
+
+// End-to-end: one real sizing run emits the pipeline's span tree and the
+// headline metrics the CLI exports (prune reduction, per-solve Newton
+// iterations, respec mismatch, rung taken).
+TEST_F(ObsTest, SizingRunEmitsPipelineTelemetry) {
+  core::MacroSpec spec;
+  spec.type = "mux";
+  spec.n = 2;
+  spec.params["bits"] = 4;
+  const auto* entry =
+      macros::builtin_database().find("mux", "domino_unsplit");
+  ASSERT_NE(entry, nullptr);
+  const auto nl = entry->generate(spec);
+  core::Sizer sizer(tech::default_tech(), models::default_library());
+  core::SizerOptions opt;
+  opt.delay_spec_ps = 200.0;
+  const auto result = sizer.size(nl, opt);
+  ASSERT_TRUE(result.ok);
+
+  auto& tel = Telemetry::instance();
+  EXPECT_GE(tel.counter("gp.solve.calls"), 1.0);
+  EXPECT_GE(tel.counter("sizer.size.calls"), 1.0);
+  EXPECT_GE(tel.counter("sizer.rung.gp"), 1.0);
+  EXPECT_GE(tel.hist_summary("gp.solve.newton_iters").count, 1u);
+  EXPECT_GE(tel.hist_summary("sizer.respec.mismatch").count, 1u);
+  EXPECT_GT(tel.gauge("timing.prune.reduction"), 1.0);
+
+  // The span tree contains the full prune -> constraint-gen -> solve ->
+  // verify chain, each nested inside a sizer.respec_iter.
+  std::map<std::string, int> names;
+  for (const auto& ev : tel.spans()) names[ev.name]++;
+  EXPECT_GE(names["sizer.size"], 1);
+  EXPECT_GE(names["sizer.respec_iter"], 1);
+  EXPECT_GE(names["sizer.constraints"], 1);
+  EXPECT_GE(names["timing.extract"], 1);
+  EXPECT_GE(names["gp.solve"], 1);
+  EXPECT_GE(names["sizer.verify"], 1);
+}
+
+}  // namespace
+}  // namespace smart::obs

@@ -13,6 +13,13 @@
 // GP-size each against the spec, verify with the reference timer, rank by
 // cost); `spice` emits the sized subcircuit; `paths` prints the §5.2
 // pruning statistics; `noise` runs the domino reliability checks.
+//
+// Global flags (any command, `--flag value` or `--flag=value` style):
+//   --trace-out FILE    write a Chrome trace_event JSON of the run's spans
+//                       (load in chrome://tracing or https://ui.perfetto.dev)
+//   --metrics-out FILE  write the flat metrics JSON (counters/gauges/
+//                       histograms: gp.solve.*, timing.prune.*, sizer.*)
+//   --log-level LVL     debug|info|warn|error|off (default warn)
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,9 +34,11 @@
 #include "models/fitter.h"
 #include "netlist/serialize.h"
 #include "netlist/spice_export.h"
+#include "obs/obs.h"
 #include "refsim/critical_path.h"
 #include "refsim/noise.h"
 #include "timing/paths.h"
+#include "util/logging.h"
 #include "util/strfmt.h"
 #include "util/table.h"
 
@@ -52,13 +61,25 @@ struct Args {
   }
 };
 
+// Accepts `--key value` and `--key=value` in any position; the first bare
+// token is the command.
 Args parse(int argc, char** argv) {
   Args args;
-  if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) == 0) key = key.substr(2);
-    args.flags[key] = argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      std::string key = token.substr(2);
+      const auto eq = key.find('=');
+      if (eq != std::string::npos) {
+        args.flags[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "";
+      }
+    } else if (args.command.empty()) {
+      args.command = token;
+    }
   }
   return args;
 }
@@ -121,16 +142,26 @@ int cmd_advise(const Args& args) {
               request.delay_spec_ps <= 0 ? " (derived from hand baseline)"
                                          : "");
   util::Table table({"rank", "topology", "cost", "delay (ps)", "width (um)",
-                     "status"});
+                     "time (ms)", "status"});
   int rank = 1;
   for (const auto& sol : advice.solutions) {
     table.add_row({util::strfmt("%d", rank++), sol.topology,
                    util::strfmt("%.2f", sol.cost_value),
                    util::strfmt("%.1f", sol.sizing.measured_delay_ps),
                    util::strfmt("%.1f", sol.sizing.total_width_um),
+                   util::strfmt("%.0f", sol.wall_ms),
                    sol.meets_spec ? "meets spec" : "misses spec"});
   }
   std::printf("%s\n", table.render("ranked solutions").c_str());
+  if (!advice.failures.empty()) {
+    util::Table failed({"topology", "rung", "time (ms)", "reason"});
+    for (const auto& f : advice.failures) {
+      failed.add_row({f.topology, core::to_string(f.rung),
+                      util::strfmt("%.0f", f.wall_ms),
+                      f.status.to_string()});
+    }
+    std::printf("%s\n", failed.render("skipped candidates").c_str());
+  }
   const auto* best = advice.best();
   std::printf("%s", core::describe_solution(best->netlist, best->sizing,
                                             tech::default_tech()).c_str());
@@ -247,25 +278,58 @@ void usage() {
                "usage: smart_cli <list|advise|spice|save|paths|noise|corners> "
                "[--type T "
                "--topology X --n N --bits B --load FF --delay PS --cost "
-               "width|power|clock]\n");
+               "width|power|clock] [--trace-out FILE] [--metrics-out FILE] "
+               "[--log-level debug|info|warn|error|off]\n");
+}
+
+int dispatch(const Args& args) {
+  if (args.command == "list") return cmd_list();
+  if (args.command == "advise") return cmd_advise(args);
+  if (args.command == "spice") return cmd_spice(args);
+  if (args.command == "save") return cmd_save(args);
+  if (args.command == "paths") return cmd_paths(args);
+  if (args.command == "noise") return cmd_noise(args);
+  if (args.command == "corners") return cmd_corners(args);
+  usage();
+  return args.command.empty() ? 1 : 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+
+  if (args.has("log-level")) {
+    util::LogLevel level;
+    if (!util::parse_log_level(args.str("log-level"), &level)) {
+      std::fprintf(stderr, "unknown log level '%s'\n",
+                   args.str("log-level").c_str());
+      return 2;
+    }
+    util::set_log_level(level);
+  }
+  const std::string trace_out = args.str("trace-out");
+  const std::string metrics_out = args.str("metrics-out");
+  auto& telemetry = obs::Telemetry::instance();
+  if (!trace_out.empty() || !metrics_out.empty()) telemetry.enable(true);
+
+  int rc = 2;
   try {
-    if (args.command == "list") return cmd_list();
-    if (args.command == "advise") return cmd_advise(args);
-    if (args.command == "spice") return cmd_spice(args);
-    if (args.command == "save") return cmd_save(args);
-    if (args.command == "paths") return cmd_paths(args);
-    if (args.command == "noise") return cmd_noise(args);
-    if (args.command == "corners") return cmd_corners(args);
+    rc = dispatch(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    rc = 2;
   }
-  usage();
-  return args.command.empty() ? 1 : 2;
+
+  // Telemetry is flushed even when the command failed — failed runs are
+  // the ones worth tracing.
+  if (!trace_out.empty() && !telemetry.write_chrome_trace(trace_out)) {
+    std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+    if (rc == 0) rc = 1;
+  }
+  if (!metrics_out.empty() && !telemetry.write_metrics(metrics_out)) {
+    std::fprintf(stderr, "cannot write metrics to %s\n", metrics_out.c_str());
+    if (rc == 0) rc = 1;
+  }
+  return rc;
 }
