@@ -4,6 +4,7 @@
 #include <cmath>
 #include <future>
 
+#include "lint/erc.h"
 #include "obs/obs.h"
 #include "power/power.h"
 #include "refsim/rc_timer.h"
@@ -86,26 +87,42 @@ Advice DesignAdvisor::advise(const AdvisorRequest& request) const {
     try {
       sol.netlist = entry->generate(request.spec);
       apply_site_wiring(sol.netlist, request.spec);
-      SizerOptions sopt = request.sizer;
-      sopt.delay_spec_ps = delay_spec;
-      sopt.precharge_spec_ps = pre_spec;
-      sopt.cost = request.cost;
-      Sizer sizer(*tech_, *lib_);
-      if (sopt.input_cap_limit_ff <= 0.0 &&
-          sopt.input_cap_limits_ff.empty()) {
-        // Drop-in-replacement rule: the SMART solution may not present more
-        // pin capacitance than this topology's baseline-sized design would.
-        BaselineSizer baseline(*tech_, request.baseline);
-        sopt.input_cap_limits_ff =
-            sizer.input_caps(sol.netlist, baseline.size(sol.netlist));
-      }
-      sol.sizing = sizer.size(sol.netlist, sopt);
-      if (sol.sizing.ok && sol.sizing.rung != SizingRung::kBaseline) {
-        sol.meets_spec = sol.sizing.rung == SizingRung::kGp &&
-                         sol.sizing.message == "converged";
-        sol.cost_value = metric_value(sol.netlist, sol.sizing.sizing,
-                                      request.cost, request.sizer.activity,
-                                      *tech_);
+      // Pre-solve gate: a candidate whose schematic fails ERC (floating
+      // gates, undriven nodes, pass-gate contention, ...) would only fail
+      // later and slower inside the optimizer — report it structurally
+      // instead of spending a GP solve on it.
+      const auto erc = lint::run_erc(sol.netlist);
+      if (erc.errors() > 0) {
+        const auto* worst = erc.first(lint::Severity::kError);
+        sol.sizing.ok = false;
+        sol.sizing.status = util::Status::Fail(
+            util::FailureReason::kInvalidInput,
+            util::strfmt("erc %s at %s: %s", worst->rule.c_str(),
+                         worst->location.c_str(), worst->message.c_str()));
+        sol.sizing.message = sol.sizing.status.to_string();
+      } else {
+        SizerOptions sopt = request.sizer;
+        sopt.delay_spec_ps = delay_spec;
+        sopt.precharge_spec_ps = pre_spec;
+        sopt.cost = request.cost;
+        Sizer sizer(*tech_, *lib_);
+        if (sopt.input_cap_limit_ff <= 0.0 &&
+            sopt.input_cap_limits_ff.empty()) {
+          // Drop-in-replacement rule: the SMART solution may not present
+          // more pin capacitance than this topology's baseline-sized
+          // design would.
+          BaselineSizer baseline(*tech_, request.baseline);
+          sopt.input_cap_limits_ff =
+              sizer.input_caps(sol.netlist, baseline.size(sol.netlist));
+        }
+        sol.sizing = sizer.size(sol.netlist, sopt);
+        if (sol.sizing.ok && sol.sizing.rung != SizingRung::kBaseline) {
+          sol.meets_spec = sol.sizing.rung == SizingRung::kGp &&
+                           sol.sizing.message == "converged";
+          sol.cost_value = metric_value(sol.netlist, sol.sizing.sizing,
+                                        request.cost, request.sizer.activity,
+                                        *tech_);
+        }
       }
     } catch (const std::exception& e) {
       sol.sizing.ok = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gp/verify.h"
 #include "obs/obs.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -127,6 +128,31 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
         copt.output_required_ps = scaled_required;
         gen = generate_problem(nl, copt, *lib_, *tech_);
         built_slope_budget = slope_budget;
+        // Pre-solve gate: statically reject degenerate problems (NaN
+        // coefficients, box-infeasible constraints, unbounded variables)
+        // instead of letting the solver burn restarts discovering the
+        // same thing numerically. The structured reason feeds the same
+        // degradation ladder a failed solve would.
+        const auto wf =
+            gp::verify_problem(*gen.problem, {}, nl.name());
+        if (wf.errors() > 0) {
+          last_fail = gp::verify_status(wf);
+          if (!best.ok) {
+            best.message = util::strfmt("GP rejected pre-solve: %s",
+                                        last_fail.to_string().c_str());
+            best.path_stats = gen.path_stats;
+          }
+          if (last_fail.reason == FailureReason::kInfeasible) {
+            // Box-infeasible at this spec: relax exactly as a solver
+            // phase-I failure would, and retry.
+            model_spec *= 1.25;
+            model_pre_spec *= 1.25;
+            slope_budget = std::min(slope_budget * 1.15,
+                                    opt.slope_budget_ps * 2.0);
+            continue;
+          }
+          break;
+        }
       } else {
         assemble_problem(gen, model_spec, model_pre_spec, opt.otb,
                          scaled_required, nl);

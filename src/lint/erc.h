@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file erc.h
+/// Electrical rule check over macro schematics. Two layers of rules:
+///
+///   * flattened-netlist rules (ERC001-ERC003) run over explicit MOS
+///     devices — floating gates, nodes with no DC path to a supply,
+///     source/drain shorts;
+///   * component-level rules (ERC004-ERC012) use the structural families
+///     the database stores — pass-gate contention and sneak paths, series
+///     stack limits per family, domino keeper/monotonicity/charge-sharing
+///     checks, and size-label regularity.
+///
+/// Rule ids, severities, and thresholds live in lint/diagnostics.h; any
+/// rule can be suppressed per run via Options::suppress.
+
+#include "lint/diagnostics.h"
+#include "netlist/flatten.h"
+#include "netlist/netlist.h"
+
+namespace smart::lint {
+
+/// Runs every ERC rule on a finalized netlist (flattening it internally at
+/// the minimum sizing). Findings are counted into the `lint.findings.*`
+/// telemetry counters when telemetry is enabled.
+Report run_erc(const netlist::Netlist& nl, const Options& options = {});
+
+/// Flattened-netlist rules only (ERC001-ERC003), for device lists that do
+/// not come from a component netlist (imports, hand-written fixtures).
+/// `external_nodes` lists nodes driven from outside the device list
+/// (primary inputs, clocks) — they count as DC sources.
+Report run_erc_flat(const netlist::FlatNetlist& flat,
+                    const std::vector<int>& external_nodes,
+                    const std::string& macro_name,
+                    const Options& options = {});
+
+}  // namespace smart::lint

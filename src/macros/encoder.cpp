@@ -104,7 +104,10 @@ Netlist priority_encoder(const MacroSpec& spec) {
   // all sel. NOR trees (arity 4) with per-stage labels + a final inverter.
   const LabelId nr = nl.add_label("NR"), pr = nl.add_label("PR");
   const LabelId nri = nl.add_label("NRI"), pri = nl.add_label("PRI");
-  const LabelId nr2 = nl.add_label("NR2"), pr2 = nl.add_label("PR2");
+  // The second-level labels only exist when some tree has more than one
+  // NOR group (n > 4); created lazily so small encoders carry no dead
+  // labels.
+  LabelId nr2 = -1, pr2 = -1;
   auto or_tree = [&](const std::vector<NetId>& terms,
                      const std::string& name) {
     // Level 1: NOR4 groups; level 2: NAND of the group results gives the
@@ -124,6 +127,10 @@ Netlist priority_encoder(const MacroSpec& spec) {
     if (groups.size() == 1) {
       nl.add_inverter(name + "_inv", groups[0], out, nri, pri);
     } else {
+      if (nr2 < 0) {
+        nr2 = nl.add_label("NR2");
+        pr2 = nl.add_label("PR2");
+      }
       std::vector<Stack> leaves;
       for (const NetId g : groups) leaves.push_back(Stack::leaf(g, nr2));
       nl.add_component(name + "_nand", out,

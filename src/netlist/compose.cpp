@@ -85,4 +85,17 @@ InstanceMap instantiate(Netlist& parent, const Netlist& child,
   return map;
 }
 
+util::Status try_instantiate(Netlist& parent, const Netlist& child,
+                             const std::string& prefix,
+                             const std::map<std::string, NetId>& bindings,
+                             InstanceMap* out) {
+  try {
+    InstanceMap map = instantiate(parent, child, prefix, bindings);
+    if (out) *out = std::move(map);
+    return util::Status::Ok();
+  } catch (const util::Error& e) {
+    return util::Status::Fail(util::FailureReason::kInvalidInput, e.what());
+  }
+}
+
 }  // namespace smart::netlist

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "netlist/netlist.h"
+#include "util/status.h"
 
 namespace smart::netlist {
 
@@ -36,8 +37,19 @@ struct InstanceMap {
 ///   to one parent clock net merges the clock domains.
 ///
 /// The child may be finalized or not; the parent must not be finalized.
+/// Throws util::Error on a dangling binding name, an out-of-range binding
+/// target, or a finalized parent.
 InstanceMap instantiate(Netlist& parent, const Netlist& child,
                         const std::string& prefix,
                         const std::map<std::string, NetId>& bindings = {});
+
+/// Non-throwing variant: reports precondition violations as a structured
+/// kInvalidInput status instead of an exception. On success `*out` (if
+/// non-null) receives the instance map. The parent is untouched when the
+/// preconditions fail (they are all checked before mutation begins).
+util::Status try_instantiate(Netlist& parent, const Netlist& child,
+                             const std::string& prefix,
+                             const std::map<std::string, NetId>& bindings,
+                             InstanceMap* out);
 
 }  // namespace smart::netlist

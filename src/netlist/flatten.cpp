@@ -116,8 +116,12 @@ class Flattener {
              out_.vdd, wpre);
       // The keeper holds the dynamic node high; its gate would come from
       // the output inverter's feedback — modeled as always-on (gnd gate).
-      device(comp.name + "_keep", true, out_.gnd, out, out_.vdd,
-             d->keeper_ratio * wpre);
+      // keeper_ratio <= 0 means the stage has no keeper at all (the ERC
+      // flags it); there is no device to emit.
+      if (d->keeper_ratio > 0.0) {
+        device(comp.name + "_keep", true, out_.gnd, out, out_.vdd,
+               d->keeper_ratio * wpre);
+      }
       if (d->evaluate_label >= 0) {
         const int foot = add_node(comp.name + "_foot");
         expand_stack(d->pulldown, out, foot, false, -1.0, comp.name + "_pd",
@@ -140,7 +144,21 @@ class Flattener {
 
 FlatNetlist flatten(const Netlist& nl, const Sizing& sizing) {
   SMART_CHECK(nl.finalized(), "netlist must be finalized");
+  SMART_CHECK(sizing.size() == nl.label_count(),
+              strfmt("sizing arity mismatch: %zu widths for %zu labels",
+                     sizing.size(), nl.label_count()));
   return Flattener(nl, sizing).run();
+}
+
+util::Status try_flatten(const Netlist& nl, const Sizing& sizing,
+                         FlatNetlist* out) {
+  try {
+    FlatNetlist flat = flatten(nl, sizing);
+    if (out) *out = std::move(flat);
+    return util::Status::Ok();
+  } catch (const util::Error& e) {
+    return util::Status::Fail(util::FailureReason::kInvalidInput, e.what());
+  }
 }
 
 }  // namespace smart::netlist

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "util/status.h"
 
 namespace smart::netlist {
 
@@ -37,7 +38,15 @@ struct FlatNetlist {
   }
 };
 
-/// Flattens a finalized netlist at a concrete sizing.
+/// Flattens a finalized netlist at a concrete sizing. Throws util::Error
+/// when the netlist is not finalized, the sizing does not cover every
+/// label, or a device resolves to a non-positive width.
 FlatNetlist flatten(const Netlist& nl, const Sizing& sizing);
+
+/// Non-throwing variant: reports precondition violations as a structured
+/// kInvalidInput status instead of an exception. On success `*out` holds
+/// the flattened netlist.
+util::Status try_flatten(const Netlist& nl, const Sizing& sizing,
+                         FlatNetlist* out);
 
 }  // namespace smart::netlist

@@ -54,6 +54,55 @@ TEST(ComposeTest, RejectsBadBindings) {
                util::Error);
 }
 
+TEST(ComposeTest, TryInstantiateReportsDanglingBindingName) {
+  Netlist parent("top");
+  const auto child = test::inverter_chain(1);
+  const auto a = parent.add_net("a");
+  InstanceMap map;
+  const auto status =
+      try_instantiate(parent, child, "u0", {{"nope", a}}, &map);
+  EXPECT_EQ(status.reason, util::FailureReason::kInvalidInput);
+  EXPECT_NE(status.detail.find("nope"), std::string::npos) << status.detail;
+  // Preconditions are all checked before mutation: the parent is untouched.
+  EXPECT_EQ(parent.net_count(), 1u);
+  EXPECT_EQ(parent.comp_count(), 0u);
+  EXPECT_EQ(parent.label_count(), 0u);
+}
+
+TEST(ComposeTest, TryInstantiateReportsOutOfRangeTarget) {
+  Netlist parent("top");
+  parent.add_net("a");
+  const auto child = test::inverter_chain(1);
+  EXPECT_THROW(instantiate(parent, child, "u0", {{"in", 42}}), util::Error);
+  const auto status =
+      try_instantiate(parent, child, "u0", {{"in", 42}}, nullptr);
+  EXPECT_EQ(status.reason, util::FailureReason::kInvalidInput);
+  EXPECT_NE(status.detail.find("out of range"), std::string::npos)
+      << status.detail;
+  EXPECT_EQ(parent.comp_count(), 0u);
+}
+
+TEST(ComposeTest, TryInstantiateRejectsFinalizedParent) {
+  auto parent = test::inverter_chain(1);  // arrives finalized
+  const auto child = test::inverter_chain(1);
+  const auto status = try_instantiate(parent, child, "u0", {}, nullptr);
+  EXPECT_EQ(status.reason, util::FailureReason::kInvalidInput);
+  EXPECT_NE(status.detail.find("finalized"), std::string::npos)
+      << status.detail;
+}
+
+TEST(ComposeTest, TryInstantiateSucceedsOnValidInput) {
+  Netlist parent("top");
+  const auto child = test::inverter_chain(1);
+  const auto a = parent.add_net("a");
+  parent.add_input(a);
+  InstanceMap map;
+  const auto status = try_instantiate(parent, child, "u0", {{"in", a}}, &map);
+  EXPECT_TRUE(status.ok()) << status.to_string();
+  EXPECT_EQ(map.nets.at(child.find_net("in")), a);
+  EXPECT_EQ(parent.comp_count(), child.comp_count());
+}
+
 TEST(ComposeTest, MuxFeedingIncrementorComputesCorrectly) {
   // A 2:1 mux selects one of two 4-bit words; an incrementor adds one.
   // Composed at the transistor level and verified functionally.

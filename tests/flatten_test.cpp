@@ -10,6 +10,7 @@
 #include "helpers.h"
 #include "netlist/flatten.h"
 #include "netlist/spice_export.h"
+#include "util/check.h"
 
 namespace smart::netlist {
 namespace {
@@ -99,6 +100,44 @@ TEST(FlattenTest, DominoKeeperAlwaysOn) {
     }
   }
   EXPECT_TRUE(keeper_found);
+}
+
+TEST(FlattenTest, RejectsUnfinalizedNetlist) {
+  Netlist nl("unfin");
+  const NetId a = nl.add_net("a"), out = nl.add_net("out");
+  const LabelId n = nl.add_label("n"), p = nl.add_label("p");
+  nl.add_inverter("inv", a, out, n, p);
+  EXPECT_THROW(flatten(nl, Sizing(2, 1.0)), util::Error);
+  FlatNetlist flat;
+  const auto status = try_flatten(nl, Sizing(2, 1.0), &flat);
+  EXPECT_EQ(status.reason, util::FailureReason::kInvalidInput);
+  EXPECT_NE(status.detail.find("finalized"), std::string::npos)
+      << status.detail;
+}
+
+TEST(FlattenTest, RejectsSizingArityMismatch) {
+  const auto nl = test::inverter_chain(2);  // 4 labels
+  EXPECT_THROW(flatten(nl, Sizing(1, 1.0)), util::Error);
+  const auto status = try_flatten(nl, Sizing(1, 1.0), nullptr);
+  EXPECT_EQ(status.reason, util::FailureReason::kInvalidInput);
+  EXPECT_NE(status.detail.find("arity"), std::string::npos) << status.detail;
+}
+
+TEST(FlattenTest, RejectsNonPositiveWidth) {
+  const auto nl = test::inverter_chain(1);
+  Sizing sizing(nl.label_count(), 1.0);
+  sizing[0] = 0.0;
+  const auto status = try_flatten(nl, sizing, nullptr);
+  EXPECT_EQ(status.reason, util::FailureReason::kInvalidInput);
+  EXPECT_NE(status.detail.find("width"), std::string::npos) << status.detail;
+}
+
+TEST(FlattenTest, TryFlattenSucceedsOnValidInput) {
+  const auto nl = test::inverter_chain(1);
+  FlatNetlist flat;
+  const auto status = try_flatten(nl, Sizing(nl.label_count(), 1.0), &flat);
+  EXPECT_TRUE(status.ok()) << status.to_string();
+  EXPECT_EQ(flat.devices.size(), 2u);
 }
 
 TEST(SpiceExportTest, WellFormedSubckt) {

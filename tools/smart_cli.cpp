@@ -8,6 +8,8 @@
 //   smart_cli save   --type mux --topology strong_pass --n 4   (.snl text)
 //   smart_cli paths  --type adder --topology domino_cla --n 64
 //   smart_cli noise  --type mux --topology domino_unsplit --n 8 [--bits 8]
+//   smart_cli lint   <type/topology[/n] | --all> [--format text|json]
+//                    [--suppress ID,ID] [--out FILE] [--delay PS]
 //
 // `advise` runs the full Fig-1 flow (generate every applicable topology,
 // GP-size each against the spec, verify with the reference timer, rank by
@@ -25,11 +27,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "core/advisor.h"
+#include "core/constraints.h"
 #include "core/corners.h"
 #include "core/report.h"
+#include "gp/verify.h"
+#include "lint/erc.h"
 #include "macros/registry.h"
 #include "models/fitter.h"
 #include "netlist/serialize.h"
@@ -48,6 +55,7 @@ namespace {
 
 struct Args {
   std::string command;
+  std::vector<std::string> positional;
   std::map<std::string, std::string> flags;
 
   bool has(const std::string& key) const { return flags.count(key) > 0; }
@@ -62,7 +70,8 @@ struct Args {
 };
 
 // Accepts `--key value` and `--key=value` in any position; the first bare
-// token is the command.
+// token is the command, later bare tokens are positional operands. A flag
+// followed by another flag (or nothing) is a boolean flag (e.g. `--all`).
 Args parse(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
@@ -72,16 +81,49 @@ Args parse(int argc, char** argv) {
       const auto eq = key.find('=');
       if (eq != std::string::npos) {
         args.flags[key.substr(0, eq)] = key.substr(eq + 1);
-      } else if (i + 1 < argc) {
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         args.flags[key] = argv[++i];
       } else {
         args.flags[key] = "";
       }
     } else if (args.command.empty()) {
       args.command = token;
+    } else {
+      args.positional.push_back(token);
     }
   }
   return args;
+}
+
+// Flags every command accepts (telemetry / logging plumbing in main()).
+const std::set<std::string>& global_flags() {
+  static const std::set<std::string> flags = {"trace-out", "metrics-out",
+                                              "log-level"};
+  return flags;
+}
+
+// Per-command flag vocabulary. An unknown subcommand or a flag outside the
+// command's vocabulary is a usage error (exit 2), not a silent no-op: a
+// typo like `--topolgy` must not quietly run with the default topology.
+const std::map<std::string, std::set<std::string>>& command_flags() {
+  static const std::map<std::string, std::set<std::string>> flags = {
+      {"list", {}},
+      {"advise",
+       {"type", "topology", "n", "bits", "m", "load", "slope", "delay",
+        "cost"}},
+      {"spice",
+       {"type", "topology", "n", "bits", "m", "load", "slope", "delay"}},
+      {"save", {"type", "topology", "n", "bits", "m", "load", "slope"}},
+      {"paths", {"type", "topology", "n", "bits", "m", "load", "slope"}},
+      {"noise", {"type", "topology", "n", "bits", "m", "load", "slope"}},
+      {"corners",
+       {"type", "topology", "n", "bits", "m", "load", "slope", "delay"}},
+      {"lint",
+       {"type", "topology", "n", "bits", "m", "load", "slope", "delay",
+        "all", "format", "suppress", "out"}},
+  };
+  return flags;
 }
 
 core::MacroSpec spec_from(const Args& args) {
@@ -273,13 +315,126 @@ int cmd_noise(const Args& args) {
   return refsim::noise_clean(reports) ? 0 : 1;
 }
 
+// Lints one generated macro: ERC over the schematic, then GP
+// well-formedness of the sizing problem it would hand the solver.
+void lint_macro(const netlist::Netlist& nl, const lint::Options& opt,
+                double delay_ps, lint::Report& report) {
+  report.merge(lint::run_erc(nl, opt));
+  core::ConstraintOptions copt;
+  copt.delay_spec_ps = delay_ps;
+  try {
+    const auto gen = core::generate_problem(nl, copt, models::default_library(),
+                                            tech::default_tech());
+    report.merge(gp::verify_problem(*gen.problem, opt, nl.name()));
+  } catch (const std::exception& e) {
+    report.add("GPV100", lint::Severity::kError, nl.name(), "generate",
+               util::strfmt("constraint generation failed: %s", e.what()));
+  }
+}
+
+int cmd_lint(const Args& args) {
+  lint::Options opt;
+  // --suppress ERC006,GPV103 : drop findings of these rules entirely.
+  std::string suppress = args.str("suppress");
+  while (!suppress.empty()) {
+    const auto comma = suppress.find(',');
+    const std::string id = suppress.substr(0, comma);
+    if (!id.empty()) opt.suppress.insert(id);
+    if (comma == std::string::npos) break;
+    suppress.erase(0, comma + 1);
+  }
+  const std::string format = args.str("format", "text");
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "unknown lint format '%s' (want text or json)\n",
+                 format.c_str());
+    return 2;
+  }
+  // A deliberately loose default spec: lint checks structural
+  // well-formedness, not whether an aggressive spec is achievable.
+  const double delay = args.num("delay", 1000.0);
+
+  lint::Report report(opt);
+  if (args.has("all")) {
+    const auto& db = macros::builtin_database();
+    std::set<std::string> seen;
+    for (const auto& type : db.macro_types()) {
+      // Smallest applicable width per topology from a fixed candidate set
+      // (covers the n == 2, n >= 3, power-of-two and n % 4 families).
+      for (int n : {2, 3, 4, 8, 16, 32, 64}) {
+        core::MacroSpec spec;
+        spec.type = type;
+        spec.n = n;
+        for (const auto* entry : db.topologies(type, &spec)) {
+          if (!seen.insert(type + "/" + entry->name).second) continue;
+          const std::string qualified =
+              util::strfmt("%s/%s/n%d", type.c_str(), entry->name.c_str(), n);
+          try {
+            lint_macro(entry->generate(spec), opt, delay, report);
+          } catch (const std::exception& e) {
+            report.add("GPV100", lint::Severity::kError, qualified,
+                       "generate",
+                       util::strfmt("macro generation failed: %s", e.what()));
+          }
+        }
+      }
+    }
+  } else {
+    // Single-macro mode: `lint type/topology[/n]` or the --type/--topology
+    // flag spelling.
+    Args one = args;
+    if (!args.positional.empty()) {
+      const std::string& target = args.positional.front();
+      const auto s1 = target.find('/');
+      if (s1 == std::string::npos) {
+        std::fprintf(stderr,
+                     "lint target must be type/topology[/n], got '%s'\n",
+                     target.c_str());
+        return 2;
+      }
+      one.flags["type"] = target.substr(0, s1);
+      const auto s2 = target.find('/', s1 + 1);
+      one.flags["topology"] = target.substr(s1 + 1, s2 == std::string::npos
+                                                        ? std::string::npos
+                                                        : s2 - s1 - 1);
+      if (s2 != std::string::npos) one.flags["n"] = target.substr(s2 + 1);
+    } else if (!args.has("type") || !args.has("topology")) {
+      std::fprintf(stderr,
+                   "lint needs a target: type/topology[/n], "
+                   "--type T --topology X, or --all\n");
+      return 2;
+    }
+    lint_macro(generate_named(one), opt, delay, report);
+  }
+
+  const std::string rendered =
+      format == "json" ? report.to_json() : report.to_text();
+  const std::string out = args.str("out");
+  if (!out.empty()) {
+    FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write report to %s\n", out.c_str());
+      return 2;
+    }
+    std::fputs(rendered.c_str(), f);
+    std::fclose(f);
+    std::printf("%zu findings (%zu errors, %zu warnings) -> %s\n",
+                report.findings().size(), report.errors(), report.warnings(),
+                out.c_str());
+  } else {
+    std::printf("%s", rendered.c_str());
+  }
+  return report.errors() > 0 ? 1 : 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: smart_cli <list|advise|spice|save|paths|noise|corners> "
-               "[--type T "
+               "usage: smart_cli <list|advise|spice|save|paths|noise|corners"
+               "|lint> [--type T "
                "--topology X --n N --bits B --load FF --delay PS --cost "
                "width|power|clock] [--trace-out FILE] [--metrics-out FILE] "
-               "[--log-level debug|info|warn|error|off]\n");
+               "[--log-level debug|info|warn|error|off]\n"
+               "       smart_cli lint <type/topology[/n] | --all> "
+               "[--format text|json] [--suppress ID,ID] [--out FILE]\n");
 }
 
 int dispatch(const Args& args) {
@@ -290,8 +445,32 @@ int dispatch(const Args& args) {
   if (args.command == "paths") return cmd_paths(args);
   if (args.command == "noise") return cmd_noise(args);
   if (args.command == "corners") return cmd_corners(args);
+  if (args.command == "lint") return cmd_lint(args);
   usage();
   return args.command.empty() ? 1 : 2;
+}
+
+// Usage errors the dispatcher cannot see: a flag outside the command's
+// vocabulary, or a stray positional operand. Returns 0 when fine.
+int validate(const Args& args) {
+  const auto known = command_flags().find(args.command);
+  if (known == command_flags().end()) return 0;  // dispatch reports it
+  for (const auto& [key, value] : args.flags) {
+    (void)value;
+    if (known->second.count(key) == 0 && global_flags().count(key) == 0) {
+      std::fprintf(stderr, "unknown flag '--%s' for command '%s'\n",
+                   key.c_str(), args.command.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (!args.positional.empty() && args.command != "lint") {
+    std::fprintf(stderr, "unexpected argument '%s' for command '%s'\n",
+                 args.positional.front().c_str(), args.command.c_str());
+    usage();
+    return 2;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -299,6 +478,7 @@ int dispatch(const Args& args) {
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
 
+  if (const int rc = validate(args); rc != 0) return rc;
   if (args.has("log-level")) {
     util::LogLevel level;
     if (!util::parse_log_level(args.str("log-level"), &level)) {
