@@ -14,6 +14,7 @@
 #include "core/experiment.h"
 #include "macros/registry.h"
 #include "models/fitter.h"
+#include "obs/obs.h"
 #include "util/strfmt.h"
 #include "util/table.h"
 
@@ -54,5 +55,44 @@ inline std::string num(double v, int decimals = 2) {
 inline void paper_note(const std::string& note) {
   std::printf("paper reference: %s\n\n", note.c_str());
 }
+
+/// Opt-in metrics export for the table/figure harnesses: construct at the
+/// top of main. When the harness was invoked with `--metrics-out FILE` (or
+/// `--metrics-out=FILE`), telemetry is enabled for the run and the whole
+/// registry — spans recorded by the sizing pipeline become counters and
+/// histograms — is written to FILE on destruction, the same flat metrics
+/// JSON perf_microbench emits (BENCH_<name>.json convention, consumed by
+/// tools/bench_diff). Without the flag the run stays un-instrumented.
+class MetricsExport {
+ public:
+  MetricsExport(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--metrics-out=", 0) == 0) {
+        path_ = arg.substr(14);
+      } else if (arg == "--metrics-out" && i + 1 < argc) {
+        path_ = argv[++i];
+      }
+    }
+    if (!path_.empty()) {
+      auto& tel = obs::Telemetry::instance();
+      tel.reset();
+      tel.enable(true);
+    }
+  }
+  ~MetricsExport() {
+    if (path_.empty()) return;
+    auto& tel = obs::Telemetry::instance();
+    if (!tel.write_metrics(path_))
+      std::fprintf(stderr, "cannot write metrics to %s\n", path_.c_str());
+    tel.enable(false);
+  }
+
+  MetricsExport(const MetricsExport&) = delete;
+  MetricsExport& operator=(const MetricsExport&) = delete;
+
+ private:
+  std::string path_;
+};
 
 }  // namespace smart::bench

@@ -8,7 +8,8 @@
 
 using namespace smart;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsExport metrics(argc, argv);
   core::MacroSpec spec;
   spec.type = "adder";
   spec.n = 64;

@@ -24,7 +24,8 @@ struct TopoRow {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsExport metrics(argc, argv);
   const std::vector<TopoRow> rows = {
       {"Strongly Mutex Passgate", "strong_pass",
        {{4, 8, 12.0}, {4, 16, 20.0}, {8, 8, 12.0}, {6, 8, 16.0}},

@@ -7,6 +7,7 @@
 #include "lint/erc.h"
 #include "obs/obs.h"
 #include "power/power.h"
+#include "refsim/critical_path.h"
 #include "refsim/rc_timer.h"
 #include "util/check.h"
 #include "util/strfmt.h"
@@ -30,6 +31,31 @@ double metric_value(const netlist::Netlist& nl, const netlist::Sizing& sizing,
       return nl.device_stats(sizing).clock_gate_width;
   }
   return 0.0;
+}
+
+/// Critical-path one-liner for a sized candidate. Best-effort: a backtrace
+/// failure (degenerate netlist, injected fault) leaves the optional empty
+/// rather than failing the candidate.
+std::optional<CriticalSummary> summarize_critical(
+    const netlist::Netlist& nl, const SizerResult& sizing,
+    const tech::Tech& tech) {
+  try {
+    const auto cp = refsim::critical_path(nl, sizing.sizing, tech);
+    if (cp.end < 0 || cp.steps.empty()) return std::nullopt;
+    CriticalSummary s;
+    s.startpoint = util::strfmt("%s (%s)", nl.net(cp.start).name.c_str(),
+                                cp.start_rise ? "R" : "F");
+    s.endpoint = util::strfmt(
+        "%s (%s)", nl.net(cp.end).name.c_str(),
+        cp.steps.back().out_rise ? "R" : "F");
+    s.arrival_ps = cp.arrival_ps;
+    s.stages = cp.steps.size();
+    if (!sizing.binding_constraints.empty())
+      s.limited_by = sizing.binding_constraints.front();
+    return s;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace
@@ -122,6 +148,7 @@ Advice DesignAdvisor::advise(const AdvisorRequest& request) const {
           sol.cost_value = metric_value(sol.netlist, sol.sizing.sizing,
                                         request.cost, request.sizer.activity,
                                         *tech_);
+          sol.critical = summarize_critical(sol.netlist, sol.sizing, *tech_);
         }
       }
     } catch (const std::exception& e) {

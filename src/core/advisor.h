@@ -16,6 +16,17 @@
 
 namespace smart::core {
 
+/// Compact critical-path view of a sized candidate, extracted from the
+/// reference timer's backtrace — the advise report's one-line answer to
+/// "where does this topology's delay go and what limits it".
+struct CriticalSummary {
+  std::string startpoint;   ///< "<net> (R|F)" at the path source
+  std::string endpoint;     ///< "<net> (R|F)" at the latest output
+  double arrival_ps = 0.0;  ///< reference-timer arrival at the endpoint
+  size_t stages = 0;        ///< arcs on the critical path
+  std::string limited_by;   ///< first binding GP constraint tag, if any
+};
+
 /// One sized candidate from the advisor.
 struct Solution {
   std::string topology;  ///< registered topology name
@@ -27,6 +38,9 @@ struct Solution {
   /// Always measured (not gated on tracing) so topology-comparison reports
   /// can show where a sweep's time went.
   double wall_ms = 0.0;
+  /// Critical-path summary of the sized candidate; absent when the sizing
+  /// failed or the backtrace could not be extracted.
+  std::optional<CriticalSummary> critical;
 };
 
 struct AdvisorRequest {

@@ -94,8 +94,8 @@ GeneratedProblem generate_problem(const Netlist& nl,
 
   // ---- timing constraint templates from representative paths ----
   timing::PathExtractor extractor(nl);
-  const auto paths = extractor.extract(opt.prune, &gen.path_stats);
-  for (const auto& path : paths) {
+  gen.paths = extractor.extract(opt.prune, &gen.path_stats);
+  for (const auto& path : gen.paths) {
     const double in_slope = path.start_slope >= 0.0
                                 ? path.start_slope
                                 : tech.default_input_slope;
@@ -200,6 +200,7 @@ void assemble_problem(GeneratedProblem& gen, double delay_spec_ps,
   gen.problem->set_objective(gen.objective);
   gen.timing_constraints = 0;
   gen.stage_constraints = 0;
+  gen.path_specs.assign(gen.path_templates.size(), 0.0);
   for (size_t pi = 0; pi < gen.path_templates.size(); ++pi) {
     const auto& tmpl = gen.path_templates[pi];
     double spec =
@@ -208,6 +209,7 @@ void assemble_problem(GeneratedProblem& gen, double delay_spec_ps,
         required[static_cast<size_t>(tmpl.end)] > 0.0) {
       spec = required[static_cast<size_t>(tmpl.end)];
     }
+    gen.path_specs[pi] = spec;
     if (!otb) {
       for (const auto& [stage, prefix] : tmpl.stage_prefixes) {
         const double deadline = spec * static_cast<double>(stage - 1) /

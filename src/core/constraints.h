@@ -91,6 +91,16 @@ struct GeneratedProblem {
   std::vector<PathConstraintTemplate> path_templates;
   std::vector<gp::Constraint> static_constraints;
   ConstraintOptions built_options;  ///< options the templates were built at
+
+  /// The representative paths the templates were generated from, aligned
+  /// with path_templates (path i produced template i, and constraint tags
+  /// "eval_path<i>"/"pre_path<i>"/"stage<k>_of_path<i>"). Kept so report
+  /// layers can map a binding constraint back to concrete netlist arcs.
+  std::vector<timing::Path> paths;
+  /// Per-template spec (ps) the last assemble_problem() normalized by —
+  /// the denominator that turns a template's delay posynomial into its
+  /// <= 1 constraint. Aligned with path_templates.
+  std::vector<double> path_specs;
 };
 
 /// Rebuilds gen.problem for new delay/precharge specs (and OTB setting)

@@ -103,6 +103,14 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
   double prev_width = -1.0;
   int total_newton = 0;
 
+  // Introspection: per-iteration retargeting trace plus the parameters of
+  // the accepted solve (for the optional snapshot regeneration below).
+  std::vector<RespecIteration> respec_trace;
+  int accepted_trace_idx = -1;
+  gp::GpResult snap_gp;
+  double snap_model_spec = 0.0, snap_model_pre = 0.0, snap_slope = 0.0;
+  std::vector<double> snap_required;
+
   for (int iter = 0; iter < opt.max_respec_iters; ++iter) {
     obs::Span iter_span("sizer.respec_iter");
     iter_span.arg("iter", iter);
@@ -164,7 +172,14 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
         warm_start.empty() ? solver.solve(*gen.problem)
                            : solver.solve_from(*gen.problem, warm_start);
     total_newton += sol.newton_iterations;
+    RespecIteration rec;
+    rec.iter = iter;
+    rec.model_spec_ps = model_spec;
+    rec.model_pre_spec_ps = model_pre_spec;
+    rec.gp_status = sol.status;
+    rec.binding_count = sol.binding.size();
     if (sol.status == gp::SolveStatus::kInfeasible) {
+      respec_trace.push_back(rec);
       // The model may overestimate delay (it is conservative); relax the
       // model-facing spec and retry. If the target is truly unreachable the
       // loop ends with a best-effort result whose message says so.
@@ -184,6 +199,7 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
     if (sol.status == gp::SolveStatus::kNumericalError ||
         sol.status == gp::SolveStatus::kTimeout ||
         sol.status == gp::SolveStatus::kInvalidInput) {
+      respec_trace.push_back(rec);
       // Poisoned problem data or an exhausted deadline: retrying the respec
       // loop cannot fix either, so hand the structured reason up the ladder.
       last_fail = sol.diagnostics;
@@ -221,6 +237,7 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
       last_fail = Status::Fail(FailureReason::kNumericalError,
                                "non-finite reference-timer measurement");
       if (!best.ok) best.message = last_fail.to_string();
+      respec_trace.push_back(rec);
       break;
     }
 
@@ -264,7 +281,21 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
       best.message = meets ? "converged" : "best effort";
       best_err = err;
       best_meets = meets;
+      accepted_trace_idx = static_cast<int>(respec_trace.size());
+      if (opt.keep_solve_snapshot) {
+        snap_gp = sol;
+        snap_model_spec = model_spec;
+        snap_model_pre = model_pre_spec;
+        snap_slope = slope_budget;
+        snap_required = scaled_required;
+      }
     }
+    rec.measured_delay_ps = report.worst_delay;
+    rec.measured_precharge_ps = report.worst_precharge;
+    rec.total_width_um = stats.total_width;
+    rec.mismatch = std::fabs(report.worst_delay / model_spec - 1.0);
+    rec.meets = meets;
+    respec_trace.push_back(rec);
 
     // Model-vs-measured mismatch of this iteration: the GP sized to hit
     // model_spec, the reference timer measured worst_delay — their ratio is
@@ -306,6 +337,46 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
 
   best.gp_newton_iterations = total_newton;
   best.status = best.ok ? Status::Ok() : last_fail;
+  if (accepted_trace_idx >= 0 &&
+      accepted_trace_idx < static_cast<int>(respec_trace.size()))
+    respec_trace[static_cast<size_t>(accepted_trace_idx)].accepted = true;
+  best.respec_trace = std::move(respec_trace);
+
+  // Optional snapshot: regenerate the problem at the accepted iteration's
+  // model-facing specs. generate_problem is deterministic in its options,
+  // so the regenerated constraint order matches snap_gp.diag index-for-
+  // index without having to copy a move-only GeneratedProblem mid-loop.
+  if (opt.keep_solve_snapshot && best.ok && snap_model_spec > 0.0) {
+    try {
+      ConstraintOptions copt;
+      copt.delay_spec_ps = snap_model_spec;
+      copt.precharge_spec_ps = snap_model_pre;
+      copt.slope_budget_ps = snap_slope;
+      copt.enforce_slopes = opt.enforce_slopes;
+      copt.otb = opt.otb;
+      copt.cost = opt.cost;
+      copt.activity = opt.activity;
+      copt.prune = opt.prune;
+      copt.input_cap_limit_ff = opt.input_cap_limit_ff;
+      copt.input_cap_limits_ff = opt.input_cap_limits_ff;
+      copt.output_required_ps = snap_required;
+      auto snap = std::make_shared<SolveSnapshot>();
+      snap->gen = generate_problem(nl, copt, *lib_, *tech_);
+      snap->gp = std::move(snap_gp);
+      snap->model_delay_spec_ps = snap_model_spec;
+      snap->model_precharge_spec_ps = snap_model_pre;
+      snap->slope_budget_ps = snap_slope;
+      snap->target_delay_ps = target_delay;
+      snap->target_precharge_ps = target_pre;
+      snap->scaled_required_ps = snap_required;
+      best.snapshot = std::move(snap);
+    } catch (const std::exception& e) {
+      // A snapshot is an introspection extra; failing to build one must
+      // not fail a sizing that already verified.
+      util::log_warn(util::strfmt("sizer: snapshot regeneration failed: %s",
+                                  e.what()));
+    }
+  }
   return best;
 }
 

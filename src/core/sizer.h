@@ -10,6 +10,7 @@
 /// "Better model accuracy leads to faster convergence" — the iteration
 /// count is reported so the ablation benches can show exactly that.
 
+#include <memory>
 #include <string>
 
 #include "core/baseline.h"
@@ -57,6 +58,12 @@ struct SizerOptions {
   bool allow_baseline_fallback = true;
   /// Options of the rung-3 baseline fallback.
   BaselineOptions fallback_baseline;
+
+  /// Keep the accepted iteration's generated problem + GP solve in
+  /// SizerResult::snapshot so report layers (scope) can map binding
+  /// constraints back to paths. Costs one extra generate_problem() after
+  /// the loop; off by default.
+  bool keep_solve_snapshot = false;
 };
 
 /// Which rung of the degradation ladder produced a SizerResult.
@@ -67,6 +74,39 @@ enum class SizingRung {
 };
 
 const char* to_string(SizingRung rung);
+
+/// The GP problem and solve behind an accepted sizing, kept only when
+/// SizerOptions::keep_solve_snapshot is set. `gen` is regenerated at the
+/// accepted iteration's model-facing specs after the loop finishes, so its
+/// constraint order matches `gp.diag.constraints` index-for-index (both are
+/// deterministic functions of the options).
+struct SolveSnapshot {
+  GeneratedProblem gen;
+  gp::GpResult gp;                    ///< accepted solve incl. diagnostics
+  double model_delay_spec_ps = 0.0;   ///< model-facing spec of the solve
+  double model_precharge_spec_ps = 0.0;
+  double slope_budget_ps = 0.0;
+  double target_delay_ps = 0.0;       ///< designer-facing spec
+  double target_precharge_ps = 0.0;
+  std::vector<double> scaled_required_ps;  ///< per-output, model-facing
+};
+
+/// One iteration of the model-vs-STA re-specification loop, recorded for
+/// every size_gp run (cheap: a dozen scalars per iteration). Iterations
+/// whose GP solve failed outright carry the status and zeroed measurements.
+struct RespecIteration {
+  int iter = 0;                     ///< 0-based loop iteration
+  double model_spec_ps = 0.0;       ///< model-facing spec the GP sized to
+  double model_pre_spec_ps = 0.0;
+  double measured_delay_ps = 0.0;   ///< reference-timer verification
+  double measured_precharge_ps = 0.0;
+  double mismatch = 0.0;            ///< |measured/model_spec - 1|
+  double total_width_um = 0.0;
+  size_t binding_count = 0;         ///< binding constraints of the solve
+  gp::SolveStatus gp_status = gp::SolveStatus::kMaxIter;
+  bool meets = false;               ///< measured within converge_tol of spec
+  bool accepted = false;            ///< became the returned best solution
+};
 
 struct SizerResult {
   bool ok = false;
@@ -92,6 +132,13 @@ struct SizerResult {
   /// ok() for healthy GP results; carries the structured FailureReason of
   /// the GP failure for degraded (kBaseline) or failed (!ok) results.
   util::Status status;
+  /// Model-vs-STA retargeting trace of the GP respec loop (empty for
+  /// baseline-only results). Always recorded; at most max_respec_iters
+  /// entries.
+  std::vector<RespecIteration> respec_trace;
+  /// Set only with SizerOptions::keep_solve_snapshot on a GP-rung result.
+  /// shared_ptr keeps SizerResult copyable (GeneratedProblem is move-only).
+  std::shared_ptr<SolveSnapshot> snapshot;
 };
 
 /// Sizes macros against a technology and calibrated model library.

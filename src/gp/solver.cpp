@@ -557,6 +557,14 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
   auto attempt = [&](const Vec& y_init, GpResult& out, int* newton_used) {
     Vec y = y_init;
     int total_newton = 0;
+    // Introspection state accumulated as the attempt runs: the barrier-stage
+    // trace and the final phase-II barrier weight (0 until phase II runs).
+    // All of it is derived from values the solve computes anyway, so the
+    // iterate trajectory is untouched.
+    const double m_total = static_cast<double>(constraints.size()) +
+                           2.0 * static_cast<double>(n);
+    std::vector<StageTrace> trace;
+    double t_final = 0.0;
     auto finish = [&](SolveStatus status, const std::string& msg) {
       out.x.assign(n, 0.0);
       for (size_t i = 0; i < n; ++i) {
@@ -568,12 +576,30 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
       out.objective = problem.objective().eval(out.x);
       double viol = 0.0;
       out.binding.clear();
+      out.diag = SolveDiagnostics{};
+      out.diag.trace = std::move(trace);
+      out.diag.final_t = t_final;
+      out.diag.duality_gap = t_final > 0.0 ? m_total / t_final : -1.0;
+      out.diag.constraints.reserve(problem.constraints().size());
       for (const auto& c : problem.constraints()) {
         const double v = c.lhs.eval(out.x);
         viol = std::max(viol, v - 1.0);
+        ConstraintDiagnostics cd;
+        cd.tag = c.tag;
+        cd.lhs = v;
+        cd.slack = 1.0 - v;
+        cd.log_slack = v > 0.0 ? -std::log(v)
+                               : std::numeric_limits<double>::infinity();
+        if (status == SolveStatus::kOptimal && t_final > 0.0 &&
+            cd.log_slack > 0.0 && std::isfinite(cd.log_slack))
+          cd.dual = 1.0 / (t_final * cd.log_slack);
         if (status == SolveStatus::kOptimal &&
-            v >= 1.0 - options_.binding_tol)
+            v >= 1.0 - options_.binding_tol) {
+          cd.binding = true;
+          out.diag.binding_set.push_back(out.diag.constraints.size());
           out.binding.push_back(c.tag);
+        }
+        out.diag.constraints.push_back(std::move(cd));
       }
       out.max_violation = viol;
       out.newton_iterations = total_newton;
@@ -628,6 +654,8 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
         auto outcome =
             newton_minimize(p1, t, ys, options_, deadline, feasible_now);
         total_newton += outcome.iterations;
+        trace.push_back({static_cast<int>(trace.size()), true, t,
+                         outcome.iterations, outcome.converged, -1.0});
         if (outcome.failure != NewtonFailure::kNone) {
           p1_failure = outcome.failure;
           break;
@@ -659,8 +687,6 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
     obs::Span phase2_span("gp.phase2");
     const BarrierProblem p2{&constraints, &objective, &ylo, &yhi};
 
-    const double m_total = static_cast<double>(constraints.size()) +
-                           2.0 * static_cast<double>(n);
     double t = options_.t_initial;
     // A warm start that is already strictly feasible sits near the previous
     // optimum — close to its active constraints. Low-t centering would drag
@@ -674,6 +700,9 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
       ++total_stages;
       auto outcome = newton_minimize(p2, t, y, options_, deadline);
       total_newton += outcome.iterations;
+      t_final = t;
+      trace.push_back({static_cast<int>(trace.size()), false, t,
+                       outcome.iterations, outcome.converged, m_total / t});
       if (outcome.failure == NewtonFailure::kTimeout) {
         finish(SolveStatus::kTimeout, "deadline exceeded in phase II");
         return;

@@ -15,7 +15,9 @@
 /// attempts are retried from deterministically perturbed starting points
 /// (multi-start) before giving up.
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "gp/problem.h"
 #include "util/linalg.h"
@@ -56,6 +58,47 @@ enum class SolveStatus {
 
 const char* to_string(SolveStatus status);
 
+/// Post-solve view of one constraint, evaluated at the returned point.
+/// `dual` is the log-barrier dual estimate lambda_j = 1 / (t_final * u_j)
+/// with u_j = -log lhs_j(x) the log-domain slack; by barrier
+/// complementarity lambda_j * u_j = 1/t_final, so at convergence the dual
+/// is large exactly on the constraints that bind. Duals are only populated
+/// for kOptimal solves (phase II finished); elsewhere they stay 0.
+struct ConstraintDiagnostics {
+  std::string tag;        ///< constraint tag from the GpProblem
+  double lhs = 0.0;       ///< lhs(x), feasible iff <= 1
+  double slack = 0.0;     ///< 1 - lhs(x)
+  double log_slack = 0.0; ///< u_j = -log lhs(x)
+  double dual = 0.0;      ///< barrier dual estimate (kOptimal only)
+  bool binding = false;   ///< lhs within binding_tol of 1 at an optimum
+};
+
+/// One barrier stage of the convergence trace. Phase I stages minimize the
+/// feasibility auxiliary (gap stays < 0); phase II stages report the
+/// duality-gap estimate m_total / t after the stage's Newton solve.
+struct StageTrace {
+  int stage = 0;          ///< 0-based across both phases of the attempt
+  bool phase1 = false;
+  double t = 0.0;         ///< barrier weight for the stage
+  int newton_iters = 0;
+  bool converged = false; ///< Newton decrement criterion met
+  double gap = -1.0;      ///< duality-gap estimate; < 0 in phase I
+};
+
+/// Introspection record exported by every solve without perturbing it: all
+/// quantities are derived from values the solver already computes (the
+/// final point, the per-constraint evaluations, the barrier schedule).
+struct SolveDiagnostics {
+  /// Per-constraint view in GpProblem constraint order.
+  std::vector<ConstraintDiagnostics> constraints;
+  /// Indices into `constraints` of the binding set (kOptimal solves).
+  std::vector<size_t> binding_set;
+  /// Barrier-stage convergence trace of the accepted attempt.
+  std::vector<StageTrace> trace;
+  double final_t = 0.0;     ///< barrier weight at exit; 0 if no phase II
+  double duality_gap = -1.0;///< m_total / final_t at exit; < 0 if no phase II
+};
+
 /// Result of a GP solve. x is in the original (positive) domain and always
 /// finite, even on failure (failed solves return a clamped best-effort
 /// point so downstream reporting never sees NaN widths).
@@ -72,6 +115,8 @@ struct GpResult {
   /// Tags of constraints active at the solution (lhs within binding_tol of
   /// 1) — the designer's answer to "what is limiting this design".
   std::vector<std::string> binding;
+  /// Full introspection record (slacks, duals, convergence trace).
+  SolveDiagnostics diag;
 
   bool ok() const { return status == SolveStatus::kOptimal; }
 };

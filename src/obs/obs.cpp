@@ -61,6 +61,25 @@ HistogramSummary summarize(const std::vector<double>& samples) {
   s.p50 = percentile(sorted, 50.0);
   s.p90 = percentile(sorted, 90.0);
   s.p99 = percentile(sorted, 99.0);
+  // Equal-width buckets over [min, max]. A degenerate range (all samples
+  // equal) collapses to one bucket holding everything.
+  if (s.max > s.min) {
+    const size_t nb = HistogramSummary::kHistogramBuckets;
+    const double width = (s.max - s.min) / static_cast<double>(nb);
+    s.bucket_bounds.resize(nb + 1);
+    for (size_t b = 0; b <= nb; ++b)
+      s.bucket_bounds[b] = s.min + width * static_cast<double>(b);
+    s.bucket_bounds.back() = s.max;  // exact upper edge, no fp drift
+    s.bucket_counts.assign(nb, 0);
+    for (double v : sorted) {
+      size_t b = static_cast<size_t>((v - s.min) / width);
+      if (b >= nb) b = nb - 1;  // v == max lands in the last bucket
+      ++s.bucket_counts[b];
+    }
+  } else {
+    s.bucket_bounds = {s.min, s.max};
+    s.bucket_counts = {s.count};
+  }
   return s;
 }
 
@@ -74,6 +93,10 @@ bool write_file(const std::string& path, const std::string& content) {
 }
 
 }  // namespace
+
+HistogramSummary summarize_samples(const std::vector<double>& samples) {
+  return summarize(samples);
+}
 
 Telemetry::Telemetry() : epoch_(std::chrono::steady_clock::now()) {}
 
@@ -225,7 +248,15 @@ std::string Telemetry::metrics_json() const {
            ", \"min\": " + json_num(s.min) + ", \"max\": " + json_num(s.max) +
            ", \"mean\": " + json_num(s.mean) + ", \"sum\": " + json_num(s.sum) +
            ", \"p50\": " + json_num(s.p50) + ", \"p90\": " + json_num(s.p90) +
-           ", \"p99\": " + json_num(s.p99) + "}";
+           ", \"p99\": " + json_num(s.p99);
+    out += ", \"buckets\": {\"bounds\": [";
+    for (size_t b = 0; b < s.bucket_bounds.size(); ++b)
+      out += (b ? ", " : "") + json_num(s.bucket_bounds[b]);
+    out += "], \"counts\": [";
+    for (size_t b = 0; b < s.bucket_counts.size(); ++b)
+      out += (b ? ", " : "") +
+             json_num(static_cast<double>(s.bucket_counts[b]));
+    out += "]}}";
   }
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";

@@ -44,7 +44,14 @@ struct SpanEvent {
 
 /// Summary statistics of one histogram, computed at query/export time.
 /// Percentiles use the nearest-rank method on the sorted samples.
+/// Buckets are equal-width over [min, max] (kHistogramBuckets of them;
+/// a single catch-all bucket when min == max): bucket_bounds holds the
+/// bucket edges (size = #buckets + 1) and bucket_counts the per-bucket
+/// sample counts, so the distribution shape — not just the percentile
+/// triple — round-trips through the JSON metrics export.
 struct HistogramSummary {
+  static constexpr size_t kHistogramBuckets = 12;
+
   size_t count = 0;
   double min = 0.0;
   double max = 0.0;
@@ -53,7 +60,14 @@ struct HistogramSummary {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  std::vector<double> bucket_bounds;  ///< edges, size = bucket_counts.size()+1
+  std::vector<size_t> bucket_counts;
 };
+
+/// Summary (incl. buckets) of an ad-hoc sample set, using the same math as
+/// the Telemetry histogram exporter — report layers can build histograms
+/// that round-trip through the metrics JSON identically.
+HistogramSummary summarize_samples(const std::vector<double>& samples);
 
 /// Process-wide telemetry collector. All recording methods are no-ops
 /// (one relaxed atomic load) while disabled.

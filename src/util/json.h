@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file json.h
+/// Minimal recursive-descent JSON reader. The repo's exporters (obs
+/// metrics/trace, lint reports, scope timing reports) hand-build their JSON;
+/// this is the matching in-tree consumer used by tools (bench_diff) and by
+/// tests that assert the exports parse back. It covers the JSON the repo
+/// emits — objects, arrays, numbers, strings with common escapes, bools,
+/// null — and deliberately stays small: \uXXXX escapes are skipped rather
+/// than decoded, and numbers are parsed with strtod semantics.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace smart::util {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parses `text` as a single JSON document. Returns false on any syntax
+/// error or trailing garbage; `out` is unspecified on failure.
+bool json_parse(const std::string& text, JsonValue* out);
+
+}  // namespace smart::util

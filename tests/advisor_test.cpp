@@ -36,6 +36,15 @@ TEST_F(AdvisorTest, RanksMuxTopologiesByWidth) {
   }
   ASSERT_NE(advice.best(), nullptr);
   EXPECT_TRUE(advice.best()->meets_spec);
+  // Every ranked candidate carries a critical-path one-liner so the sweep
+  // report can say what limits each topology, not just the winner.
+  for (const auto& sol : advice.solutions) {
+    ASSERT_TRUE(sol.critical.has_value()) << sol.topology;
+    EXPECT_GT(sol.critical->arrival_ps, 0.0);
+    EXPECT_GT(sol.critical->stages, 0u);
+    EXPECT_FALSE(sol.critical->startpoint.empty());
+    EXPECT_FALSE(sol.critical->endpoint.empty());
+  }
 }
 
 TEST_F(AdvisorTest, UnknownTypeYieldsNoSolutions) {

@@ -18,178 +18,22 @@
 #include "macros/registry.h"
 #include "models/fitter.h"
 #include "obs/obs.h"
+#include "util/json.h"
 
 namespace smart::obs {
 namespace {
 
-// ---- minimal recursive-descent JSON reader (test-only) ----
+// JSON exports are parsed back with the in-tree minimal reader
+// (util/json.h); syntactic validity is part of the contract since the
+// traces must load in chrome://tracing.
 
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
-      Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
+using util::JsonValue;
 
-  const JsonValue* find(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  bool parse(JsonValue* out) {
-    skip_ws();
-    if (!value(out)) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r'))
-      ++pos_;
-  }
-  bool literal(const char* word) {
-    const size_t n = std::string(word).size();
-    if (s_.compare(pos_, n, word) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-  bool value(JsonValue* out) {
-    skip_ws();
-    if (pos_ >= s_.size()) return false;
-    const char c = s_[pos_];
-    if (c == '{') return object(out);
-    if (c == '[') return array(out);
-    if (c == '"') {
-      out->kind = JsonValue::Kind::kString;
-      return string(&out->str);
-    }
-    if (literal("true")) {
-      out->kind = JsonValue::Kind::kBool;
-      out->boolean = true;
-      return true;
-    }
-    if (literal("false")) {
-      out->kind = JsonValue::Kind::kBool;
-      return true;
-    }
-    if (literal("null")) return true;
-    return number(out);
-  }
-  bool string(std::string* out) {
-    if (s_[pos_] != '"') return false;
-    ++pos_;
-    out->clear();
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-        switch (s_[pos_]) {
-          case '"': *out += '"'; break;
-          case '\\': *out += '\\'; break;
-          case '/': *out += '/'; break;
-          case 'n': *out += '\n'; break;
-          case 'r': *out += '\r'; break;
-          case 't': *out += '\t'; break;
-          case 'u':
-            if (pos_ + 4 >= s_.size()) return false;
-            pos_ += 4;  // keep the reader simple: skip the code point
-            break;
-          default: return false;
-        }
-        ++pos_;
-      } else {
-        *out += s_[pos_++];
-      }
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-  bool number(JsonValue* out) {
-    const size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E'))
-      ++pos_;
-    if (pos_ == start) return false;
-    try {
-      out->number = std::stod(s_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      return false;
-    }
-    out->kind = JsonValue::Kind::kNumber;
-    return true;
-  }
-  bool array(JsonValue* out) {
-    out->kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      JsonValue v;
-      if (!value(&v)) return false;
-      out->array.push_back(std::move(v));
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-  bool object(JsonValue* out) {
-    out->kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (pos_ >= s_.size() || !string(&key)) return false;
-      skip_ws();
-      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
-      ++pos_;
-      JsonValue v;
-      if (!value(&v)) return false;
-      out->object.emplace(std::move(key), std::move(v));
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  const std::string& s_;
-  size_t pos_ = 0;
+/// Adapter keeping the historical test spelling `JsonParser(text).parse(&v)`.
+struct JsonParser {
+  explicit JsonParser(const std::string& text) : text_(text) {}
+  bool parse(JsonValue* out) { return util::json_parse(text_, out); }
+  const std::string& text_;
 };
 
 /// Enables telemetry on a clean buffer; restores the disabled default so
@@ -390,6 +234,61 @@ TEST_F(ObsTest, MetricsExportParsesBack) {
   EXPECT_DOUBLE_EQ(h->find("min")->number, 10.0);
   EXPECT_DOUBLE_EQ(h->find("max")->number, 100.0);
   EXPECT_DOUBLE_EQ(h->find("p50")->number, 50.0);
+}
+
+TEST_F(ObsTest, HistogramBucketsRoundTripThroughMetricsJson) {
+  auto& tel = Telemetry::instance();
+  for (int i = 0; i < 120; ++i)
+    tel.hist_record("h.buckets", static_cast<double>(i % 60));
+  const HistogramSummary direct = tel.hist_summary("h.buckets");
+  ASSERT_EQ(direct.bucket_counts.size(), HistogramSummary::kHistogramBuckets);
+  ASSERT_EQ(direct.bucket_bounds.size(), direct.bucket_counts.size() + 1);
+  EXPECT_DOUBLE_EQ(direct.bucket_bounds.front(), direct.min);
+  EXPECT_DOUBLE_EQ(direct.bucket_bounds.back(), direct.max);
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(tel.metrics_json()).parse(&root));
+  const JsonValue* h = root.find("histograms")->find("h.buckets");
+  ASSERT_NE(h, nullptr);
+  const JsonValue* buckets = h->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  const auto& bounds = buckets->find("bounds")->array;
+  const auto& counts = buckets->find("counts")->array;
+  ASSERT_EQ(bounds.size(), direct.bucket_bounds.size());
+  ASSERT_EQ(counts.size(), direct.bucket_counts.size());
+  size_t total = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    // The exporter prints %.10g; bounds round-trip to 10 significant
+    // digits, counts are small integers and round-trip exactly.
+    EXPECT_NEAR(bounds[b].number, direct.bucket_bounds[b],
+                1e-8 * std::max(1.0, std::fabs(direct.bucket_bounds[b])));
+    EXPECT_DOUBLE_EQ(counts[b].number,
+                     static_cast<double>(direct.bucket_counts[b]));
+    total += direct.bucket_counts[b];
+  }
+  EXPECT_EQ(total, direct.count);
+
+  // summarize_samples uses the same math as the registry exporter, so an
+  // ad-hoc sample set (e.g. scope's slack histogram) round-trips
+  // identically.
+  std::vector<double> samples;
+  for (int i = 0; i < 120; ++i) samples.push_back(static_cast<double>(i % 60));
+  const HistogramSummary adhoc = summarize_samples(samples);
+  EXPECT_EQ(adhoc.bucket_counts, direct.bucket_counts);
+  EXPECT_EQ(adhoc.bucket_bounds, direct.bucket_bounds);
+}
+
+TEST_F(ObsTest, DegenerateHistogramCollapsesToOneBucket) {
+  auto& tel = Telemetry::instance();
+  for (int i = 0; i < 5; ++i) tel.hist_record("h.flat", 4.25);
+  const HistogramSummary s = tel.hist_summary("h.flat");
+  ASSERT_EQ(s.bucket_counts.size(), 1u);
+  EXPECT_EQ(s.bucket_counts[0], 5u);
+  ASSERT_EQ(s.bucket_bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.bucket_bounds[0], 4.25);
+  EXPECT_DOUBLE_EQ(s.bucket_bounds[1], 4.25);
+  // Empty histogram: no buckets at all.
+  EXPECT_TRUE(summarize_samples({}).bucket_counts.empty());
 }
 
 TEST_F(ObsTest, NonFiniteValuesExportAsValidJson) {

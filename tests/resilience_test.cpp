@@ -316,6 +316,9 @@ TEST_F(AdvisorResilienceTest, SweepCompletesUnderEveryFaultClass) {
       EXPECT_NE(fail.status.reason, FailureReason::kNone)
           << fail.topology << ": " << fail.message;
       EXPECT_FALSE(fail.topology.empty());
+      // Failed candidates carry their wall time too — a sweep report must
+      // show where the time went even when a candidate died early.
+      EXPECT_GT(fail.wall_ms, 0.0) << fail.topology;
     }
     for (const auto& sol : advice.solutions) {
       expect_finite(sol.sizing.sizing);
@@ -360,6 +363,7 @@ TEST_F(AdvisorResilienceTest, UnpoisonedCandidatesMatchFaultFreeSizing) {
   const auto& fail = faulted.failures.front();
   EXPECT_EQ(fail.status.reason, FailureReason::kNumericalError);
   EXPECT_EQ(fail.rung, SizingRung::kBaseline);
+  EXPECT_GT(fail.wall_ms, 0.0);
   EXPECT_EQ(faulted.solutions.size(), clean.solutions.size() - 1u);
   for (const auto& sol : faulted.solutions) {
     ASSERT_NE(sol.topology, fail.topology);

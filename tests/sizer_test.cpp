@@ -190,6 +190,62 @@ TEST_F(SizerTest, WidthGridSnapsUpAndStillMeetsSpec) {
             rc.total_width_um + 0.25 * 2 * static_cast<double>(nl.label_count()));
 }
 
+TEST_F(SizerTest, RespecTraceRecordsEveryIteration) {
+  const auto nl = test::inverter_chain(3, 30.0);
+  SizerOptions opt;
+  opt.delay_spec_ps = 120.0;
+  const auto r = sizer_.size(nl, opt);
+  ASSERT_TRUE(r.ok) << r.message;
+
+  ASSERT_FALSE(r.respec_trace.empty());
+  size_t accepted = 0;
+  for (size_t i = 0; i < r.respec_trace.size(); ++i) {
+    const auto& it = r.respec_trace[i];
+    EXPECT_EQ(it.iter, static_cast<int>(i));
+    EXPECT_GT(it.model_spec_ps, 0.0);
+    if (it.accepted) {
+      ++accepted;
+      EXPECT_EQ(it.gp_status, gp::SolveStatus::kOptimal);
+      // The accepted iteration's measurement is the returned result.
+      EXPECT_DOUBLE_EQ(it.measured_delay_ps, r.measured_delay_ps);
+    }
+  }
+  EXPECT_EQ(accepted, 1u);
+  // No snapshot unless asked for: the default result stays lean.
+  EXPECT_EQ(r.snapshot, nullptr);
+}
+
+TEST_F(SizerTest, SnapshotAlignsWithSolveDiagnostics) {
+  const auto nl = test::inverter_chain(3, 30.0);
+  SizerOptions opt;
+  opt.delay_spec_ps = 120.0;
+  opt.keep_solve_snapshot = true;
+  const auto r = sizer_.size(nl, opt);
+  ASSERT_TRUE(r.ok) << r.message;
+  ASSERT_NE(r.snapshot, nullptr);
+  const auto& snap = *r.snapshot;
+
+  // The regenerated problem matches the accepted solve's diagnostics
+  // constraint-for-constraint — the invariant scope's tag mapping rests on.
+  ASSERT_NE(snap.gen.problem, nullptr);
+  const auto& cons = snap.gen.problem->constraints();
+  ASSERT_EQ(cons.size(), snap.gp.diag.constraints.size());
+  for (size_t j = 0; j < cons.size(); ++j)
+    EXPECT_EQ(cons[j].tag, snap.gp.diag.constraints[j].tag) << j;
+
+  // Paths and specs ride along, aligned with the templates.
+  EXPECT_EQ(snap.gen.paths.size(), snap.gen.path_templates.size());
+  EXPECT_EQ(snap.gen.path_specs.size(), snap.gen.path_templates.size());
+  for (double spec : snap.gen.path_specs) EXPECT_GT(spec, 0.0);
+
+  // The snapshot solve evaluates consistently: the solution vector
+  // reproduces the recorded objective on the regenerated problem.
+  EXPECT_NEAR(snap.gen.problem->objective().eval(snap.gp.x),
+              snap.gp.objective, 1e-9 * std::abs(snap.gp.objective) + 1e-9);
+  EXPECT_GT(snap.model_delay_spec_ps, 0.0);
+  EXPECT_EQ(snap.target_delay_ps, opt.delay_spec_ps);
+}
+
 TEST_F(SizerTest, ReportDescribesSolution) {
   const auto nl = test::inverter_chain(2, 15.0);
   SizerOptions opt;

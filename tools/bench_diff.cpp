@@ -1,0 +1,166 @@
+// bench_diff — compares two metrics JSON exports (BENCH_*.json, written by
+// `perf_microbench --metrics-out FILE` or a bench harness's MetricsExport)
+// and flags per-metric regressions beyond a threshold.
+//
+//   bench_diff <baseline.json> <current.json> [--threshold PCT]
+//              [--prefix NAME.]
+//
+// Compares every gauge whose name starts with the prefix (default "bench.",
+// the timing gauges; an empty prefix compares all gauges). A current value
+// more than PCT percent above baseline (default 25; perf numbers on shared
+// CI runners are noisy) is a regression. Exit codes: 0 = no regressions,
+// 1 = at least one regression, 2 = usage or parse error. CI runs this as
+// an advisory step — the exit code flags, it does not gate.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "util/json.h"
+#include "util/strfmt.h"
+#include "util/table.h"
+
+namespace {
+
+using smart::util::JsonValue;
+
+bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// Loads the "gauges" object of one metrics export as name -> value.
+bool load_gauges(const std::string& path, const std::string& prefix,
+                 std::map<std::string, double>* out) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  JsonValue root;
+  if (!smart::util::json_parse(text, &root)) {
+    std::fprintf(stderr, "bench_diff: %s is not valid JSON\n", path.c_str());
+    return false;
+  }
+  const JsonValue* gauges = root.find("gauges");
+  if (gauges == nullptr || gauges->kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "bench_diff: %s has no \"gauges\" object\n",
+                 path.c_str());
+    return false;
+  }
+  for (const auto& [name, value] : gauges->object) {
+    if (value.kind != JsonValue::Kind::kNumber) continue;
+    if (name.rfind(prefix, 0) != 0) continue;
+    (*out)[name] = value.number;
+  }
+  return true;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <baseline.json> <current.json> "
+               "[--threshold PCT] [--prefix NAME.]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path;
+  double threshold = 25.0;
+  std::string prefix = "bench.";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> const char* {
+      const size_t len = std::strlen(flag);
+      if (arg.rfind(std::string(flag) + "=", 0) == 0)
+        return argv[i] + len + 1;
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (arg.rfind("--", 0) == 0) {
+      if (const char* v = value_of("--threshold")) {
+        threshold = std::atof(v);
+      } else if (const char* v = value_of("--prefix")) {
+        prefix = v;
+      } else {
+        std::fprintf(stderr, "bench_diff: unknown flag %s\n", arg.c_str());
+        usage();
+        return 2;
+      }
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::map<std::string, double> baseline, current;
+  if (!load_gauges(baseline_path, prefix, &baseline) ||
+      !load_gauges(current_path, prefix, &current))
+    return 2;
+  if (baseline.empty()) {
+    std::fprintf(stderr,
+                 "bench_diff: no gauges with prefix '%s' in baseline %s\n",
+                 prefix.c_str(), baseline_path.c_str());
+    return 2;
+  }
+
+  smart::util::Table table({"metric", "baseline", "current", "delta", "verdict"});
+  size_t regressions = 0, improvements = 0, missing = 0;
+  for (const auto& [name, base] : baseline) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      // A benchmark that disappeared is flagged like a regression: a rename
+      // must come with a baseline refresh, and a silently dropped bench
+      // would otherwise hide its own regression forever.
+      table.add_row({name, smart::util::strfmt("%.4g", base), "-", "-",
+                     "MISSING"});
+      ++missing;
+      continue;
+    }
+    const double cur = it->second;
+    const double delta_pct = base > 0.0 ? (cur / base - 1.0) * 100.0 : 0.0;
+    const char* verdict = "ok";
+    if (delta_pct > threshold) {
+      verdict = "REGRESSION";
+      ++regressions;
+    } else if (delta_pct < -threshold) {
+      verdict = "improved";
+      ++improvements;
+    }
+    table.add_row({name, smart::util::strfmt("%.4g", base),
+                   smart::util::strfmt("%.4g", cur),
+                   smart::util::strfmt("%+.1f%%", delta_pct), verdict});
+  }
+  for (const auto& [name, cur] : current) {
+    if (baseline.count(name) == 0)
+      table.add_row({name, "-", smart::util::strfmt("%.4g", cur), "-",
+                     "new (not in baseline)"});
+  }
+
+  std::printf("%s", table.render(smart::util::strfmt(
+                                     "bench_diff: %s vs baseline %s "
+                                     "(threshold %.0f%%)",
+                                     current_path.c_str(),
+                                     baseline_path.c_str(), threshold))
+                        .c_str());
+  std::printf("%zu regressions, %zu improvements, %zu missing of %zu "
+              "baseline metrics\n",
+              regressions, improvements, missing, baseline.size());
+  return regressions + missing > 0 ? 1 : 0;
+}

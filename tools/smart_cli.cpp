@@ -10,11 +10,16 @@
 //   smart_cli noise  --type mux --topology domino_unsplit --n 8 [--bits 8]
 //   smart_cli lint   <type/topology[/n] | --all> [--format text|json]
 //                    [--suppress ID,ID] [--out FILE] [--delay PS]
+//   smart_cli report <type/topology[/n]> [--delay PS] [--top-k K]
+//                    [--format text|json] [--out FILE]
 //
 // `advise` runs the full Fig-1 flow (generate every applicable topology,
 // GP-size each against the spec, verify with the reference timer, rank by
 // cost); `spice` emits the sized subcircuit; `paths` prints the §5.2
-// pruning statistics; `noise` runs the domino reliability checks.
+// pruning statistics; `noise` runs the domino reliability checks; `report`
+// sizes one macro with a report-grade solve and prints the SMART-Scope
+// introspection view (top-K critical paths, binding set with duals, slack
+// histogram, width sensitivities).
 //
 // Global flags (any command, `--flag value` or `--flag=value` style):
 //   --trace-out FILE    write a Chrome trace_event JSON of the run's spans
@@ -44,6 +49,7 @@
 #include "obs/obs.h"
 #include "refsim/critical_path.h"
 #include "refsim/noise.h"
+#include "scope/scope.h"
 #include "timing/paths.h"
 #include "util/logging.h"
 #include "util/strfmt.h"
@@ -122,6 +128,9 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
       {"lint",
        {"type", "topology", "n", "bits", "m", "load", "slope", "delay",
         "all", "format", "suppress", "out"}},
+      {"report",
+       {"type", "topology", "n", "bits", "m", "load", "slope", "delay",
+        "top-k", "format", "out"}},
   };
   return flags;
 }
@@ -142,6 +151,36 @@ core::CostMetric cost_from(const Args& args) {
   if (cost == "power") return core::CostMetric::kPower;
   if (cost == "clock") return core::CostMetric::kClockLoad;
   return core::CostMetric::kTotalWidth;
+}
+
+// Folds a positional `type/topology[/n]` target into --type/--topology/--n
+// flags (shared by `lint` and `report`). `extra_hint` extends the "needs a
+// target" message with command-specific alternatives. Returns 0 on success,
+// 2 on a usage error (already reported to stderr).
+int target_into_flags(const Args& args, const char* cmd,
+                      const char* extra_hint, Args& one) {
+  if (!args.positional.empty()) {
+    const std::string& target = args.positional.front();
+    const auto s1 = target.find('/');
+    if (s1 == std::string::npos) {
+      std::fprintf(stderr, "%s target must be type/topology[/n], got '%s'\n",
+                   cmd, target.c_str());
+      return 2;
+    }
+    one.flags["type"] = target.substr(0, s1);
+    const auto s2 = target.find('/', s1 + 1);
+    one.flags["topology"] = target.substr(s1 + 1, s2 == std::string::npos
+                                                      ? std::string::npos
+                                                      : s2 - s1 - 1);
+    if (s2 != std::string::npos) one.flags["n"] = target.substr(s2 + 1);
+  } else if (!args.has("type") || !args.has("topology")) {
+    std::fprintf(stderr,
+                 "%s needs a target: type/topology[/n], "
+                 "--type T --topology X%s\n",
+                 cmd, extra_hint);
+    return 2;
+  }
+  return 0;
 }
 
 netlist::Netlist generate_named(const Args& args) {
@@ -382,27 +421,9 @@ int cmd_lint(const Args& args) {
     // Single-macro mode: `lint type/topology[/n]` or the --type/--topology
     // flag spelling.
     Args one = args;
-    if (!args.positional.empty()) {
-      const std::string& target = args.positional.front();
-      const auto s1 = target.find('/');
-      if (s1 == std::string::npos) {
-        std::fprintf(stderr,
-                     "lint target must be type/topology[/n], got '%s'\n",
-                     target.c_str());
-        return 2;
-      }
-      one.flags["type"] = target.substr(0, s1);
-      const auto s2 = target.find('/', s1 + 1);
-      one.flags["topology"] = target.substr(s1 + 1, s2 == std::string::npos
-                                                        ? std::string::npos
-                                                        : s2 - s1 - 1);
-      if (s2 != std::string::npos) one.flags["n"] = target.substr(s2 + 1);
-    } else if (!args.has("type") || !args.has("topology")) {
-      std::fprintf(stderr,
-                   "lint needs a target: type/topology[/n], "
-                   "--type T --topology X, or --all\n");
-      return 2;
-    }
+    if (const int rc = target_into_flags(args, "lint", ", or --all", one);
+        rc != 0)
+      return rc;
     lint_macro(generate_named(one), opt, delay, report);
   }
 
@@ -426,15 +447,78 @@ int cmd_lint(const Args& args) {
   return report.errors() > 0 ? 1 : 0;
 }
 
+// Sizes one macro with a snapshot-keeping, report-grade solve and renders
+// the SMART-Scope introspection report.
+int cmd_report(const Args& args) {
+  Args one = args;
+  if (const int rc = target_into_flags(args, "report", "", one); rc != 0)
+    return rc;
+  const std::string format = args.str("format", "text");
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "unknown report format '%s' (want text or json)\n",
+                 format.c_str());
+    return 2;
+  }
+  const auto nl = generate_named(one);
+
+  core::SizerOptions opt;
+  opt.delay_spec_ps = args.num("delay", -1.0);
+  opt.keep_solve_snapshot = true;
+  // Report-grade solve: drive the barrier until active constraints sit at
+  // |1 - lhs| <= 1e-6, so the reported binding set is the KKT active set
+  // to working precision (ScopeOptions::binding_slack_tol).
+  opt.gp.tolerance = 1e-6;
+  if (opt.delay_spec_ps <= 0.0) {
+    // Same rule as advise: derive the spec from the hand-sized baseline.
+    core::BaselineSizer baseline(tech::default_tech());
+    const refsim::RcTimer timer(tech::default_tech());
+    const auto rep = timer.analyze(nl, baseline.size(nl));
+    opt.delay_spec_ps = rep.worst_delay;
+    if (rep.worst_precharge > 0.0)
+      opt.precharge_spec_ps = rep.worst_precharge;
+  }
+  core::Sizer sizer(tech::default_tech(), models::default_library());
+  const auto result = sizer.size(nl, opt);
+  if (!result.ok) {
+    std::fprintf(stderr, "sizing failed: %s\n", result.message.c_str());
+    return 1;
+  }
+
+  scope::ScopeOptions sopt;
+  sopt.top_k = static_cast<size_t>(args.num("top-k", 5));
+  const auto report =
+      scope::build_report(nl, result, tech::default_tech(), sopt);
+  const std::string rendered = format == "json" ? scope::render_json(report)
+                                                : scope::render_text(report);
+  const std::string out = args.str("out");
+  if (!out.empty()) {
+    FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write report to %s\n", out.c_str());
+      return 2;
+    }
+    std::fputs(rendered.c_str(), f);
+    std::fclose(f);
+    std::printf("report for %s (%zu paths, %zu binding) -> %s\n",
+                report.macro.c_str(), report.paths.size(),
+                report.binding.size(), out.c_str());
+  } else {
+    std::printf("%s", rendered.c_str());
+  }
+  return report.message == "ok" ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: smart_cli <list|advise|spice|save|paths|noise|corners"
-               "|lint> [--type T "
+               "|lint|report> [--type T "
                "--topology X --n N --bits B --load FF --delay PS --cost "
                "width|power|clock] [--trace-out FILE] [--metrics-out FILE] "
                "[--log-level debug|info|warn|error|off]\n"
                "       smart_cli lint <type/topology[/n] | --all> "
-               "[--format text|json] [--suppress ID,ID] [--out FILE]\n");
+               "[--format text|json] [--suppress ID,ID] [--out FILE]\n"
+               "       smart_cli report <type/topology[/n]> [--delay PS] "
+               "[--top-k K] [--format text|json] [--out FILE]\n");
 }
 
 int dispatch(const Args& args) {
@@ -446,6 +530,7 @@ int dispatch(const Args& args) {
   if (args.command == "noise") return cmd_noise(args);
   if (args.command == "corners") return cmd_corners(args);
   if (args.command == "lint") return cmd_lint(args);
+  if (args.command == "report") return cmd_report(args);
   usage();
   return args.command.empty() ? 1 : 2;
 }
@@ -464,7 +549,8 @@ int validate(const Args& args) {
       return 2;
     }
   }
-  if (!args.positional.empty() && args.command != "lint") {
+  if (!args.positional.empty() && args.command != "lint" &&
+      args.command != "report") {
     std::fprintf(stderr, "unexpected argument '%s' for command '%s'\n",
                  args.positional.front().c_str(), args.command.c_str());
     usage();
