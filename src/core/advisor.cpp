@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <future>
+#include <optional>
 
 #include "lint/erc.h"
+#include "par/par.h"
 #include "obs/obs.h"
 #include "power/power.h"
 #include "refsim/critical_path.h"
@@ -109,7 +110,7 @@ Advice DesignAdvisor::advise(const AdvisorRequest& request) const {
     obs::Span span("advisor.candidate:" + entry->name);
     obs::StopWatch watch;
     Solution sol{entry->name, netlist::Netlist{entry->name}, SizerResult{},
-                 0.0, false, 0.0};
+                 0.0, false, 0.0, std::nullopt};
     try {
       sol.netlist = entry->generate(request.spec);
       apply_site_wiring(sol.netlist, request.spec);
@@ -171,21 +172,19 @@ Advice DesignAdvisor::advise(const AdvisorRequest& request) const {
     return sol;
   };
 
+  // Candidate fan-out on the shared worker pool. Results land index-ordered
+  // (slot i belongs to topos[i]), so the sweep ranks identically at any
+  // thread count; a candidate whose sizer itself calls parallel_for nests
+  // safely because the pool is caller-helps. Solution has no default
+  // constructor (Netlist carries a mandatory name), hence the optional hop.
   std::vector<Solution> sized;
   sized.reserve(topos.size());
   if (request.parallel && topos.size() > 1) {
-    std::vector<std::future<Solution>> futures;
-    futures.reserve(topos.size());
-    for (const TopologyEntry* entry : topos) {
-      try {
-        futures.push_back(std::async(std::launch::async, size_one, entry));
-      } catch (const std::system_error&) {
-        // Thread exhaustion under load: finish this candidate inline
-        // rather than failing the whole sweep.
-        sized.push_back(size_one(entry));
-      }
-    }
-    for (auto& f : futures) sized.push_back(f.get());
+    auto slots = par::parallel_map<std::optional<Solution>>(
+        topos.size(),
+        [&](size_t i) { return std::optional<Solution>(size_one(topos[i])); },
+        "advisor.sweep");
+    for (auto& slot : slots) sized.push_back(std::move(*slot));
   } else {
     for (const TopologyEntry* entry : topos) sized.push_back(size_one(entry));
   }

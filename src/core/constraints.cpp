@@ -1,7 +1,11 @@
 #include "core/constraints.h"
 
+#include <cstring>
+#include <optional>
 #include <unordered_map>
 
+#include "obs/obs.h"
+#include "par/par.h"
 #include "util/check.h"
 #include "util/strfmt.h"
 
@@ -9,13 +13,14 @@ namespace smart::core {
 
 using netlist::Netlist;
 using posy::Monomial;
+using posy::PosyAccum;
 using posy::Posynomial;
 
 posy::Posynomial cost_posy(const Netlist& nl, CostMetric cost,
                            const models::LabelVarMap& labels,
                            const power::PowerOptions& activity,
                            const tech::Tech& tech) {
-  Posynomial obj;
+  PosyAccum obj;
   switch (cost) {
     case CostMetric::kTotalWidth: {
       for (size_t c = 0; c < nl.comp_count(); ++c) {
@@ -23,18 +28,16 @@ posy::Posynomial cost_posy(const Netlist& nl, CostMetric cost,
              nl.all_device_widths(static_cast<netlist::CompId>(c))) {
           Monomial m = labels.at(static_cast<size_t>(ref.label));
           m *= ref.scale;
-          obj += m;
+          obj.add(m);
         }
       }
       break;
     }
     case CostMetric::kPower: {
       const auto act = power::net_activities(nl, activity);
-      for (size_t n = 0; n < nl.net_count(); ++n) {
-        Posynomial cap = models::net_cap_posy(
-            nl, static_cast<netlist::NetId>(n), labels, tech);
-        obj += cap * act[n];
-      }
+      const auto caps = models::net_cap_posy_all(nl, labels, tech);
+      for (size_t n = 0; n < nl.net_count(); ++n)
+        obj.add(caps[n] * act[n]);
       break;
     }
     case CostMetric::kClockLoad: {
@@ -48,7 +51,7 @@ posy::Posynomial cost_posy(const Netlist& nl, CostMetric cost,
                    static_cast<netlist::NetId>(n))) {
             Monomial m = labels.at(static_cast<size_t>(ref.label));
             m *= ref.scale;
-            obj += m;
+            obj.add(m);
           }
         }
       }
@@ -56,12 +59,13 @@ posy::Posynomial cost_posy(const Netlist& nl, CostMetric cost,
       // a small width term keeps the objective bounded and realistic.
       Posynomial width = cost_posy(nl, CostMetric::kTotalWidth, labels,
                                    activity, tech);
-      obj += width * 0.01;
+      obj.add(width * 0.01);
       break;
     }
   }
-  SMART_CHECK(!obj.is_zero(), "cost objective is zero — empty netlist?");
-  return obj;
+  Posynomial out = obj.take();
+  SMART_CHECK(!out.is_zero(), "cost objective is zero — empty netlist?");
+  return out;
 }
 
 GeneratedProblem generate_problem(const Netlist& nl,
@@ -78,16 +82,16 @@ GeneratedProblem generate_problem(const Netlist& nl,
 
   gen.objective = cost_posy(nl, opt.cost, gen.labels, opt.activity, tech);
 
-  // Net capacitances are shared across many arc models; cache them.
-  std::vector<Posynomial> cap_cache(nl.net_count());
-  std::vector<bool> cap_ready(nl.net_count(), false);
+  // Net capacitances are shared across many arc models; precompute them all
+  // (one scatter pass + parallel build) instead of the former lazy per-net
+  // cache, which was both O(nets * comps) and unsafe to share across the
+  // parallel stages below.
+  const std::vector<Posynomial> caps = [&] {
+    obs::Span caps_span("core.congen.net_caps");
+    return models::net_cap_posy_all(nl, gen.labels, tech);
+  }();
   auto net_cap = [&](netlist::NetId n) -> const Posynomial& {
-    if (!cap_ready[static_cast<size_t>(n)]) {
-      cap_cache[static_cast<size_t>(n)] =
-          models::net_cap_posy(nl, n, gen.labels, tech);
-      cap_ready[static_cast<size_t>(n)] = true;
-    }
-    return cap_cache[static_cast<size_t>(n)];
+    return caps[static_cast<size_t>(n)];
   };
 
   const Posynomial slope_budget(opt.slope_budget_ps);
@@ -95,43 +99,135 @@ GeneratedProblem generate_problem(const Netlist& nl,
   // ---- timing constraint templates from representative paths ----
   timing::PathExtractor extractor(nl);
   gen.paths = extractor.extract(opt.prune, &gen.path_stats);
-  for (const auto& path : gen.paths) {
-    const double in_slope = path.start_slope >= 0.0
-                                ? path.start_slope
-                                : tech.default_input_slope;
-    PathConstraintTemplate tmpl;
-    tmpl.phase = path.phase;
-    tmpl.end = path.end();
-    tmpl.stages_total = path.domino_stages();
-    Posynomial total(path.start_arrival);
-    int stages_seen = 0;
-    for (size_t si = 0; si < path.steps.size(); ++si) {
-      const auto& step = path.steps[si];
-      const Posynomial step_slope(si == 0 ? in_slope : opt.slope_budget_ps);
-      const auto arc_posy = models::arc_model_posy(
-          nl, step.arc, step.out_rise, step_slope, net_cap(step.arc.to),
-          gen.labels, lib, tech, path.phase);
 
-      const bool enters_domino =
-          step.arc.kind == netlist::ArcKind::kDominoEval ||
-          step.arc.kind == netlist::ArcKind::kDominoClkEval;
-      if (enters_domino) {
-        ++stages_seen;
-        // Without opportunistic time borrowing, a stage that evaluates in
-        // phase k cannot start before its inputs are final at the phase
-        // edge: everything upstream of domino stage k must settle within
-        // the first (k-1)/S of the spec. With OTB ([12]) evaluation simply
-        // begins when the data arrives and only the end-to-end constraint
-        // remains. Recorded as a prefix template here; normalized by the
-        // current spec in assemble_problem.
-        if (stages_seen >= 2 && path.phase == netlist::Phase::kEvaluate)
-          tmpl.stage_prefixes.emplace_back(stages_seen, total);
-      }
-      total += arc_posy.delay;
+  // The same arc transition at the same input slope appears on many paths;
+  // model it once. Keys collect in path order, each distinct model builds
+  // in parallel (each its own slot), and the emission stage below only
+  // reads the finished memo — so the produced posynomials are the ones the
+  // sequential per-step calls would produce, at a fraction of the calls.
+  struct StepKey {
+    int32_t comp;
+    int32_t from;
+    int32_t to;
+    int8_t kind;
+    int8_t out_rise;
+    int8_t phase;
+    uint64_t slope_bits;
+    bool operator==(const StepKey&) const = default;
+  };
+  struct StepKeyHash {
+    size_t operator()(const StepKey& k) const {
+      uint64_t h = 0x9e3779b97f4a7c15ULL;
+      auto mix = [&h](uint64_t v) {
+        v *= 0xff51afd7ed558ccdULL;
+        v ^= v >> 33;
+        h = (h ^ v) * 0x2545f4914f6cdd1dULL;
+        h ^= h >> 29;
+      };
+      mix(static_cast<uint64_t>(static_cast<uint32_t>(k.comp)));
+      mix((static_cast<uint64_t>(static_cast<uint32_t>(k.from)) << 32) |
+          static_cast<uint64_t>(static_cast<uint32_t>(k.to)));
+      mix((static_cast<uint64_t>(static_cast<uint8_t>(k.kind)) << 16) |
+          (static_cast<uint64_t>(static_cast<uint8_t>(k.out_rise)) << 8) |
+          static_cast<uint64_t>(static_cast<uint8_t>(k.phase)));
+      mix(k.slope_bits);
+      return static_cast<size_t>(h);
     }
-    tmpl.total = std::move(total);
-    gen.path_templates.push_back(std::move(tmpl));
+  };
+  auto step_key = [&](const timing::PathStep& step, netlist::Phase phase,
+                      double slope) {
+    StepKey k;
+    k.comp = static_cast<int32_t>(step.arc.comp);
+    k.from = static_cast<int32_t>(step.arc.from);
+    k.to = static_cast<int32_t>(step.arc.to);
+    k.kind = static_cast<int8_t>(step.arc.kind);
+    k.out_rise = step.out_rise ? 1 : 0;
+    k.phase = static_cast<int8_t>(phase);
+    std::memcpy(&k.slope_bits, &slope, sizeof(slope));
+    return k;
+  };
+  std::unordered_map<StepKey, uint32_t, StepKeyHash> model_index;
+  std::vector<std::pair<StepKey, double>> model_keys;
+  {
+    obs::Span keys_span("core.congen.model_keys");
+    for (const auto& path : gen.paths) {
+      const double in_slope = path.start_slope >= 0.0
+                                  ? path.start_slope
+                                  : tech.default_input_slope;
+      for (size_t si = 0; si < path.steps.size(); ++si) {
+        const double slope = si == 0 ? in_slope : opt.slope_budget_ps;
+        const StepKey k = step_key(path.steps[si], path.phase, slope);
+        if (model_index.emplace(k, model_keys.size()).second)
+          model_keys.emplace_back(k, slope);
+      }
+    }
   }
+  std::vector<models::ArcPosy> models_memo(model_keys.size());
+  {
+    obs::Span models_span("core.congen.arc_models");
+    par::parallel_for(
+        model_keys.size(),
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            const auto& [k, slope] = model_keys[i];
+            netlist::Arc arc;
+            arc.from = static_cast<netlist::NetId>(k.from);
+            arc.to = static_cast<netlist::NetId>(k.to);
+            arc.comp = static_cast<netlist::CompId>(k.comp);
+            arc.kind = static_cast<netlist::ArcKind>(k.kind);
+            models_memo[i] = models::arc_model_posy(
+                nl, arc, k.out_rise != 0, Posynomial(slope),
+                net_cap(arc.to), gen.labels, lib, tech,
+                static_cast<netlist::Phase>(k.phase));
+          }
+        },
+        "core.congen.arc_models", 8);
+  }
+
+  std::optional<obs::Span> templates_span{std::in_place,
+                                          "core.congen.templates"};
+  gen.path_templates = par::parallel_map<PathConstraintTemplate>(
+      gen.paths.size(),
+      [&](size_t pi) {
+        const auto& path = gen.paths[pi];
+        const double in_slope = path.start_slope >= 0.0
+                                    ? path.start_slope
+                                    : tech.default_input_slope;
+        PathConstraintTemplate tmpl;
+        tmpl.phase = path.phase;
+        tmpl.end = path.end();
+        tmpl.stages_total = path.domino_stages();
+        PosyAccum total;
+        total.add(path.start_arrival);
+        int stages_seen = 0;
+        for (size_t si = 0; si < path.steps.size(); ++si) {
+          const auto& step = path.steps[si];
+          const double slope = si == 0 ? in_slope : opt.slope_budget_ps;
+          const auto& arc_posy = models_memo[model_index.find(
+              step_key(step, path.phase, slope))->second];
+
+          const bool enters_domino =
+              step.arc.kind == netlist::ArcKind::kDominoEval ||
+              step.arc.kind == netlist::ArcKind::kDominoClkEval;
+          if (enters_domino) {
+            ++stages_seen;
+            // Without opportunistic time borrowing, a stage that evaluates
+            // in phase k cannot start before its inputs are final at the
+            // phase edge: everything upstream of domino stage k must settle
+            // within the first (k-1)/S of the spec. With OTB ([12])
+            // evaluation simply begins when the data arrives and only the
+            // end-to-end constraint remains. Recorded as a prefix template
+            // here; normalized by the current spec in assemble_problem.
+            if (stages_seen >= 2 && path.phase == netlist::Phase::kEvaluate)
+              tmpl.stage_prefixes.emplace_back(stages_seen, total.snapshot());
+          }
+          total.add(arc_posy.delay);
+        }
+        tmpl.total = total.take();
+        return tmpl;
+      },
+      "core.congen.templates");
+  templates_span.reset();
 
   // ---- input pin capacitance (load) constraints ----
   const auto& per_port = opt.input_cap_limits_ff;
@@ -149,25 +245,56 @@ GeneratedProblem generate_problem(const Netlist& nl,
 
   // ---- per-arc slope (reliability) constraints ----
   if (opt.enforce_slopes) {
-    std::vector<netlist::EdgeMap> maps;
-    for (const auto& arc : nl.arcs()) {
-      bool footed = true;
-      if (const auto* dg = nl.comp(arc.comp).as_domino())
-        footed = dg->evaluate_label >= 0;
-      netlist::arc_edge_maps(arc.kind, netlist::Phase::kEvaluate, footed,
-                             maps);
-      // Each distinct output transition gets one slope bound.
-      bool done_rise = false, done_fall = false;
-      for (const auto& em : maps) {
-        if (em.out_rise ? done_rise : done_fall) continue;
-        (em.out_rise ? done_rise : done_fall) = true;
-        const auto arc_posy = models::arc_model_posy(
-            nl, arc, em.out_rise, slope_budget, net_cap(arc.to), gen.labels,
-            lib, tech);
-        gen.static_constraints.push_back(gp::Constraint{
-            arc_posy.out_slope * (1.0 / opt.slope_budget_ps),
-            util::strfmt("slope_%s_%s", nl.net(arc.to).name.c_str(),
-                         em.out_rise ? "r" : "f")});
+    obs::Span slopes_span("core.congen.slopes");
+    // Arcs are independent: each arc's constraints build into its own slot
+    // (reusing the memoized model when a timing path already evaluated the
+    // same transition at the slope budget), then merge in arc order.
+    const auto& arcs = nl.arcs();
+    auto per_arc = par::parallel_map<std::vector<gp::Constraint>>(
+        arcs.size(),
+        [&](size_t ai) {
+          const auto& arc = arcs[ai];
+          std::vector<gp::Constraint> out;
+          static thread_local std::vector<netlist::EdgeMap> maps;
+          bool footed = true;
+          if (const auto* dg = nl.comp(arc.comp).as_domino())
+            footed = dg->evaluate_label >= 0;
+          netlist::arc_edge_maps(arc.kind, netlist::Phase::kEvaluate, footed,
+                                 maps);
+          // Each distinct output transition gets one slope bound.
+          bool done_rise = false, done_fall = false;
+          for (const auto& em : maps) {
+            if (em.out_rise ? done_rise : done_fall) continue;
+            (em.out_rise ? done_rise : done_fall) = true;
+            timing::PathStep step;
+            step.arc = arc;
+            step.out_rise = em.out_rise;
+            const auto it = model_index.find(step_key(
+                step, netlist::Phase::kEvaluate, opt.slope_budget_ps));
+            // Each (arc, transition) maps to a distinct memo index and the
+            // path templates above only read .delay, so the memoized slope
+            // posynomial can be stolen instead of copied (no race: arcs own
+            // disjoint indices).
+            Posynomial out_slope =
+                it != model_index.end()
+                    ? std::move(models_memo[it->second].out_slope)
+                    : models::arc_out_slope_posy(nl, arc, em.out_rise,
+                                                 slope_budget,
+                                                 net_cap(arc.to), gen.labels,
+                                                 lib, tech);
+            out_slope *= 1.0 / opt.slope_budget_ps;
+            std::string tag = "slope_";
+            tag += nl.net(arc.to).name;
+            tag += em.out_rise ? "_r" : "_f";
+            out.push_back(
+                gp::Constraint{std::move(out_slope), std::move(tag)});
+          }
+          return out;
+        },
+        "core.congen.slopes");
+    for (auto& arc_cons : per_arc) {
+      for (auto& c : arc_cons) {
+        gen.static_constraints.push_back(std::move(c));
         ++gen.slope_constraints;
       }
     }

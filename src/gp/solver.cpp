@@ -12,6 +12,7 @@
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/strfmt.h"
+#include "util/vecmath.h"
 
 namespace smart::gp {
 namespace {
@@ -51,24 +52,31 @@ struct Func {
         full_support.push_back(v);
   }
 
-  /// Value only.
-  double value_at(const Vec& y) const {
+  /// Value only; `scratch_z` is a caller-owned buffer reused across calls
+  /// (the per-call vector churn dominated small-problem solve profiles).
+  double value_at(const Vec& y, std::vector<double>& scratch_z) const {
     double value = linear_const;
     for (size_t i = 0; i < linear_vars.size(); ++i)
       value += linear_coef[i] * y[static_cast<size_t>(linear_vars[i])];
     if (terms.empty()) return value;
     double zmax = -std::numeric_limits<double>::infinity();
-    std::vector<double> z(terms.size());
+    scratch_z.resize(terms.size());
     for (size_t k = 0; k < terms.size(); ++k) {
       double zk = terms[k].logc;
       for (const auto& [li, e] : terms[k].factors)
         zk += e * y[static_cast<size_t>(support[static_cast<size_t>(li)])];
-      z[k] = zk;
+      scratch_z[k] = zk;
       zmax = std::max(zmax, zk);
     }
-    double denom = 0.0;
-    for (double zk : z) denom += std::exp(zk - zmax);
+    const double denom =
+        util::sum_exp_shifted(scratch_z.data(), zmax, terms.size());
     return value + zmax + std::log(denom);
+  }
+
+  /// Value only (allocating convenience overload for cold paths).
+  double value_at(const Vec& y) const {
+    std::vector<double> z;
+    return value_at(y, z);
   }
 
   /// Value plus local derivatives. g_local is indexed by full_support
@@ -76,7 +84,8 @@ struct Func {
   /// linear part has none). Buffers are resized here; callers reuse them.
   double eval_local(const Vec& y, std::vector<double>& g_local,
                     std::vector<double>& h_local,
-                    std::vector<double>& scratch_z) const {
+                    std::vector<double>& scratch_z,
+                    std::vector<double>& scratch_g) const {
     g_local.assign(full_support.size(), 0.0);
     double value = linear_const;
     for (size_t i = 0; i < linear_vars.size(); ++i) {
@@ -102,15 +111,13 @@ struct Func {
       scratch_z[k] = zk;
       zmax = std::max(zmax, zk);
     }
-    double denom = 0.0;
-    for (double& zk : scratch_z) {
-      zk = std::exp(zk - zmax);
-      denom += zk;
-    }
+    const double denom = util::exp_shifted(scratch_z.data(), zmax,
+                                           scratch_z.data(), terms.size());
     value += zmax + std::log(denom);
 
     // softmax weights p_k; gradient over support slots [0, sz).
-    std::vector<double> g_lse(sz, 0.0);
+    scratch_g.assign(sz, 0.0);
+    std::vector<double>& g_lse = scratch_g;
     for (size_t k = 0; k < terms.size(); ++k) {
       const double pk = scratch_z[k] / denom;
       for (const auto& [li, e] : terms[k].factors) {
@@ -210,6 +217,7 @@ struct BarrierScratch {
   std::vector<double> g_local;
   std::vector<double> h_local;
   std::vector<double> z;
+  std::vector<double> g_lse;
 };
 
 /// Wall-clock budget for one solve() call (shared across restarts).
@@ -231,13 +239,30 @@ struct Deadline {
   }
 };
 
+/// Hessian assembly target: a dense matrix or a skyline profile. At most
+/// one pointer is set; both unset means "no second derivatives wanted".
+/// The skyline sink drops strict upper-triangle adds (the scatter loops
+/// write both halves of the symmetric matrix; the factorization only ever
+/// reads the lower one, for dense and skyline alike).
+struct HessSink {
+  util::Matrix* dense = nullptr;
+  util::SkylineMatrix* sky = nullptr;
+  explicit operator bool() const { return dense != nullptr || sky != nullptr; }
+  void add(size_t i, size_t j, double v) const {
+    if (dense)
+      (*dense)(i, j) += v;
+    else
+      sky->add(i, j, v);
+  }
+};
+
 /// Evaluates the barrier objective
 ///   phi(y) = t * f0(y) - sum_j log(-F_j(y)) - sum_i log box slacks
 /// Returns +inf when outside the domain. grad/hess optional; local
 /// derivatives are scattered per function, so cost scales with the total
 /// constraint support, not with constraints x n^2.
 double barrier_eval(const BarrierProblem& bp, double t, const Vec& y,
-                    Vec* grad, Matrix* hess, BarrierScratch& scratch) {
+                    Vec* grad, HessSink hess, BarrierScratch& scratch) {
   const size_t n = y.size();
   if (grad) std::fill(grad->begin(), grad->end(), 0.0);
   double phi = 0.0;
@@ -257,36 +282,37 @@ double barrier_eval(const BarrierProblem& bp, double t, const Vec& y,
       for (size_t i = 0; i < sz; ++i) {
         const auto gi = static_cast<size_t>(f.support[i]);
         for (size_t j = 0; j < sz; ++j)
-          (*hess)(gi, static_cast<size_t>(f.support[j])) +=
-              h_scale * scratch.h_local[i * sz + j];
+          hess.add(gi, static_cast<size_t>(f.support[j]),
+                   h_scale * scratch.h_local[i * sz + j]);
       }
       if (outer_scale != 0.0) {
         for (size_t i = 0; i < fs.size(); ++i) {
           const double gi = scratch.g_local[i];
           if (gi == 0.0) continue;
           for (size_t j = 0; j < fs.size(); ++j)
-            (*hess)(static_cast<size_t>(fs[i]),
-                    static_cast<size_t>(fs[j])) +=
-                outer_scale * gi * scratch.g_local[j];
+            hess.add(static_cast<size_t>(fs[i]), static_cast<size_t>(fs[j]),
+                     outer_scale * gi * scratch.g_local[j]);
         }
       }
     }
   };
 
-  const bool derivs = grad != nullptr || hess != nullptr;
+  const bool derivs = grad != nullptr || static_cast<bool>(hess);
   {
     const double f0 =
         derivs ? bp.objective->eval_local(y, scratch.g_local,
-                                          scratch.h_local, scratch.z)
-               : bp.objective->value_at(y);
+                                          scratch.h_local, scratch.z,
+                                          scratch.g_lse)
+               : bp.objective->value_at(y, scratch.z);
     phi += t * f0;
     if (derivs) scatter(*bp.objective, t, t, 0.0);
   }
 
   for (const auto& fj : *bp.constraints) {
     const double v =
-        derivs ? fj.eval_local(y, scratch.g_local, scratch.h_local, scratch.z)
-               : fj.value_at(y);
+        derivs ? fj.eval_local(y, scratch.g_local, scratch.h_local,
+                               scratch.z, scratch.g_lse)
+               : fj.value_at(y, scratch.z);
     const double u = -v;  // slack, must stay positive
     if (u <= 0.0 || !std::isfinite(u))
       return std::numeric_limits<double>::infinity();
@@ -301,7 +327,7 @@ double barrier_eval(const BarrierProblem& bp, double t, const Vec& y,
     if (a <= 0.0 || b <= 0.0) return std::numeric_limits<double>::infinity();
     phi += -std::log(a) - std::log(b);
     if (grad) (*grad)[i] += -1.0 / a + 1.0 / b;
-    if (hess) (*hess)(i, i) += 1.0 / (a * a) + 1.0 / (b * b);
+    if (hess) hess.add(i, i, 1.0 / (a * a) + 1.0 / (b * b));
   }
   return phi;
 }
@@ -334,13 +360,56 @@ NewtonOutcome newton_minimize(const BarrierProblem& bp, double t, Vec& y,
   }
   Vec grad(n, 0.0);
   BarrierScratch scratch;
+
+  // KKT backend selection, once per minimization: the Hessian's sparsity
+  // profile is the union of per-function support cliques (each function
+  // couples only its own variables) plus the box diagonal, so row i of the
+  // lower triangle can start no earlier than the smallest variable that
+  // shares a function with i. When that envelope is sparse enough, assemble
+  // and factorize in skyline form; otherwise fall back to the dense path.
+  std::vector<size_t> first(n);
+  for (size_t i = 0; i < n; ++i) first[i] = i;
+  auto widen = [&](const Func& f) {
+    if (f.full_support.empty()) return;
+    int mn = f.full_support[0];
+    for (const int v : f.full_support) mn = std::min(mn, v);
+    for (const int v : f.full_support)
+      first[static_cast<size_t>(v)] =
+          std::min(first[static_cast<size_t>(v)], static_cast<size_t>(mn));
+  };
+  widen(*bp.objective);
+  for (const auto& f : *bp.constraints) widen(f);
+  size_t profile = 0;
+  for (size_t i = 0; i < n; ++i) profile += i - first[i] + 1;
+  const size_t dense_lower = n * (n + 1) / 2;
+  const bool use_skyline =
+      !opt.force_dense_kkt &&
+      n >= static_cast<size_t>(opt.sparse_min_vars) &&
+      static_cast<double>(profile) <=
+          opt.sparse_max_fill * static_cast<double>(dense_lower);
+
+  // Assembly buffers live across iterations; only the values are cleared.
+  util::SkylineMatrix sky;
+  Matrix hess;
+  if (use_skyline)
+    sky = util::SkylineMatrix(std::move(first));
+  else
+    hess = Matrix(n, n, 0.0);
+
   for (int it = 0; it < opt.max_newton_iters; ++it) {
     if (deadline.expired()) {
       out.failure = NewtonFailure::kTimeout;
       return out;
     }
-    Matrix hess(n, n, 0.0);
-    double phi = barrier_eval(bp, t, y, &grad, &hess, scratch);
+    HessSink sink;
+    if (use_skyline) {
+      sky.clear_values();
+      sink.sky = &sky;
+    } else {
+      hess.fill(0.0);
+      sink.dense = &hess;
+    }
+    double phi = barrier_eval(bp, t, y, &grad, sink, scratch);
     phi = util::fault_corrupt(util::FaultClass::kSolverNonFinite,
                               "gp.newton.phi", phi);
     if (!std::isfinite(phi)) {
@@ -349,10 +418,12 @@ NewtonOutcome newton_minimize(const BarrierProblem& bp, double t, Vec& y,
     }
     // Levenberg-style floor keeps the system solvable when the Hessian is
     // nearly singular (e.g. slack variables far from activity).
-    for (size_t i = 0; i < n; ++i) hess(i, i) += 1e-12;
+    for (size_t i = 0; i < n; ++i) sink.add(i, i, 1e-12);
     Vec step;
     try {
-      step = util::cholesky_solve(hess, util::scaled(grad, -1.0));
+      step = use_skyline
+                 ? util::skyline_cholesky_solve(sky, util::scaled(grad, -1.0))
+                 : util::cholesky_solve(hess, util::scaled(grad, -1.0));
     } catch (const util::Error&) {
       out.failure = NewtonFailure::kNonFinite;
       return out;
@@ -374,7 +445,7 @@ NewtonOutcome newton_minimize(const BarrierProblem& bp, double t, Vec& y,
       Vec trial = y;
       util::axpy(alpha, step, trial);
       const double phi_trial =
-          barrier_eval(bp, t, trial, nullptr, nullptr, scratch);
+          barrier_eval(bp, t, trial, nullptr, HessSink{}, scratch);
       if (std::isfinite(phi_trial) &&
           phi_trial <= phi - 1e-4 * alpha * decrement2) {
         y = std::move(trial);

@@ -45,6 +45,16 @@ struct SolverOptions {
   int restarts = 1;
   /// Seed of the deterministic restart perturbations.
   uint64_t restart_seed = 0x5eed5eedULL;
+
+  /// Newton KKT backend. The Hessian of the barrier is a union of
+  /// per-function support cliques plus the box diagonal; when its skyline
+  /// profile is at most `sparse_max_fill` of the dense lower triangle and
+  /// the problem has at least `sparse_min_vars` variables, the Newton
+  /// systems assemble and factorize in skyline form (util::SkylineMatrix).
+  /// `force_dense_kkt` pins the dense path regardless.
+  int sparse_min_vars = 48;
+  double sparse_max_fill = 0.5;
+  bool force_dense_kkt = false;
 };
 
 enum class SolveStatus {

@@ -1,5 +1,8 @@
 #include "models/arc_model.h"
 
+#include <algorithm>
+
+#include "par/par.h"
 #include "util/check.h"
 #include "util/fault.h"
 #include "util/strfmt.h"
@@ -87,6 +90,81 @@ Posynomial net_cap_posy(const Netlist& nl, NetId n, const LabelVarMap& labels,
   return cap;
 }
 
+std::vector<Posynomial> net_cap_posy_all(const Netlist& nl,
+                                         const LabelVarMap& labels,
+                                         const tech::Tech& tech) {
+  const size_t n_nets = nl.net_count();
+  // Scatter pass: for each component (ascending, gate refs before diffusion
+  // refs — the same visit order net_cap_posy uses within one net), append
+  // its width refs to the nets it actually touches.
+  struct CapRef {
+    netlist::WidthRef ref;
+    double per_um;
+  };
+  std::vector<std::vector<CapRef>> refs(n_nets);
+  std::vector<NetId> gate_nets, diff_nets;
+  std::vector<std::pair<NetId, LabelId>> leaves;
+  auto push_unique = [](std::vector<NetId>& v, NetId n) {
+    if (n >= 0 && std::find(v.begin(), v.end(), n) == v.end())
+      v.push_back(n);
+  };
+  for (size_t c = 0; c < nl.comp_count(); ++c) {
+    const auto id = static_cast<netlist::CompId>(c);
+    const Component& comp = nl.comp(id);
+    gate_nets.clear();
+    diff_nets.clear();
+    if (const auto* g = comp.as_static()) {
+      leaves.clear();
+      g->pulldown.collect_leaves(leaves);
+      for (const auto& [in, label] : leaves) push_unique(gate_nets, in);
+      push_unique(diff_nets, comp.out);
+    } else if (const auto* t = comp.as_transgate()) {
+      push_unique(gate_nets, t->sel);
+      push_unique(diff_nets, comp.out);
+      push_unique(diff_nets, t->data);
+    } else if (const auto* t3 = comp.as_tristate()) {
+      push_unique(gate_nets, t3->data);
+      push_unique(gate_nets, t3->en);
+      push_unique(diff_nets, comp.out);
+    } else if (const auto* d = comp.as_domino()) {
+      leaves.clear();
+      d->pulldown.collect_leaves(leaves);
+      for (const auto& [in, label] : leaves) push_unique(gate_nets, in);
+      push_unique(gate_nets, d->clk);
+      push_unique(diff_nets, comp.out);
+    }
+    for (const NetId n : gate_nets)
+      for (const auto& r : nl.gate_width_on_net(id, n))
+        refs[static_cast<size_t>(n)].push_back(CapRef{r, tech.c_gate});
+    for (const NetId n : diff_nets)
+      for (const auto& r : nl.diffusion_width_on_net(id, n))
+        refs[static_cast<size_t>(n)].push_back(CapRef{r, tech.c_diff});
+  }
+  std::vector<Posynomial> caps(n_nets);
+  par::parallel_for(
+      n_nets,
+      [&](size_t begin, size_t end) {
+        for (size_t n = begin; n < end; ++n) {
+          Posynomial cap;
+          for (const auto& [r, per_um] : refs[n]) {
+            Monomial m = labels.at(static_cast<size_t>(r.label));
+            m *= r.scale * per_um;
+            cap += m;
+          }
+          const auto net = static_cast<NetId>(n);
+          double fixed = tech.c_wire + nl.net(net).extra_wire_ff +
+                         tech.c_wire_per_fanout *
+                             static_cast<double>(nl.arcs_from(net).size());
+          for (const auto& port : nl.outputs())
+            if (port.net == net) fixed += port.load_ff;
+          cap += Monomial(fixed);
+          caps[n] = std::move(cap);
+        }
+      },
+      "models.net_caps", 32);
+  return caps;
+}
+
 namespace {
 
 /// Builds RCsum = sum_j (r_j / W_j) * C_out + internal stack-node terms for
@@ -96,21 +174,19 @@ Posynomial path_rc_posy(
     const std::vector<std::pair<double, Monomial>>& path_from_out,
     const Posynomial& c_out, const tech::Tech& tech) {
   SMART_CHECK(!path_from_out.empty(), "empty RC path");
-  Posynomial rc;
   // R_total * C_out
   Posynomial r_total;
   for (const auto& [r, w] : path_from_out)
     r_total += w.inverse() * r;
-  rc += r_total * c_out;
+  Posynomial rc = r_total * c_out;
   // Internal node between devices k and k+1: cap c_diff*(W_k + W_{k+1}),
   // resistance to supply = sum of device resistances below the node.
   for (size_t k = 0; k + 1 < path_from_out.size(); ++k) {
     Posynomial r_below;
     for (size_t j = k + 1; j < path_from_out.size(); ++j)
       r_below += path_from_out[j].second.inverse() * path_from_out[j].first;
-    Posynomial c_node =
-        Posynomial(path_from_out[k].second * tech.c_diff) +
-        Posynomial(path_from_out[k + 1].second * tech.c_diff);
+    Posynomial c_node(path_from_out[k].second * tech.c_diff);
+    c_node += path_from_out[k + 1].second * tech.c_diff;
     rc += r_below * c_node;
   }
   return rc;
@@ -124,14 +200,21 @@ Posynomial arc_rc_posy(const Netlist& nl, const Arc& arc, bool out_rising,
   const Component& comp = nl.comp(arc.comp);
   auto width = [&](LabelId l) { return labels.at(static_cast<size_t>(l)); };
 
+  // Reused per-thread scratch: arc models are evaluated for every arc
+  // transition of the netlist, and the per-call vector churn showed up in
+  // constraint-generation profiles.
+  static thread_local std::vector<std::pair<NetId, LabelId>> path;
+  static thread_local std::vector<std::pair<double, Monomial>> rw;
+  path.clear();
+  rw.clear();
+
   if (const auto* g = comp.as_static()) {
-    std::vector<std::pair<NetId, LabelId>> path;
-    std::vector<std::pair<double, Monomial>> rw;
     if (out_rising) {
-      const bool found = g->pulldown.dual().worst_path_through(arc.from, path);
-      SMART_CHECK(found, "static arc input not in pull-up network");
-      for (size_t k = 0; k < path.size(); ++k)
-        rw.emplace_back(tech.r_pmos, width(g->pmos_label));
+      // Every pull-up device shares one resistance and label, so only the
+      // worst dual-path length matters — computed without copying the tree.
+      const int len = g->pulldown.dual_worst_len_through(arc.from);
+      SMART_CHECK(len >= 0, "static arc input not in pull-up network");
+      rw.assign(static_cast<size_t>(len), {tech.r_pmos, width(g->pmos_label)});
     } else {
       const bool found = g->pulldown.worst_path_through(arc.from, path);
       SMART_CHECK(found, "static arc input not in pull-down network");
@@ -170,14 +253,12 @@ Posynomial arc_rc_posy(const Netlist& nl, const Arc& arc, bool out_rising,
                         tech);
   }
 
-  std::vector<std::pair<NetId, LabelId>> path;
   if (arc.kind == ArcKind::kDominoClkEval) {
     path = d->pulldown.worst_path();
   } else {
     const bool found = d->pulldown.worst_path_through(arc.from, path);
     SMART_CHECK(found, "domino arc input not in pull-down network");
   }
-  std::vector<std::pair<double, Monomial>> rw;
   for (const auto& [net, label] : path)
     rw.emplace_back(tech.r_nmos, width(label));
   if (d->evaluate_label >= 0)
@@ -200,15 +281,41 @@ ArcPosy arc_model_posy(const Netlist& nl, const Arc& arc, bool out_rising,
   const Posynomial rc =
       arc_rc_posy(nl, arc, out_rising, c_out, labels, tech, phase);
   ArcPosy out;
-  Posynomial slope_term;
+  out.delay = Posynomial(m.a_int);
+  out.delay.add_scaled(rc, m.a_rc);
   if (m.saturating_slope && in_slope.is_constant()) {
-    slope_term = Posynomial(
+    out.delay += Posynomial(
         m.a_slope * tech.saturate_slope(in_slope.constant_value()));
   } else {
-    slope_term = in_slope * m.a_slope;
+    out.delay.add_scaled(in_slope, m.a_slope);
   }
-  out.delay = Posynomial(m.a_int) + rc * m.a_rc + slope_term;
-  out.out_slope = Posynomial(m.b_int) + rc * m.b_rc + in_slope * m.b_slope;
+  out.out_slope = Posynomial(m.b_int);
+  out.out_slope.add_scaled(rc, m.b_rc);
+  out.out_slope.add_scaled(in_slope, m.b_slope);
+  return out;
+}
+
+Posynomial arc_out_slope_posy(const Netlist& nl, const Arc& arc,
+                              bool out_rising, const Posynomial& in_slope,
+                              const Posynomial& c_out,
+                              const LabelVarMap& labels,
+                              const ModelLibrary& lib, const tech::Tech& tech,
+                              netlist::Phase phase) {
+  ModelCoeffs m = lib.coeffs(classify_arc(nl, arc, phase));
+  // Same fault sites as arc_model_posy so chaos-test hit/fire sequences are
+  // unchanged; the delay coefficients feed the same validity guards the
+  // delay composition would apply, then go unused.
+  m.a_rc = util::fault_corrupt(util::FaultClass::kModelCoeffPerturb,
+                               "model.coeff.a_rc", m.a_rc);
+  m.a_int = util::fault_corrupt(util::FaultClass::kModelNonFinite,
+                                "model.coeff.a_int", m.a_int);
+  SMART_CHECK(m.a_int >= 0.0, "posynomial constant must be non-negative");
+  SMART_CHECK(m.a_rc >= 0.0, "posynomial scaling must be non-negative");
+  const Posynomial rc =
+      arc_rc_posy(nl, arc, out_rising, c_out, labels, tech, phase);
+  Posynomial out(m.b_int);
+  out.add_scaled(rc, m.b_rc);
+  out.add_scaled(in_slope, m.b_slope);
   return out;
 }
 

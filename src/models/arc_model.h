@@ -87,6 +87,15 @@ posy::Posynomial net_cap_posy(const netlist::Netlist& nl, netlist::NetId n,
                               const LabelVarMap& labels,
                               const tech::Tech& tech);
 
+/// Capacitance posynomials of every net at once, bit-identical to calling
+/// net_cap_posy per net. One scatter pass over the components collects each
+/// net's width refs (instead of every net scanning every component), then
+/// the per-net posynomials build in parallel — O(total pins) rather than
+/// O(nets * components).
+std::vector<posy::Posynomial> net_cap_posy_all(const netlist::Netlist& nl,
+                                               const LabelVarMap& labels,
+                                               const tech::Tech& tech);
+
 /// The Elmore RC sum of an arc as a posynomial (kOhm * fF = ps units):
 /// R_path * C_out + internal stack-node terms. `c_out` is the destination
 /// net capacitance (posynomial, typically from net_cap_posy). In the
@@ -114,5 +123,17 @@ ArcPosy arc_model_posy(const netlist::Netlist& nl, const netlist::Arc& arc,
                        const LabelVarMap& labels, const ModelLibrary& lib,
                        const tech::Tech& tech,
                        netlist::Phase phase = netlist::Phase::kEvaluate);
+
+/// Output-slope posynomial only, bit-identical to arc_model_posy(...)
+/// .out_slope but without composing the delay model. The slope-constraint
+/// generator evaluates every arc transition and discards the delay, so
+/// skipping the delay composition roughly halves its model cost. The
+/// fault-injection sites and coefficient guards of the full build are kept
+/// so chaos-test firing sequences and failure behavior are unchanged.
+posy::Posynomial arc_out_slope_posy(
+    const netlist::Netlist& nl, const netlist::Arc& arc, bool out_rising,
+    const posy::Posynomial& in_slope, const posy::Posynomial& c_out,
+    const LabelVarMap& labels, const ModelLibrary& lib,
+    const tech::Tech& tech, netlist::Phase phase = netlist::Phase::kEvaluate);
 
 }  // namespace smart::models

@@ -65,21 +65,20 @@ bool Stack::worst_path_through(
       return false;
     case Op::kSeries: {
       // The target must be found in exactly one child; the others contribute
-      // their own worst (deepest) sub-path since all are in series.
+      // their own worst (deepest) sub-path since all are in series. The
+      // containment pre-test lets every segment append straight into `path`
+      // (in child order) without speculative sub-path vectors.
       size_t found_at = children_.size();
-      std::vector<std::pair<NetId, LabelId>> found_path;
       for (size_t i = 0; i < children_.size(); ++i) {
-        std::vector<std::pair<NetId, LabelId>> sub;
-        if (children_[i].worst_path_through(through_input, sub)) {
+        if (children_[i].contains_input(through_input)) {
           found_at = i;
-          found_path = std::move(sub);
           break;
         }
       }
       if (found_at == children_.size()) return false;
       for (size_t i = 0; i < children_.size(); ++i) {
         if (i == found_at) {
-          path.insert(path.end(), found_path.begin(), found_path.end());
+          children_[i].worst_path_through(through_input, path);
         } else {
           children_[i].append_worst_path(path);
         }
@@ -113,6 +112,67 @@ void Stack::append_worst_path(
       return;
     }
   }
+}
+
+bool Stack::contains_input(NetId through_input) const {
+  if (op_ == Op::kLeaf) return input_ == through_input;
+  for (const auto& c : children_)
+    if (c.contains_input(through_input)) return true;
+  return false;
+}
+
+int Stack::dual_max_depth() const {
+  switch (op_) {
+    case Op::kLeaf:
+      return 1;
+    case Op::kSeries: {
+      // Dual is parallel: depth is the deepest dual child.
+      int d = 0;
+      for (const auto& c : children_) d = std::max(d, c.dual_max_depth());
+      return d;
+    }
+    case Op::kParallel: {
+      // Dual is series: depths add.
+      int d = 0;
+      for (const auto& c : children_) d += c.dual_max_depth();
+      return d;
+    }
+  }
+  return 0;
+}
+
+int Stack::dual_worst_len_through(NetId through_input) const {
+  switch (op_) {
+    case Op::kLeaf:
+      return input_ == through_input ? 1 : -1;
+    case Op::kSeries: {
+      // Dual is parallel: worst_path_through takes the first child that
+      // contains the input (dual() preserves child order).
+      for (const auto& c : children_) {
+        const int r = c.dual_worst_len_through(through_input);
+        if (r >= 0) return r;
+      }
+      return -1;
+    }
+    case Op::kParallel: {
+      // Dual is series: the first child containing the input contributes
+      // its through-path, every other child its own worst (deepest) path.
+      int through = -1;
+      int rest = 0;
+      for (const auto& c : children_) {
+        if (through < 0) {
+          const int r = c.dual_worst_len_through(through_input);
+          if (r >= 0) {
+            through = r;
+            continue;
+          }
+        }
+        rest += c.dual_max_depth();
+      }
+      return through < 0 ? -1 : through + rest;
+    }
+  }
+  return -1;
 }
 
 Stack Stack::dual() const {

@@ -72,6 +72,20 @@ class Stack {
   /// Returns the structural dual (series <-> parallel) with the same leaves.
   Stack dual() const;
 
+  /// True when some leaf of this network is gated by `through_input`.
+  bool contains_input(NetId through_input) const;
+
+  /// max_depth() of dual(), computed on this tree without building the dual.
+  int dual_max_depth() const;
+
+  /// Length of the path dual().worst_path_through(through_input) would
+  /// return, without materializing the dual tree or the path; -1 when
+  /// `through_input` does not appear in this network. The pull-up RC model
+  /// only needs the device count of that path (every pull-up device shares
+  /// one resistance and size label), and the dual() deep copy per arc
+  /// evaluation dominated constraint-generation profiles.
+  int dual_worst_len_through(NetId through_input) const;
+
   /// Leaves on the deepest series path (worst-case resistance path).
   std::vector<std::pair<NetId, LabelId>> worst_path() const {
     std::vector<std::pair<NetId, LabelId>> out;

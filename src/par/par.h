@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file par.h
+/// Deterministic data parallelism for the sizing pipeline.
+///
+/// A process-wide pool of persistent workers executes index ranges with
+/// *static* chunk boundaries and index-ordered result placement, so output
+/// is bit-identical to the sequential loop at any thread count: every index
+/// writes to its own slot, chunk boundaries depend only on (n, thread
+/// count), and merging is by index, never by completion order. The worker
+/// count comes from `SMART_THREADS` (env) at first use, or
+/// `set_thread_count` (the CLI's `--threads` flag); the default is the
+/// hardware concurrency.
+///
+/// Scheduling is caller-helps: the thread that calls `parallel_for`
+/// executes chunks alongside the pool, so the pool never deadlocks when a
+/// chunk body itself calls `parallel_for` (nested calls run inline on the
+/// calling thread). Workers are persistent across calls, which keeps their
+/// obs tids stable; each executed chunk records an obs span tagged with the
+/// chunk index and range.
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace smart::par {
+
+/// Configured worker count (>= 1). First call reads SMART_THREADS.
+int thread_count();
+
+/// Rebuilds the pool with `n` workers (clamped to >= 1). Must not be called
+/// while any parallel_for is in flight; intended for CLI startup and tests.
+void set_thread_count(int n);
+
+/// Runs `body(begin, end)` over static chunks of [0, n). Blocks until every
+/// chunk has finished. The first exception (by lowest chunk index) thrown
+/// by any chunk is rethrown on the calling thread after the batch drains.
+/// `tag` names the per-chunk obs spans; `min_grain` is the smallest chunk
+/// size worth dispatching (ranges below it run inline).
+void parallel_for(size_t n, const std::function<void(size_t, size_t)>& body,
+                  const char* tag = "par.for", size_t min_grain = 1);
+
+/// Maps `fn(i)` over [0, n) into an index-ordered vector. T must be default
+/// constructible; slot i is written only by the chunk owning index i, so
+/// the result is identical to the sequential loop at any thread count.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(size_t n, Fn&& fn, const char* tag = "par.map",
+                            size_t min_grain = 1) {
+  std::vector<T> out(n);
+  parallel_for(
+      n,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) out[i] = fn(i);
+      },
+      tag, min_grain);
+  return out;
+}
+
+}  // namespace smart::par

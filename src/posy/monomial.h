@@ -4,8 +4,9 @@
 /// Monomial c * prod_i x_i^{a_i} with c > 0 and real exponents — the atom of
 /// geometric programming (paper §5: posynomial component models).
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
-#include <vector>
 
 #include "posy/variable.h"
 #include "util/linalg.h"
@@ -18,6 +19,116 @@ struct ExpFactor {
   double exp = 0.0;
 
   friend bool operator==(const ExpFactor&, const ExpFactor&) = default;
+};
+
+/// Factor storage with inline capacity for the common short monomial
+/// (delay/cap terms have 1-4 factors); heap allocation only beyond that.
+/// Monomials are copied constantly during posynomial arithmetic, and the
+/// per-copy heap round-trip of std::vector dominated constraint-generation
+/// profiles.
+class FactorVec {
+ public:
+  using value_type = ExpFactor;
+  using iterator = ExpFactor*;
+  using const_iterator = const ExpFactor*;
+
+  FactorVec() = default;
+  FactorVec(const FactorVec& o) { assign(o); }
+  FactorVec(FactorVec&& o) noexcept { steal(o); }
+  FactorVec& operator=(const FactorVec& o) {
+    if (this != &o) {
+      clear_storage();
+      assign(o);
+    }
+    return *this;
+  }
+  FactorVec& operator=(FactorVec&& o) noexcept {
+    if (this != &o) {
+      clear_storage();
+      steal(o);
+    }
+    return *this;
+  }
+  ~FactorVec() { delete[] heap_; }
+
+  ExpFactor* begin() { return data(); }
+  ExpFactor* end() { return data() + size_; }
+  const ExpFactor* begin() const { return data(); }
+  const ExpFactor* end() const { return data() + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  ExpFactor& operator[](size_t i) { return data()[i]; }
+  const ExpFactor& operator[](size_t i) const { return data()[i]; }
+
+  void insert(ExpFactor* pos, const ExpFactor& f) {
+    const size_t idx = static_cast<size_t>(pos - data());
+    if (size_ == cap_) grow(cap_ * 2);
+    ExpFactor* d = data();
+    for (size_t k = size_; k > idx; --k) d[k] = d[k - 1];
+    d[idx] = f;
+    ++size_;
+  }
+  void erase(ExpFactor* pos) {
+    ExpFactor* d = data();
+    for (size_t k = static_cast<size_t>(pos - d); k + 1 < size_; ++k)
+      d[k] = d[k + 1];
+    --size_;
+  }
+
+  friend bool operator==(const FactorVec& a, const FactorVec& b) {
+    if (a.size_ != b.size_) return false;
+    const ExpFactor* pa = a.data();
+    const ExpFactor* pb = b.data();
+    for (size_t k = 0; k < a.size_; ++k)
+      if (!(pa[k] == pb[k])) return false;
+    return true;
+  }
+
+ private:
+  static constexpr uint32_t kInline = 4;
+
+  ExpFactor* data() { return heap_ ? heap_ : inline_; }
+  const ExpFactor* data() const { return heap_ ? heap_ : inline_; }
+
+  void assign(const FactorVec& o) {
+    size_ = o.size_;
+    if (size_ > kInline) {
+      cap_ = size_;
+      heap_ = new ExpFactor[cap_];
+    }
+    const ExpFactor* s = o.data();
+    ExpFactor* d = data();
+    for (size_t k = 0; k < size_; ++k) d[k] = s[k];
+  }
+  void steal(FactorVec& o) {
+    size_ = o.size_;
+    cap_ = o.cap_;
+    heap_ = o.heap_;
+    if (!heap_)
+      for (size_t k = 0; k < size_; ++k) inline_[k] = o.inline_[k];
+    o.heap_ = nullptr;
+    o.size_ = 0;
+    o.cap_ = kInline;
+  }
+  void clear_storage() {
+    delete[] heap_;
+    heap_ = nullptr;
+    size_ = 0;
+    cap_ = kInline;
+  }
+  void grow(uint32_t want) {
+    auto* bigger = new ExpFactor[want];
+    const ExpFactor* d = data();
+    for (size_t k = 0; k < size_; ++k) bigger[k] = d[k];
+    delete[] heap_;
+    heap_ = bigger;
+    cap_ = want;
+  }
+
+  uint32_t size_ = 0;
+  uint32_t cap_ = kInline;
+  ExpFactor* heap_ = nullptr;
+  ExpFactor inline_[kInline];
 };
 
 /// Monomial with positive coefficient. Exponent factors are kept sorted by
@@ -37,7 +148,7 @@ class Monomial {
 
   double coeff() const { return coeff_; }
   void set_coeff(double c) { coeff_ = c; }
-  const std::vector<ExpFactor>& factors() const { return factors_; }
+  const FactorVec& factors() const { return factors_; }
 
   bool is_constant() const { return factors_.empty(); }
   /// True when the variable part matches (coefficients may differ).
@@ -83,7 +194,7 @@ class Monomial {
 
  private:
   double coeff_ = 1.0;
-  std::vector<ExpFactor> factors_;
+  FactorVec factors_;
 };
 
 }  // namespace smart::posy

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "util/check.h"
@@ -57,6 +58,17 @@ Posynomial& Posynomial::operator+=(const Monomial& m) {
   return *this;
 }
 
+Posynomial& Posynomial::add_scaled(const Posynomial& rhs, double s) {
+  SMART_CHECK(s >= 0.0, "posynomial scaling must be non-negative");
+  if (s == 0.0) return *this;
+  for (const auto& t : rhs.terms_) {
+    Monomial m = t;
+    m *= s;
+    add_term(m);
+  }
+  return *this;
+}
+
 Posynomial& Posynomial::operator*=(const Monomial& m) {
   if (m.coeff() == 0.0) {
     terms_.clear();
@@ -104,6 +116,75 @@ double Posynomial::eval_log(const util::Vec& y) const {
   double acc = 0.0;
   for (double zk : z) acc += std::exp(zk - zmax);
   return zmax + std::log(acc);
+}
+
+namespace {
+
+uint64_t factor_hash(const Monomial& m) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto& f : m.factors()) {
+    uint64_t v = static_cast<uint64_t>(f.var);
+    uint64_t e;
+    static_assert(sizeof(e) == sizeof(f.exp));
+    std::memcpy(&e, &f.exp, sizeof(e));
+    v = (v ^ (e * 0xff51afd7ed558ccdULL)) * 0xc4ceb9fe1a85ec53ULL;
+    v ^= v >> 33;
+    h = (h ^ v) * 0x2545f4914f6cdd1dULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+}  // namespace
+
+void PosyAccum::add(const Monomial& m) {
+  SMART_CHECK(m.coeff() >= 0.0, "posynomial terms need non-negative coeffs");
+  if (m.coeff() == 0.0) return;
+  if ((terms_.size() + 1) * 2 > slots_.size()) grow();
+  const uint64_t h = factor_hash(m);
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(h) & mask;
+  for (;;) {
+    const uint32_t slot = slots_[i];
+    if (slot == 0) {
+      slots_[i] = static_cast<uint32_t>(terms_.size()) + 1;
+      hashes_.push_back(h);
+      terms_.push_back(m);
+      return;
+    }
+    Monomial& t = terms_[slot - 1];
+    if (hashes_[slot - 1] == h && t.same_variables(m)) {
+      t.set_coeff(t.coeff() + m.coeff());
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void PosyAccum::grow() {
+  const size_t want = slots_.empty() ? 64 : slots_.size() * 2;
+  slots_.assign(want, 0);
+  const size_t mask = want - 1;
+  for (size_t k = 0; k < terms_.size(); ++k) {
+    size_t i = static_cast<size_t>(hashes_[k]) & mask;
+    while (slots_[i] != 0) i = (i + 1) & mask;
+    slots_[i] = static_cast<uint32_t>(k) + 1;
+  }
+}
+
+Posynomial PosyAccum::snapshot() const {
+  Posynomial p;
+  p.terms_ = terms_;
+  return p;
+}
+
+Posynomial PosyAccum::take() {
+  Posynomial p;
+  p.terms_ = std::move(terms_);
+  terms_.clear();
+  hashes_.clear();
+  slots_.clear();
+  return p;
 }
 
 std::string Posynomial::to_string(const VarTable& vars) const {

@@ -43,6 +43,9 @@ class Posynomial {
 
   Posynomial& operator+=(const Posynomial& rhs);
   Posynomial& operator+=(const Monomial& m);
+  /// Adds s-scaled copies of rhs's terms: identical to `*this += rhs * s`
+  /// without materializing the intermediate posynomial.
+  Posynomial& add_scaled(const Posynomial& rhs, double s);
   Posynomial& operator+=(double c) { return *this += Monomial(c); }
   Posynomial& operator*=(const Monomial& m);
   Posynomial& operator*=(double s);
@@ -84,9 +87,45 @@ class Posynomial {
   std::string to_string(const VarTable& vars) const;
 
  private:
+  friend class PosyAccum;
+
   void add_term(const Monomial& m);
 
   std::vector<Monomial> terms_;
+};
+
+/// Hash-indexed monomial accumulator. Produces exactly the posynomial the
+/// naive `p += term` sequence would — same term order (first appearance),
+/// same per-term coefficient addition order, hence bit-identical doubles —
+/// but each add is O(1) amortized instead of a linear scan over all terms.
+/// Use it when summing many posynomials (path delay totals, cost
+/// objectives); the quadratic merge in Posynomial::add_term is fine for the
+/// small per-arc models but dominates at constraint-generation scale.
+class PosyAccum {
+ public:
+  PosyAccum() = default;
+
+  void add(const Monomial& m);
+  void add(const Posynomial& p) {
+    for (const auto& t : p.terms()) add(t);
+  }
+  void add(double c) { add(Monomial(c)); }
+
+  size_t num_terms() const { return terms_.size(); }
+
+  /// The accumulated posynomial so far (copy; accumulation continues).
+  Posynomial snapshot() const;
+
+  /// Moves the accumulated posynomial out and resets the accumulator.
+  Posynomial take();
+
+ private:
+  void grow();
+
+  std::vector<Monomial> terms_;
+  /// Open-addressing probe table of term indices (+1; 0 = empty).
+  std::vector<uint32_t> slots_;
+  std::vector<uint64_t> hashes_;  ///< factor hash per term, for probing
 };
 
 }  // namespace smart::posy

@@ -1,11 +1,14 @@
 #include "timing/paths.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <unordered_map>
 
 #include "obs/obs.h"
+#include "par/par.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/strfmt.h"
@@ -23,15 +26,20 @@ using netlist::Stack;
 
 namespace {
 
-// ---- FNV-1a hashing over small integer streams ----
+// ---- 64-bit mixing over small integer streams ----
+// Only digest equality is ever consulted (class dedup, prune buckets), so
+// the mixers just need good avalanche; murmur-style finalization per word
+// replaces the original byte-at-a-time FNV loop on the extraction hot path.
 
 struct Hash {
-  uint64_t h = 1469598103934665603ULL;
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
   void mix(uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xff;
-      h *= 1099511628211ULL;
-    }
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    v *= 0xc4ceb9fe1a85ec53ULL;
+    v ^= v >> 33;
+    h = (h ^ v) * 0x2545f4914f6cdd1dULL;
+    h ^= h >> 29;
   }
   void mix_double(double d) {
     uint64_t bits;
@@ -39,6 +47,15 @@ struct Hash {
     mix(bits);
   }
 };
+
+/// Non-commutative combine of two already-mixed digests; the workhorse of
+/// suffix-chain hashing (called once per stored signature per class).
+inline uint64_t mix2(uint64_t x, uint64_t y) {
+  uint64_t v = x ^ (y + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2));
+  v *= 0xff51afd7ed558ccdULL;
+  v ^= v >> 33;
+  return v;
+}
 
 void hash_stack(const Stack& s, Hash& h) {
   h.mix(static_cast<uint64_t>(s.op()) + 101);
@@ -142,24 +159,97 @@ struct StepSigs {
   uint64_t coarse;    ///< neither depth nor fanout
 };
 
-/// A suffix equivalence class from some (net, edge) to an output port.
+/// The chain-level signatures kept per suffix class. `no_fan` is omitted:
+/// it is only consulted when precedence pruning is disabled, and is then
+/// recomputed by walking the (short) chains of the surviving candidates
+/// instead of being hashed into every one of the ~100k stored classes.
+struct ChainSigs {
+  uint64_t reg;
+  uint64_t no_depth;
+  uint64_t coarse;
+};
+
+/// A suffix equivalence class from some (net, edge) node toward the output
+/// ports. Classes chain: one step plus a reference to a class of the step's
+/// destination node, so creating a class is O(1) regardless of suffix
+/// length — full step vectors are materialized only for the paths that
+/// survive every pruning stage.
 struct Suffix {
-  StepSigs sigs;  // combined over all steps
-  std::vector<PathStep> steps;
+  ChainSigs sigs;  // combined over all steps
+  PathStep step;   // first step of the chain (unset for the terminal class)
+  uint32_t child_node = 0;   ///< (net, edge) key of the rest of the suffix
+  int32_t child_index = -1;  ///< class index at child_node; -1 => terminal
+  int32_t len = 0;           ///< number of steps in the chain
   long sum_depth = 0;
   long sum_fanout = 0;
 };
 
-StepSigs combine(const StepSigs& a, const StepSigs& b) {
-  auto mix2 = [](uint64_t x, uint64_t y) {
-    Hash h;
-    h.mix(x);
-    h.mix(y);
-    return h.h;
-  };
-  return StepSigs{mix2(a.reg, b.reg), mix2(a.no_depth, b.no_depth),
-                  mix2(a.no_fan, b.no_fan), mix2(a.coarse, b.coarse)};
-}
+/// Open-addressing digest set with generation-stamped clearing, so one
+/// scratch table serves every node of a wavefront chunk without per-node
+/// allocation. Sized ahead of time from the exact attempt bound.
+class DedupTable {
+ public:
+  /// Prepares the table for up to `expect` insertions.
+  void begin(size_t expect) {
+    size_t want = 16;
+    while (want < expect * 2) want <<= 1;
+    if (want > sigs_.size()) {
+      sigs_.assign(want, 0);
+      gens_.assign(want, 0);
+      gen_ = 1;
+    } else if (++gen_ == 0) {
+      std::fill(gens_.begin(), gens_.end(), 0u);
+      gen_ = 1;
+    }
+    mask_ = sigs_.size() - 1;
+  }
+
+  /// True when `sig` was not present (and inserts it).
+  bool insert(uint64_t sig) {
+    size_t i = static_cast<size_t>(sig) & mask_;
+    for (;;) {
+      if (gens_[i] != gen_) {
+        gens_[i] = gen_;
+        sigs_[i] = sig;
+        return true;
+      }
+      if (sigs_[i] == sig) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Maps `sig` to a dense id: existing id on repeat, `next_id` on first
+  /// sight (and reports the insertion through `inserted`).
+  uint32_t id_of(uint64_t sig, uint32_t next_id, bool* inserted) {
+    size_t i = static_cast<size_t>(sig) & mask_;
+    for (;;) {
+      if (gens_[i] != gen_) {
+        gens_[i] = gen_;
+        sigs_[i] = sig;
+        ids_[i] = next_id;
+        *inserted = true;
+        return next_id;
+      }
+      if (sigs_[i] == sig) {
+        *inserted = false;
+        return ids_[i];
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Enables id_of for the current generation (begin() first).
+  void with_ids() {
+    if (ids_.size() < sigs_.size()) ids_.resize(sigs_.size());
+  }
+
+ private:
+  std::vector<uint64_t> sigs_;
+  std::vector<uint32_t> ids_;
+  std::vector<uint32_t> gens_;
+  uint32_t gen_ = 0;
+  size_t mask_ = 0;
+};
 
 }  // namespace
 
@@ -174,88 +264,230 @@ int Path::domino_stages() const {
 
 namespace {
 
+/// Sources of a phase: (net, rise?, arrival, slope) tuples.
+struct Source {
+  NetId net;
+  bool rise;
+  double arrival;
+  double slope;
+};
+
+std::vector<Source> phase_sources(const Netlist& nl, Phase phase) {
+  std::vector<Source> sources;
+  for (const auto& p : nl.inputs()) {
+    const double arr = phase == Phase::kEvaluate ? p.arrival_ps : 0.0;
+    sources.push_back(Source{p.net, true, arr, p.slope_ps});
+    sources.push_back(Source{p.net, false, arr, p.slope_ps});
+  }
+  for (size_t n = 0; n < nl.net_count(); ++n) {
+    if (nl.net(static_cast<NetId>(n)).kind != netlist::NetKind::kClock)
+      continue;
+    sources.push_back(Source{static_cast<NetId>(n),
+                             phase == Phase::kEvaluate, 0.0, -1.0});
+  }
+  return sources;
+}
+
+constexpr uint64_t kTerminalSeed = 0x7e34a1ULL;
+
 class Extractor {
  public:
-  Extractor(const Netlist& nl, const PruneOptions& opt)
-      : nl_(nl), opt_(opt) {
-    comp_sigs_.resize(nl.comp_count());
-    comp_label_sigs_.resize(nl.comp_count());
-    comp_depth_.resize(nl.comp_count());
-    for (size_t c = 0; c < nl.comp_count(); ++c) {
-      comp_sigs_[c] = component_signature(nl.comp(static_cast<int>(c)));
-      comp_label_sigs_[c] =
-          component_label_signature(nl.comp(static_cast<int>(c)));
-      comp_depth_[c] = component_depth(nl.comp(static_cast<int>(c)));
-    }
+  /// `count_universe` additionally tracks, per node, the regularity
+  /// signatures of the *unpruned* class universe, so PathStats can report
+  /// the paper's after-regularity count even though node-level precedence
+  /// pruning (below) never materializes most of those classes.
+  Extractor(const Netlist& nl, const PruneOptions& opt, bool count_universe)
+      : nl_(nl), opt_(opt), count_universe_(count_universe) {
+    Hash th;
+    th.mix(kTerminalSeed);
+    terminal_sig_ = th.h;
+    const size_t n_comps = nl.comp_count();
+    comp_sigs_.resize(n_comps);
+    comp_label_sigs_.resize(n_comps);
+    comp_depth_.resize(n_comps);
+    par::parallel_for(
+        n_comps,
+        [&](size_t begin, size_t end) {
+          for (size_t c = begin; c < end; ++c) {
+            const Component& comp = nl_.comp(static_cast<int>(c));
+            comp_sigs_[c] = component_signature(comp);
+            comp_label_sigs_[c] = component_label_signature(comp);
+            comp_depth_[c] = component_depth(comp);
+          }
+        },
+        "timing.extract.comp_sigs", 64);
+    // Pin depths per (net, arc) slot, so the wavefront never re-walks a
+    // component stack. Each net owns its slot: race-free and order-free.
+    pin_depth_.resize(nl.net_count());
+    par::parallel_for(
+        nl.net_count(),
+        [&](size_t begin, size_t end) {
+          for (size_t n = begin; n < end; ++n) {
+            const auto& arcs = nl_.arcs_from(static_cast<NetId>(n));
+            auto& depths = pin_depth_[n];
+            depths.resize(arcs.size());
+            for (size_t ai = 0; ai < arcs.size(); ++ai)
+              depths[ai] =
+                  pin_depth_of(nl_.comp(arcs[ai].comp), arcs[ai].from);
+          }
+        },
+        "timing.extract.pin_depths", 64);
     output_load_.assign(nl.net_count(), -1.0);
     for (const auto& p : nl.outputs())
       output_load_[static_cast<size_t>(p.net)] = p.load_ff;
   }
 
-  /// Suffix classes from (net, edge) to any output, for a phase.
-  const std::vector<Suffix>& suffixes(Phase phase, NetId net, bool rise) {
-    auto& memo = phase == Phase::kEvaluate ? memo_eval_ : memo_pre_;
-    const size_t key = static_cast<size_t>(net) * 2 + (rise ? 1 : 0);
-    if (memo.size() < nl_.net_count() * 2) memo.resize(nl_.net_count() * 2);
-    auto& slot = memo[key];
-    if (slot.computed) return slot.classes;
-    slot.computed = true;  // set first; DAG guaranteed by netlist validation
-
-    std::unordered_map<uint64_t, size_t> index;
-    auto add_class = [&](Suffix s) {
-      auto [it, inserted] = index.emplace(s.sigs.reg, slot.classes.size());
-      if (inserted) {
-        if (slot.classes.size() >= opt_.max_classes_per_node) {
-          overflowed_ = true;
-          return;
-        }
-        slot.classes.push_back(std::move(s));
-      }
-    };
-
-    if (output_load_[static_cast<size_t>(net)] >= 0.0) {
-      Suffix terminal;
-      Hash h;
-      h.mix(0x7e34a1ULL);
-      terminal.sigs = StepSigs{h.h, h.h, h.h, h.h};
-      add_class(std::move(terminal));
-    }
-
-    std::vector<EdgeMap> maps;
-    for (const Arc& a : nl_.arcs_from(net)) {
-      bool footed = true;
-      if (const auto* dg = nl_.comp(a.comp).as_domino())
-        footed = dg->evaluate_label >= 0;
-      netlist::arc_edge_maps(a.kind, phase, footed, maps);
-      for (const EdgeMap& em : maps) {
-        if (em.in_rise != rise) continue;
-        const auto& child = suffixes(phase, a.to, em.out_rise);
-        PathStep step;
-        step.arc = a;
-        step.in_rise = em.in_rise;
-        step.out_rise = em.out_rise;
-        step.pin_depth = pin_depth_of(nl_.comp(a.comp), a.from);
-        step.comp_depth = comp_depth(a.comp);
-        step.fanout =
-            static_cast<int>(nl_.arcs_from(a.to).size());
-        const StepSigs ssig = step_sigs(step);
-        for (const Suffix& cs : child) {
-          Suffix s;
-          s.sigs = combine(ssig, cs.sigs);
-          s.steps.reserve(cs.steps.size() + 1);
-          s.steps.push_back(step);
-          s.steps.insert(s.steps.end(), cs.steps.begin(), cs.steps.end());
-          s.sum_depth = cs.sum_depth + step.pin_depth +
-                        16 * comp_depth(a.comp);
-          s.sum_fanout = cs.sum_fanout + step.fanout;
-          add_class(std::move(s));
-        }
-      }
-    }
-    return slot.classes;
+  static uint32_t node_key(NetId net, bool rise) {
+    return static_cast<uint32_t>(net) * 2 + (rise ? 1u : 0u);
   }
 
-  bool overflowed() const { return overflowed_; }
+  /// Builds the suffix-class memo of a phase bottom-up: topological levels
+  /// over the subgraph reachable from the phase's sources, each level's
+  /// nodes computed in parallel (a node only reads its children's finished
+  /// slots and writes its own, so the memo content is independent of
+  /// scheduling and thread count).
+  void build(Phase phase) {
+    auto& memo = memo_of(phase);
+    if (!memo.empty()) return;
+    const size_t n_nodes = nl_.net_count() * 2;
+    memo.assign(n_nodes, {});
+    if (count_universe_) sig_memo_of(phase).assign(n_nodes, {});
+
+    // Iterative DFS post-order from the phase sources: children precede
+    // parents, bounding the build to the subgraph the sources can see.
+    std::vector<uint8_t> state(n_nodes, 0);
+    std::vector<uint32_t> order;
+    std::vector<uint32_t> stack;
+    std::vector<EdgeMap> maps;
+    std::vector<uint32_t> kids;
+    auto children = [&](uint32_t node, std::vector<uint32_t>& out) {
+      out.clear();
+      const NetId net = static_cast<NetId>(node / 2);
+      const bool rise = (node & 1u) != 0;
+      for (const Arc& a : nl_.arcs_from(net)) {
+        bool footed = true;
+        if (const auto* dg = nl_.comp(a.comp).as_domino())
+          footed = dg->evaluate_label >= 0;
+        netlist::arc_edge_maps(a.kind, phase, footed, maps);
+        for (const EdgeMap& em : maps) {
+          if (em.in_rise != rise) continue;
+          out.push_back(node_key(a.to, em.out_rise));
+        }
+      }
+    };
+    for (const Source& src : phase_sources(nl_, phase)) {
+      const uint32_t root = node_key(src.net, src.rise);
+      if (state[root] != 0) continue;
+      stack.push_back(root);
+      while (!stack.empty()) {
+        const uint32_t n = stack.back();
+        if (state[n] == 0) {
+          state[n] = 1;
+          children(n, kids);
+          for (uint32_t k : kids)
+            if (state[k] == 0) stack.push_back(k);
+        } else {
+          if (state[n] == 1) {
+            state[n] = 2;
+            order.push_back(n);
+          }
+          stack.pop_back();
+        }
+      }
+    }
+
+    // Level = longest edge distance to a sink; nodes of one level never
+    // depend on each other, so each level is a parallel wavefront.
+    std::vector<int32_t> level(n_nodes, 0);
+    int32_t max_level = 0;
+    for (const uint32_t n : order) {
+      children(n, kids);
+      int32_t lvl = 0;
+      for (uint32_t k : kids) lvl = std::max(lvl, level[k] + 1);
+      level[n] = lvl;
+      max_level = std::max(max_level, lvl);
+    }
+    std::vector<std::vector<uint32_t>> buckets(
+        static_cast<size_t>(max_level) + 1);
+    for (const uint32_t n : order)
+      buckets[static_cast<size_t>(level[n])].push_back(n);
+
+    for (auto& bucket : buckets) {
+      par::parallel_for(
+          bucket.size(),
+          [&](size_t begin, size_t end) {
+            // Reused across wavefront levels and extractions: the dedup
+            // tables and buffers are generation-cleared / assigned at each
+            // use, so retained capacity cannot affect results — it only
+            // avoids reallocating multi-hundred-KB tables per level.
+            static thread_local BuildScratch sc;
+            for (size_t i = begin; i < end; ++i)
+              build_node(phase, bucket[i], sc);
+          },
+          "timing.extract.wave");
+    }
+  }
+
+  const std::vector<Suffix>& classes(Phase phase, uint32_t node) const {
+    return memo_of(phase)[node];
+  }
+
+  /// Regularity signatures of the unpruned universe at a node (requires
+  /// count_universe). When the node is an output sink, index 0 is the
+  /// terminal (length-0) class.
+  const std::vector<uint64_t>& universe_sigs(Phase phase,
+                                             uint32_t node) const {
+    return sig_memo_of(phase)[node];
+  }
+
+  bool node_has_terminal(uint32_t node) const {
+    return output_load_[static_cast<size_t>(node / 2)] >= 0.0;
+  }
+
+  const Suffix* suffix_at(Phase phase, uint32_t node, size_t index) const {
+    return &memo_of(phase)[node][index];
+  }
+
+  const Suffix* next_suffix(Phase phase, const Suffix* s) const {
+    return &memo_of(phase)[s->child_node][static_cast<size_t>(s->child_index)];
+  }
+
+  /// Appends the chained steps of class (node, index) to `out`.
+  void materialize(Phase phase, uint32_t node, size_t index,
+                   std::vector<PathStep>* out) const {
+    const Suffix* s = suffix_at(phase, node, index);
+    out->reserve(out->size() + static_cast<size_t>(s->len));
+    while (s->len > 0) {
+      out->push_back(s->step);
+      s = next_suffix(phase, s);
+    }
+  }
+
+  /// Chain fold of the dominance-granularity (`no_fan`) signature; only
+  /// evaluated for surviving candidates when precedence pruning is off.
+  uint64_t chain_no_fan_sig(Phase phase, uint32_t node, size_t index) const {
+    std::vector<const PathStep*> chain;
+    const Suffix* s = suffix_at(phase, node, index);
+    chain.reserve(static_cast<size_t>(s->len));
+    while (s->len > 0) {
+      chain.push_back(&s->step);
+      s = next_suffix(phase, s);
+    }
+    uint64_t sig = terminal_sig_;
+    for (size_t i = chain.size(); i-- > 0;)
+      sig = mix2(step_sigs(*chain[i]).no_fan, sig);
+    return sig;
+  }
+
+  bool overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+  long class_attempts() const {
+    return attempts_.load(std::memory_order_relaxed);
+  }
+  long classes_stored() const {
+    return stored_.load(std::memory_order_relaxed);
+  }
 
   StepSigs step_sigs(const PathStep& step) const {
     // Full-structure base: exact stack shape + labels (regularity level).
@@ -291,50 +523,233 @@ class Extractor {
     return s;
   }
 
-  int comp_depth(netlist::CompId c) const {
-    return comp_depth_[static_cast<size_t>(c)];
+ private:
+  /// Per-worker scratch reused across the nodes of a wavefront chunk.
+  struct BuildScratch {
+    std::vector<EdgeMap> maps;
+    DedupTable dedup;        ///< reg-sig dedup of the stored classes
+    DedupTable count_dedup;  ///< reg-sig dedup of the unpruned universe
+    std::vector<int32_t> prev;  ///< node-prune: previous class in bucket
+    std::vector<int32_t> last;  ///< node-prune: last class per bucket
+    std::vector<uint8_t> dead;
+  };
+
+  /// Stepwise domination of two suffix classes of the same node (see the
+  /// candidate-level `dominates` in extract(): a may replace b only when a
+  /// is at least as slow at every step).
+  bool suffix_dominates(Phase phase, const Suffix& a, const Suffix& b) const {
+    if (a.len != b.len) return false;
+    if (a.sum_depth < b.sum_depth || a.sum_fanout < b.sum_fanout)
+      return false;
+    const Suffix* sa = &a;
+    const Suffix* sb = &b;
+    while (sa->len > 0) {
+      if (sa->step.comp_depth < sb->step.comp_depth ||
+          sa->step.pin_depth < sb->step.pin_depth ||
+          sa->step.fanout < sb->step.fanout)
+        return false;
+      sa = next_suffix(phase, sa);
+      sb = next_suffix(phase, sb);
+    }
+    return true;
   }
 
- private:
-  struct MemoSlot {
-    bool computed = false;
-    std::vector<Suffix> classes;
-  };
+  /// Node-level precedence prune: collapse this node's classes to the
+  /// per-bucket (no-depth signature) Pareto fronts before any parent
+  /// extends them. Sound because stepwise domination is transitive and
+  /// preserved under prefix extension — a class dominated here would have
+  /// produced only globally-dominated candidates — so the global stages see
+  /// exactly the same survivors while the per-node class lists (and every
+  /// downstream stage) stay near the final-front size instead of the full
+  /// regularity universe.
+  void prune_node(Phase phase, std::vector<Suffix>& classes,
+                  BuildScratch& sc) {
+    const size_t n = classes.size();
+    sc.dedup.begin(n);
+    sc.dedup.with_ids();
+    sc.prev.assign(n, -1);
+    sc.dead.assign(n, 0);
+    sc.last.clear();
+    uint32_t n_buckets = 0;
+    for (size_t i = 0; i < n; ++i) {
+      bool inserted = false;
+      const uint32_t b =
+          sc.dedup.id_of(classes[i].sigs.no_depth, n_buckets, &inserted);
+      if (inserted) {
+        ++n_buckets;
+        sc.last.push_back(-1);
+      }
+      sc.prev[i] = sc.last[b];
+      sc.last[b] = static_cast<int32_t>(i);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      bool drop = false;
+      for (int32_t j = sc.prev[i]; j >= 0; j = sc.prev[j]) {
+        if (!sc.dead[j] && suffix_dominates(phase, classes[j], classes[i])) {
+          drop = true;
+          break;
+        }
+      }
+      if (drop) {
+        sc.dead[i] = 1;
+        continue;
+      }
+      for (int32_t j = sc.prev[i]; j >= 0; j = sc.prev[j])
+        if (!sc.dead[j] && suffix_dominates(phase, classes[i], classes[j]))
+          sc.dead[j] = 1;
+    }
+    size_t w = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!sc.dead[i]) {
+        if (w != i) classes[w] = std::move(classes[i]);
+        ++w;
+      }
+    }
+    classes.resize(w);
+  }
+
+  /// Computes the suffix classes of one (net, edge) node. Children are
+  /// finished (lower wavefront level); only this node's slot is written.
+  void build_node(Phase phase, uint32_t node, BuildScratch& sc) {
+    auto& memo = memo_of(phase);
+    auto& classes = memo[node];
+    auto& maps = sc.maps;
+    const NetId net = static_cast<NetId>(node / 2);
+    const bool rise = (node & 1u) != 0;
+    const bool is_output = output_load_[static_cast<size_t>(net)] >= 0.0;
+    const auto& arcs = nl_.arcs_from(net);
+    auto& sig_memo = sig_memo_of(phase);
+
+    // Exact attempt bounds: one terminal class plus one attempt per
+    // (arc, edge-map, child class) triple — size the dedup tables and the
+    // class vectors in one shot.
+    size_t bound = is_output ? 1 : 0;
+    size_t count_bound = count_universe_ ? bound : 0;
+    for (const Arc& a : arcs) {
+      bool footed = true;
+      if (const auto* dg = nl_.comp(a.comp).as_domino())
+        footed = dg->evaluate_label >= 0;
+      netlist::arc_edge_maps(a.kind, phase, footed, maps);
+      for (const EdgeMap& em : maps) {
+        if (em.in_rise != rise) continue;
+        const uint32_t child = node_key(a.to, em.out_rise);
+        bound += memo[child].size();
+        if (count_universe_) count_bound += sig_memo[child].size();
+      }
+    }
+    if (bound == 0 && count_bound == 0) return;
+    sc.dedup.begin(bound);
+    classes.reserve(std::min(bound, opt_.max_classes_per_node));
+    std::vector<uint64_t>* all_sigs = nullptr;
+    if (count_universe_) {
+      all_sigs = &sig_memo[node];
+      sc.count_dedup.begin(count_bound);
+      all_sigs->reserve(std::min(count_bound, opt_.max_classes_per_node));
+    }
+
+    long attempts = 0;
+    auto add_class = [&](Suffix&& s) {
+      ++attempts;
+      if (sc.dedup.insert(s.sigs.reg)) {
+        if (classes.size() >= opt_.max_classes_per_node) {
+          overflowed_.store(true, std::memory_order_relaxed);
+          return;
+        }
+        classes.push_back(std::move(s));
+      }
+    };
+    auto add_count_sig = [&](uint64_t sig) {
+      if (sc.count_dedup.insert(sig)) {
+        if (all_sigs->size() >= opt_.max_classes_per_node) {
+          overflowed_.store(true, std::memory_order_relaxed);
+          return;
+        }
+        all_sigs->push_back(sig);
+      }
+    };
+
+    if (is_output) {
+      Suffix terminal;
+      terminal.sigs = ChainSigs{terminal_sig_, terminal_sig_, terminal_sig_};
+      add_class(std::move(terminal));
+      if (count_universe_) add_count_sig(terminal_sig_);
+    }
+
+    for (size_t ai = 0; ai < arcs.size(); ++ai) {
+      const Arc& a = arcs[ai];
+      bool footed = true;
+      if (const auto* dg = nl_.comp(a.comp).as_domino())
+        footed = dg->evaluate_label >= 0;
+      netlist::arc_edge_maps(a.kind, phase, footed, maps);
+      for (const EdgeMap& em : maps) {
+        if (em.in_rise != rise) continue;
+        const uint32_t child_node = node_key(a.to, em.out_rise);
+        const auto& child = memo[child_node];
+        PathStep step;
+        step.arc = a;
+        step.in_rise = em.in_rise;
+        step.out_rise = em.out_rise;
+        step.pin_depth = pin_depth_[static_cast<size_t>(net)][ai];
+        step.comp_depth = comp_depth_[static_cast<size_t>(a.comp)];
+        step.fanout = static_cast<int>(nl_.arcs_from(a.to).size());
+        const StepSigs ssig = step_sigs(step);
+        const long depth_add = step.pin_depth + 16L * step.comp_depth;
+        for (size_t ci = 0; ci < child.size(); ++ci) {
+          const Suffix& cs = child[ci];
+          Suffix s;
+          s.sigs = ChainSigs{mix2(ssig.reg, cs.sigs.reg),
+                             mix2(ssig.no_depth, cs.sigs.no_depth),
+                             mix2(ssig.coarse, cs.sigs.coarse)};
+          s.step = step;
+          s.child_node = child_node;
+          s.child_index = static_cast<int32_t>(ci);
+          s.len = cs.len + 1;
+          s.sum_depth = cs.sum_depth + depth_add;
+          s.sum_fanout = cs.sum_fanout + step.fanout;
+          add_class(std::move(s));
+        }
+        if (count_universe_)
+          for (const uint64_t csig : sig_memo[child_node])
+            add_count_sig(mix2(ssig.reg, csig));
+      }
+    }
+    attempts_.fetch_add(attempts, std::memory_order_relaxed);
+    stored_.fetch_add(static_cast<long>(classes.size()),
+                      std::memory_order_relaxed);
+    if (opt_.precedence && classes.size() > 1)
+      prune_node(phase, classes, sc);
+  }
+
+  std::vector<std::vector<Suffix>>& memo_of(Phase phase) {
+    return phase == Phase::kEvaluate ? memo_eval_ : memo_pre_;
+  }
+  const std::vector<std::vector<Suffix>>& memo_of(Phase phase) const {
+    return phase == Phase::kEvaluate ? memo_eval_ : memo_pre_;
+  }
+  std::vector<std::vector<uint64_t>>& sig_memo_of(Phase phase) {
+    return phase == Phase::kEvaluate ? sig_memo_eval_ : sig_memo_pre_;
+  }
+  const std::vector<std::vector<uint64_t>>& sig_memo_of(Phase phase) const {
+    return phase == Phase::kEvaluate ? sig_memo_eval_ : sig_memo_pre_;
+  }
 
   const Netlist& nl_;
   const PruneOptions& opt_;
+  bool count_universe_ = false;
+  uint64_t terminal_sig_ = 0;
   std::vector<uint64_t> comp_sigs_;
   std::vector<uint64_t> comp_label_sigs_;
   std::vector<int> comp_depth_;
+  std::vector<std::vector<int>> pin_depth_;
   std::vector<double> output_load_;
-  std::vector<MemoSlot> memo_eval_;
-  std::vector<MemoSlot> memo_pre_;
-  bool overflowed_ = false;
+  std::vector<std::vector<Suffix>> memo_eval_;
+  std::vector<std::vector<Suffix>> memo_pre_;
+  std::vector<std::vector<uint64_t>> sig_memo_eval_;
+  std::vector<std::vector<uint64_t>> sig_memo_pre_;
+  std::atomic<bool> overflowed_{false};
+  std::atomic<long> attempts_{0};
+  std::atomic<long> stored_{0};
 };
-
-/// Sources of a phase: (net, rise?, arrival, slope) tuples.
-struct Source {
-  NetId net;
-  bool rise;
-  double arrival;
-  double slope;
-};
-
-std::vector<Source> phase_sources(const Netlist& nl, Phase phase) {
-  std::vector<Source> sources;
-  for (const auto& p : nl.inputs()) {
-    const double arr = phase == Phase::kEvaluate ? p.arrival_ps : 0.0;
-    sources.push_back(Source{p.net, true, arr, p.slope_ps});
-    sources.push_back(Source{p.net, false, arr, p.slope_ps});
-  }
-  for (size_t n = 0; n < nl.net_count(); ++n) {
-    if (nl.net(static_cast<NetId>(n)).kind != netlist::NetKind::kClock)
-      continue;
-    sources.push_back(Source{static_cast<NetId>(n),
-                             phase == Phase::kEvaluate, 0.0, -1.0});
-  }
-  return sources;
-}
 
 }  // namespace
 
@@ -348,61 +763,113 @@ std::vector<Path> PathExtractor::extract(const PruneOptions& opt,
   // caller did not ask for them.
   PathStats local_stats;
   if (stats == nullptr && tel.enabled()) stats = &local_stats;
-  Extractor ex(*nl_, opt);
+  // Node-level precedence pruning collapses the class memo as it builds, so
+  // the regularity-universe size must be tracked on the side when stats ask
+  // for it.
+  const bool count_universe = stats != nullptr && opt.precedence;
+  std::optional<obs::Span> prep_span;
+  if (tel.enabled()) prep_span.emplace("timing.extract.prepare");
+  Extractor ex(*nl_, opt, count_universe);
+  prep_span.reset();
 
   // Stage 1: regularity classes (always computed; with regularity disabled
-  // the signatures include net identities, so nothing collapses).
+  // the signatures include net identities, so nothing collapses). A
+  // candidate is pure metadata — a (source, suffix class) reference plus
+  // its prune signatures; Path objects with step vectors exist only for
+  // the final survivors.
   struct Candidate {
-    Path path;
-    StepSigs sigs;
+    uint64_t no_depth_sig;
+    uint64_t coarse_sig;
     long sum_depth;
     long sum_fanout;
-    bool dead = false;
+    uint32_t node;  ///< suffix-class reference
+    uint32_t cls;
+    int32_t len;
+    uint32_t source;  ///< index into the phase's source list
+    Phase phase;
+  };
+  /// A candidate before regularity dedup, as produced per source.
+  struct Stub {
+    uint64_t reg_sig;
+    uint64_t no_depth_sig;
+    uint64_t coarse_sig;
+    long sum_depth;
+    long sum_fanout;
+    uint32_t index;
+    int32_t len;
   };
   std::vector<Candidate> candidates;
-  std::unordered_map<uint64_t, size_t> seen;
+  std::vector<Source> sources_by_phase[2];
+  auto src_hash = [&](const Source& src, Phase phase) {
+    Hash src_h;
+    src_h.mix(static_cast<uint64_t>(src.rise));
+    src_h.mix(static_cast<uint64_t>(phase));
+    src_h.mix_double(src.arrival);
+    src_h.mix_double(src.slope);
+    return src_h.h;
+  };
+  // Reused across extract() calls on this thread; begin() generation-clears
+  // it, so retained capacity only saves the repeated large allocation.
+  static thread_local DedupTable seen;
   bool has_domino = false;
   for (const auto& comp : nl_->comps())
     if (comp.as_domino() != nullptr) has_domino = true;
   for (Phase phase : {Phase::kEvaluate, Phase::kPrecharge}) {
     // The precharge phase only exists for dynamic logic.
     if (phase == Phase::kPrecharge && !has_domino) continue;
-    for (const Source& src : phase_sources(*nl_, phase)) {
-      for (const Suffix& s :
-           ex.suffixes(phase, src.net, src.rise)) {
-        if (s.steps.empty()) continue;  // input wired straight to output
-        // Source attributes (edge, phase, arrival, slope) distinguish
-        // classes at every granularity; the per-stage structure hashes
-        // differ per granularity.
-        Hash src_h;
-        src_h.mix(static_cast<uint64_t>(src.rise));
-        src_h.mix(static_cast<uint64_t>(phase));
-        src_h.mix_double(src.arrival);
-        src_h.mix_double(src.slope);
-        Hash h;
-        h.mix(s.sigs.reg);
-        h.mix(src_h.h);
-        if (!seen.emplace(h.h, candidates.size()).second) continue;
-        Candidate c;
-        c.path.start = src.net;
-        c.path.start_rise = src.rise;
-        c.path.start_arrival = src.arrival;
-        c.path.start_slope = src.slope;
-        c.path.phase = phase;
-        c.path.steps = s.steps;
-        Hash hn;
-        hn.mix(s.sigs.no_depth);
-        hn.mix(src_h.h);
-        Hash hf;
-        hf.mix(s.sigs.no_fan);
-        hf.mix(src_h.h);
-        Hash hc;
-        hc.mix(s.sigs.coarse);
-        hc.mix(src_h.h);
-        c.sigs = StepSigs{h.h, hn.h, hf.h, hc.h};
-        c.sum_depth = s.sum_depth;
-        c.sum_fanout = s.sum_fanout;
-        candidates.push_back(std::move(c));
+    {
+      obs::Span build_span("timing.extract.build");
+      ex.build(phase);
+    }
+    obs::Span collect_span("timing.extract.collect");
+    const size_t phase_idx = phase == Phase::kEvaluate ? 0 : 1;
+    sources_by_phase[phase_idx] = phase_sources(*nl_, phase);
+    const auto& sources = sources_by_phase[phase_idx];
+    // Per-source fan-out over the finished (read-only) memo. Each source's
+    // stub list lands in its own slot; the merge below walks slots in
+    // source order, so candidate order and dedup winners are identical to
+    // the sequential nested loop at any thread count.
+    const auto stubs = par::parallel_map<std::vector<Stub>>(
+        sources.size(),
+        [&](size_t si) {
+          const Source& src = sources[si];
+          // Source attributes (edge, phase, arrival, slope) distinguish
+          // classes at every granularity.
+          const uint64_t sh = src_hash(src, phase);
+          const uint32_t node = Extractor::node_key(src.net, src.rise);
+          const auto& classes = ex.classes(phase, node);
+          std::vector<Stub> out;
+          out.reserve(classes.size());
+          for (size_t ci = 0; ci < classes.size(); ++ci) {
+            const Suffix& s = classes[ci];
+            if (s.len == 0) continue;  // input wired straight to output
+            out.push_back(Stub{mix2(s.sigs.reg, sh),
+                               mix2(s.sigs.no_depth, sh),
+                               mix2(s.sigs.coarse, sh), s.sum_depth,
+                               s.sum_fanout, static_cast<uint32_t>(ci),
+                               s.len});
+          }
+          return out;
+        },
+        "timing.extract.sources");
+    size_t total = 0;
+    for (const auto& src_stubs : stubs) total += src_stubs.size();
+    candidates.reserve(candidates.size() + total);
+    seen.begin(candidates.size() + total);
+    // Re-seed the dedup set with earlier phases' winners (begin() clears).
+    for (const auto& c : candidates) {
+      const auto& src =
+          sources_by_phase[c.phase == Phase::kEvaluate ? 0 : 1][c.source];
+      seen.insert(mix2(ex.suffix_at(c.phase, c.node, c.cls)->sigs.reg,
+                       src_hash(src, c.phase)));
+    }
+    for (size_t si = 0; si < sources.size(); ++si) {
+      for (const Stub& st : stubs[si]) {
+        if (!seen.insert(st.reg_sig)) continue;
+        candidates.push_back(Candidate{
+            st.no_depth_sig, st.coarse_sig, st.sum_depth, st.sum_fanout,
+            Extractor::node_key(sources[si].net, sources[si].rise), st.index,
+            st.len, static_cast<uint32_t>(si), phase});
       }
     }
   }
@@ -411,70 +878,193 @@ std::vector<Path> PathExtractor::extract(const PruneOptions& opt,
                    "constraint set is a subset");
 
   if (stats) {
+    obs::Span stats_span("timing.extract.stats");
     stats->raw_topological = count_topological_paths();
     stats->raw_edge_paths =
         count_edge_paths(Phase::kEvaluate) +
         (has_domino ? count_edge_paths(Phase::kPrecharge) : 0.0);
-    stats->after_regularity = candidates.size();
+    if (count_universe) {
+      // Distinct (source, regularity class) pairs of the unpruned universe:
+      // the same dedup the candidate merge applies, replayed over the
+      // side-tracked signature memo. A set's size is insertion-order
+      // independent, so one pass over both phases matches the per-phase
+      // interleaved merge above.
+      size_t total = 0;
+      for (Phase phase : {Phase::kEvaluate, Phase::kPrecharge}) {
+        const auto& sources =
+            sources_by_phase[phase == Phase::kEvaluate ? 0 : 1];
+        for (const Source& src : sources)
+          total += ex.universe_sigs(phase,
+                                    Extractor::node_key(src.net, src.rise))
+                       .size();
+      }
+      seen.begin(total);
+      size_t reg_count = 0;
+      for (Phase phase : {Phase::kEvaluate, Phase::kPrecharge}) {
+        const size_t phase_idx = phase == Phase::kEvaluate ? 0 : 1;
+        for (const Source& src : sources_by_phase[phase_idx]) {
+          const uint64_t sh = src_hash(src, phase);
+          const uint32_t node = Extractor::node_key(src.net, src.rise);
+          const auto& sigs = ex.universe_sigs(phase, node);
+          // Skip the terminal (length-0) class, as the stub collection does.
+          const size_t k0 = ex.node_has_terminal(node) ? 1 : 0;
+          for (size_t k = k0; k < sigs.size(); ++k)
+            if (seen.insert(mix2(sigs[k], sh))) ++reg_count;
+        }
+      }
+      stats->after_regularity = reg_count;
+    } else {
+      stats->after_regularity = candidates.size();
+    }
   }
 
   // Pairwise domination (paper §5.2: "compare the fanout space of two
   // nodes when determining the dominance relationship"): path A may replace
   // path B only when A is at least as slow at *every* step — deeper stack,
   // deeper pin, and at least as much fanout — so dropping B cannot lose
-  // the binding constraint.
-  auto dominates = [](const Candidate& a, const Candidate& b) {
-    if (a.path.steps.size() != b.path.steps.size()) return false;
-    for (size_t i = 0; i < a.path.steps.size(); ++i) {
-      const auto& sa = a.path.steps[i];
-      const auto& sb = b.path.steps[i];
-      if (sa.comp_depth < sb.comp_depth || sa.pin_depth < sb.pin_depth ||
-          sa.fanout < sb.fanout)
+  // the binding constraint. Walks the suffix chains directly; the summed
+  // aggregates give an exact O(1) pre-filter (per-step >= implies
+  // summed >=).
+  auto dominates = [&ex](const Candidate& a, const Candidate& b) {
+    if (a.len != b.len) return false;
+    if (a.sum_depth < b.sum_depth || a.sum_fanout < b.sum_fanout)
+      return false;
+    const Suffix* sa = ex.suffix_at(a.phase, a.node, a.cls);
+    const Suffix* sb = ex.suffix_at(b.phase, b.node, b.cls);
+    while (sa->len > 0) {
+      if (sa->step.comp_depth < sb->step.comp_depth ||
+          sa->step.pin_depth < sb->step.pin_depth ||
+          sa->step.fanout < sb->step.fanout)
         return false;
+      sa = ex.next_suffix(a.phase, sa);
+      sb = ex.next_suffix(b.phase, sb);
     }
     return true;
   };
-  auto pareto_stage = [&](uint64_t StepSigs::*key) {
-    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
-    std::vector<Candidate> kept;
-    for (auto& c : candidates) {
-      auto& bucket = buckets[c.sigs.*key];
-      bool drop = false;
-      for (size_t k = 0; k < bucket.size() && !drop; ++k)
-        if (dominates(kept[bucket[k]], c)) drop = true;
-      if (drop) continue;
-      // Remove bucket members the new candidate dominates.
-      std::vector<size_t> survivors;
-      for (size_t idx : bucket) {
-        if (!dominates(c, kept[idx])) {
-          survivors.push_back(idx);
-        } else {
-          kept[idx].dead = true;
-        }
+  // One prune stage: group candidates by signature, prune each bucket to
+  // its Pareto front independently (buckets never interact), and compact
+  // survivors in arrival order. Bucket processing order inside the
+  // parallel_for cannot change the outcome: the per-bucket front scan is
+  // sequential in arrival order, exactly like the original single loop.
+  auto pareto_stage = [&](uint64_t Candidate::*key) {
+    // CSR bucket grouping: one open-addressing pass assigns dense bucket
+    // ids in first-sight order, a counting pass lays buckets out in a flat
+    // member array — no per-bucket vectors, no rehashing node allocations.
+    const size_t n = candidates.size();
+    std::vector<uint32_t> bucket_id(n);
+    std::vector<uint32_t> counts;
+    seen.begin(n);
+    seen.with_ids();
+    uint32_t n_buckets = 0;
+    for (size_t i = 0; i < n; ++i) {
+      bool inserted = false;
+      bucket_id[i] = seen.id_of(candidates[i].*key, n_buckets, &inserted);
+      if (inserted) {
+        ++n_buckets;
+        counts.push_back(1);
+      } else {
+        ++counts[bucket_id[i]];
       }
-      survivors.push_back(kept.size());
-      kept.push_back(std::move(c));
-      bucket = std::move(survivors);
     }
-    candidates.clear();
-    for (auto& c : kept)
-      if (!c.dead) candidates.push_back(std::move(c));
+    std::vector<uint32_t> offsets(n_buckets + 1, 0);
+    for (uint32_t b = 0; b < n_buckets; ++b)
+      offsets[b + 1] = offsets[b] + counts[b];
+    std::vector<uint32_t> members(n);
+    {
+      std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+      for (size_t i = 0; i < n; ++i)
+        members[cursor[bucket_id[i]]++] = static_cast<uint32_t>(i);
+    }
+    std::vector<uint8_t> dead(n, 0);
+    par::parallel_for(
+        n_buckets,
+        [&](size_t begin, size_t end) {
+          std::vector<uint32_t> front;
+          for (size_t bi = begin; bi < end; ++bi) {
+            front.clear();
+            for (uint32_t m = offsets[bi]; m < offsets[bi + 1]; ++m) {
+              const uint32_t ci = members[m];
+              const Candidate& c = candidates[ci];
+              bool drop = false;
+              for (const uint32_t k : front) {
+                if (!dead[k] && dominates(candidates[k], c)) {
+                  drop = true;
+                  break;
+                }
+              }
+              if (drop) {
+                dead[ci] = 1;
+                continue;
+              }
+              for (const uint32_t k : front)
+                if (!dead[k] && dominates(c, candidates[k])) dead[k] = 1;
+              front.push_back(ci);
+            }
+          }
+        },
+        "timing.extract.prune");
+    size_t w = 0;
+    for (size_t i = 0; i < n; ++i)
+      if (!dead[i]) candidates[w++] = candidates[i];
+    candidates.resize(w);
   };
 
   // Stage 2: precedence — collapse pin classes within label-equivalent
   // structures, keeping the slow-pin Pareto front.
-  if (opt.precedence) pareto_stage(&StepSigs::no_depth);
+  if (opt.precedence) {
+    obs::Span prune_span("timing.extract.prune_precedence");
+    pareto_stage(&Candidate::no_depth_sig);
+  }
   if (stats) stats->after_precedence = candidates.size();
 
   // Stage 3: dominance — collapse fanout variants, keeping the
-  // heaviest-loaded Pareto front.
-  if (opt.dominance)
-    pareto_stage(opt.precedence ? &StepSigs::coarse : &StepSigs::no_fan);
+  // heaviest-loaded Pareto front. Without a preceding precedence stage the
+  // depth-preserving (`no_fan`) granularity applies; its signatures are
+  // folded lazily over the surviving chains here.
+  if (opt.dominance) {
+    obs::Span prune_span("timing.extract.prune_dominance");
+    if (!opt.precedence) {
+      par::parallel_for(
+          candidates.size(),
+          [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+              Candidate& c = candidates[i];
+              const auto& src =
+                  sources_by_phase[c.phase == Phase::kEvaluate ? 0 : 1]
+                                  [c.source];
+              // Reuse the coarse slot: precedence is off, so the stored
+              // coarse signature has no further consumer.
+              c.coarse_sig =
+                  mix2(ex.chain_no_fan_sig(c.phase, c.node, c.cls),
+                       src_hash(src, c.phase));
+            }
+          },
+          "timing.extract.no_fan_sigs");
+    }
+    pareto_stage(&Candidate::coarse_sig);
+  }
   if (stats) stats->after_dominance = candidates.size();
 
-  std::vector<Path> paths;
-  paths.reserve(candidates.size());
-  for (auto& c : candidates) paths.push_back(std::move(c.path));
+  // Materialize Path objects (with exact-length step vectors) for the
+  // survivors only, each written into its own slot.
+  std::vector<Path> paths(candidates.size());
+  par::parallel_for(
+      candidates.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const Candidate& c = candidates[i];
+          const auto& src =
+              sources_by_phase[c.phase == Phase::kEvaluate ? 0 : 1][c.source];
+          Path& p = paths[i];
+          p.start = src.net;
+          p.start_rise = src.rise;
+          p.start_arrival = src.arrival;
+          p.start_slope = src.slope;
+          p.phase = c.phase;
+          ex.materialize(c.phase, c.node, c.cls, &p.steps);
+        }
+      },
+      "timing.extract.materialize");
   if (stats) stats->final_paths = paths.size();
 
   if (stats != nullptr && tel.enabled()) {
@@ -500,6 +1090,10 @@ std::vector<Path> PathExtractor::extract(const PruneOptions& opt,
     tel.gauge_set("timing.prune.dominance.reduction", ratio(pre, dom));
     tel.gauge_set("timing.prune.reduction", ratio(raw, fin));
     tel.counter_add("timing.extract.calls");
+    tel.gauge_set("timing.extract.class_attempts",
+                  static_cast<double>(ex.class_attempts()));
+    tel.gauge_set("timing.extract.classes_stored",
+                  static_cast<double>(ex.classes_stored()));
     span.arg("raw_topological", raw);
     span.arg("final_paths", fin);
   }

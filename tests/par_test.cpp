@@ -1,0 +1,150 @@
+// Tests for the deterministic thread-pool library: coverage and ordering of
+// parallel_for / parallel_map, thread-count control, nesting, exception
+// propagation, and the obs integration (per-chunk spans, stable worker tids).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/obs.h"
+#include "par/par.h"
+
+namespace smart::par {
+namespace {
+
+/// Restores the ambient worker count after each test so the suite order
+/// cannot leak thread-count state between tests.
+class ParTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_thread_count(saved_); }
+  const int saved_ = thread_count();
+};
+
+TEST_F(ParTest, ThreadCountSetterClampsToOne) {
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3);
+  set_thread_count(0);
+  EXPECT_EQ(thread_count(), 1);
+  set_thread_count(-7);
+  EXPECT_EQ(thread_count(), 1);
+}
+
+TEST_F(ParTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    set_thread_count(threads);
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST_F(ParTest, EmptyAndTinyRanges) {
+  set_thread_count(8);
+  int calls = 0;
+  parallel_for(0, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::vector<int> one(1, 0);
+  parallel_for(1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) one[i] = 7;
+  });
+  EXPECT_EQ(one[0], 7);
+}
+
+TEST_F(ParTest, MapIsIndexOrderedAtAnyThreadCount) {
+  std::vector<int> want(257);
+  std::iota(want.begin(), want.end(), 0);
+  for (int& v : want) v = v * v;
+  for (int threads : {1, 2, 8}) {
+    set_thread_count(threads);
+    const auto got = parallel_map<int>(
+        want.size(), [](size_t i) { return static_cast<int>(i * i); });
+    EXPECT_EQ(got, want) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParTest, NestedParallelForRunsToCompletion) {
+  set_thread_count(4);
+  const size_t outer = 16, inner = 64;
+  std::vector<std::vector<int>> rows(outer);
+  parallel_for(outer, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      rows[i].assign(inner, 0);
+      parallel_for(inner, [&](size_t b2, size_t e2) {
+        for (size_t j = b2; j < e2; ++j) rows[i][j] = static_cast<int>(i + j);
+      });
+    }
+  });
+  for (size_t i = 0; i < outer; ++i)
+    for (size_t j = 0; j < inner; ++j)
+      ASSERT_EQ(rows[i][j], static_cast<int>(i + j));
+}
+
+TEST_F(ParTest, ExceptionFromChunkRethrownOnCaller) {
+  set_thread_count(4);
+  EXPECT_THROW(
+      parallel_for(100,
+                   [&](size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i)
+                       if (i == 42) throw std::runtime_error("boom42");
+                   }),
+      std::runtime_error);
+}
+
+TEST_F(ParTest, LowestChunkExceptionWins) {
+  set_thread_count(4);
+  // Two chunks throw; the rethrown exception must be the one from the
+  // lowest chunk index, i.e. the one a sequential loop would hit first.
+  std::string got;
+  try {
+    parallel_for(1000, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        if (i == 5) throw std::runtime_error("low");
+        if (i == 990) throw std::runtime_error("high");
+      }
+    });
+  } catch (const std::runtime_error& e) {
+    got = e.what();
+  }
+  EXPECT_EQ(got, "low");
+}
+
+TEST_F(ParTest, RecordsPerChunkSpansWithWorkerTids) {
+  auto& tel = obs::Telemetry::instance();
+  tel.reset();
+  tel.enable(true);
+  set_thread_count(2);
+  std::atomic<long> sink{0};
+  parallel_for(
+      64,
+      [&](size_t begin, size_t end) {
+        long acc = 0;
+        for (size_t i = begin; i < end; ++i) acc += static_cast<long>(i);
+        sink.fetch_add(acc);
+      },
+      "par.test");
+  tel.enable(false);
+  EXPECT_EQ(sink.load(), 64L * 63 / 2);
+  size_t chunk_spans = 0;
+  std::set<uint32_t> tids;
+  for (const auto& ev : tel.spans()) {
+    if (ev.name.rfind("par.test", 0) == 0) {
+      ++chunk_spans;
+      tids.insert(ev.tid);
+    }
+  }
+  tel.reset();
+  // Every executed chunk records a span; at least one thread (the caller or
+  // a worker) must have contributed a tid.
+  EXPECT_GE(chunk_spans, 1u);
+  EXPECT_GE(tids.size(), 1u);
+}
+
+}  // namespace
+}  // namespace smart::par

@@ -3,7 +3,7 @@
 // and flags per-metric regressions beyond a threshold.
 //
 //   bench_diff <baseline.json> <current.json> [--threshold PCT]
-//              [--prefix NAME.]
+//              [--prefix NAME.] [--update]
 //
 // Compares every gauge whose name starts with the prefix (default "bench.",
 // the timing gauges; an empty prefix compares all gauges). A current value
@@ -11,6 +11,12 @@
 // CI runners are noisy) is a regression. Exit codes: 0 = no regressions,
 // 1 = at least one regression, 2 = usage or parse error. CI runs this as
 // an advisory step — the exit code flags, it does not gate.
+//
+// `--update` accepts the current run as the new baseline: after printing
+// the comparison plus per-metric speedup ratios (baseline / current), the
+// baseline file is rewritten with the current export verbatim. The refresh
+// is deliberate, so regressions do not fail the run in this mode (exit 0
+// unless the files cannot be read or written).
 
 #include <cmath>
 #include <cstdio>
@@ -64,10 +70,17 @@ bool load_gauges(const std::string& path, const std::string& prefix,
   return true;
 }
 
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: bench_diff <baseline.json> <current.json> "
-               "[--threshold PCT] [--prefix NAME.]\n");
+               "[--threshold PCT] [--prefix NAME.] [--update]\n");
 }
 
 }  // namespace
@@ -76,6 +89,7 @@ int main(int argc, char** argv) {
   std::string baseline_path, current_path;
   double threshold = 25.0;
   std::string prefix = "bench.";
+  bool update = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value_of = [&](const char* flag) -> const char* {
@@ -90,6 +104,8 @@ int main(int argc, char** argv) {
         threshold = std::atof(v);
       } else if (const char* v = value_of("--prefix")) {
         prefix = v;
+      } else if (arg == "--update") {
+        update = true;
       } else {
         std::fprintf(stderr, "bench_diff: unknown flag %s\n", arg.c_str());
         usage();
@@ -162,5 +178,27 @@ int main(int argc, char** argv) {
   std::printf("%zu regressions, %zu improvements, %zu missing of %zu "
               "baseline metrics\n",
               regressions, improvements, missing, baseline.size());
+
+  if (update) {
+    // Speedup view of the accepted refresh: ratio > 1 means the new
+    // baseline is that many times faster than the old one.
+    for (const auto& [name, base] : baseline) {
+      const auto it = current.find(name);
+      if (it == current.end() || !(it->second > 0.0)) continue;
+      std::printf("%s: %.4g -> %.4g (%.2fx %s)\n", name.c_str(), base,
+                  it->second, base / it->second,
+                  base >= it->second ? "speedup" : "slowdown, 1/x");
+    }
+    std::string text;
+    if (!read_file(current_path, &text) ||
+        !write_file(baseline_path, text)) {
+      std::fprintf(stderr, "bench_diff: cannot rewrite baseline %s from %s\n",
+                   baseline_path.c_str(), current_path.c_str());
+      return 2;
+    }
+    std::printf("baseline %s updated from %s\n", baseline_path.c_str(),
+                current_path.c_str());
+    return 0;
+  }
   return regressions + missing > 0 ? 1 : 0;
 }

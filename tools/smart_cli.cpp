@@ -27,6 +27,10 @@
 //   --metrics-out FILE  write the flat metrics JSON (counters/gauges/
 //                       histograms: gp.solve.*, timing.prune.*, sizer.*)
 //   --log-level LVL     debug|info|warn|error|off (default warn)
+//   --threads N         worker threads for the parallel pipeline stages
+//                       (positive integer; default SMART_THREADS env or
+//                       hardware concurrency; results are identical at any
+//                       thread count)
 
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +51,7 @@
 #include "netlist/serialize.h"
 #include "netlist/spice_export.h"
 #include "obs/obs.h"
+#include "par/par.h"
 #include "refsim/critical_path.h"
 #include "refsim/noise.h"
 #include "scope/scope.h"
@@ -105,7 +110,7 @@ Args parse(int argc, char** argv) {
 // Flags every command accepts (telemetry / logging plumbing in main()).
 const std::set<std::string>& global_flags() {
   static const std::set<std::string> flags = {"trace-out", "metrics-out",
-                                              "log-level"};
+                                              "log-level", "threads"};
   return flags;
 }
 
@@ -514,7 +519,7 @@ void usage() {
                "|lint|report> [--type T "
                "--topology X --n N --bits B --load FF --delay PS --cost "
                "width|power|clock] [--trace-out FILE] [--metrics-out FILE] "
-               "[--log-level debug|info|warn|error|off]\n"
+               "[--log-level debug|info|warn|error|off] [--threads N]\n"
                "       smart_cli lint <type/topology[/n] | --all> "
                "[--format text|json] [--suppress ID,ID] [--out FILE]\n"
                "       smart_cli report <type/topology[/n]> [--delay PS] "
@@ -573,6 +578,17 @@ int main(int argc, char** argv) {
       return 2;
     }
     util::set_log_level(level);
+  }
+  if (args.has("threads")) {
+    const std::string t = args.str("threads");
+    char* end = nullptr;
+    const long v = std::strtol(t.c_str(), &end, 10);
+    if (t.empty() || *end != '\0' || v < 1 || v > 4096) {
+      std::fprintf(stderr, "invalid --threads '%s' (want a positive integer)\n",
+                   t.c_str());
+      return 2;
+    }
+    par::set_thread_count(static_cast<int>(v));
   }
   const std::string trace_out = args.str("trace-out");
   const std::string metrics_out = args.str("metrics-out");
