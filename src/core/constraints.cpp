@@ -77,6 +77,9 @@ GeneratedProblem generate_problem(const Netlist& nl,
 
   GeneratedProblem gen;
   gen.built_options = opt;
+  // The deadline is a per-call borrow; the stored options must not keep a
+  // pointer that outlives the caller's Deadline.
+  gen.built_options.deadline = nullptr;
   gen.vars = std::make_unique<posy::VarTable>();
   gen.labels = models::make_label_vars(nl, *gen.vars);
 
@@ -98,7 +101,9 @@ GeneratedProblem generate_problem(const Netlist& nl,
 
   // ---- timing constraint templates from representative paths ----
   timing::PathExtractor extractor(nl);
-  gen.paths = extractor.extract(opt.prune, &gen.path_stats);
+  timing::PruneOptions prune = opt.prune;
+  if (opt.deadline != nullptr) prune.deadline = opt.deadline;
+  gen.paths = extractor.extract(prune, &gen.path_stats);
 
   // The same arc transition at the same input slope appears on many paths;
   // model it once. Keys collect in path order, each distinct model builds
@@ -168,6 +173,11 @@ GeneratedProblem generate_problem(const Netlist& nl,
     par::parallel_for(
         model_keys.size(),
         [&](size_t begin, size_t end) {
+          // Deadline poll at chunk granularity: chunk boundaries are
+          // deterministic, so the check never perturbs the output.
+          if (util::deadline_expired(opt.deadline))
+            throw util::TimeoutError(
+                "constraint generation deadline exceeded (arc models)");
           for (size_t i = begin; i < end; ++i) {
             const auto& [k, slope] = model_keys[i];
             netlist::Arc arc;
@@ -189,6 +199,9 @@ GeneratedProblem generate_problem(const Netlist& nl,
   gen.path_templates = par::parallel_map<PathConstraintTemplate>(
       gen.paths.size(),
       [&](size_t pi) {
+        if (util::deadline_expired(opt.deadline))
+          throw util::TimeoutError(
+              "constraint generation deadline exceeded (templates)");
         const auto& path = gen.paths[pi];
         const double in_slope = path.start_slope >= 0.0
                                     ? path.start_slope
@@ -253,6 +266,9 @@ GeneratedProblem generate_problem(const Netlist& nl,
     auto per_arc = par::parallel_map<std::vector<gp::Constraint>>(
         arcs.size(),
         [&](size_t ai) {
+          if (util::deadline_expired(opt.deadline))
+            throw util::TimeoutError(
+                "constraint generation deadline exceeded (slopes)");
           const auto& arc = arcs[ai];
           std::vector<gp::Constraint> out;
           static thread_local std::vector<netlist::EdgeMap> maps;

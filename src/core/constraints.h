@@ -58,6 +58,13 @@ struct ConstraintOptions {
   /// reference design whose drivers may already be at minimum width; a few
   /// percent of slack keeps the constraint strictly satisfiable.
   double input_cap_slack = 1.05;
+
+  /// Optional wall-clock budget for generate_problem, polled between
+  /// chunks of the parallel model-evaluation / template-emission waves and
+  /// forwarded to path extraction (prune.deadline is overridden when this
+  /// is set). Expiry throws util::TimeoutError; the sizer maps it to
+  /// FailureReason::kTimeout. Non-owning; may be nullptr.
+  const util::Deadline* deadline = nullptr;
 };
 
 /// Spec-independent template of one path's timing constraint: the raw

@@ -6,6 +6,7 @@
 #include "gp/verify.h"
 #include "obs/obs.h"
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/logging.h"
 #include "util/strfmt.h"
 
@@ -76,6 +77,11 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
   auto& tel = obs::Telemetry::instance();
   const refsim::RcTimer timer(*tech_);
 
+  // One wall-clock budget for the whole rung: extraction, constraint
+  // generation (polled between parallel chunks), and every GP solve all
+  // draw from it. opt.gp.deadline_ms < 0 disables (the default).
+  const util::Deadline deadline = util::Deadline::from_ms(opt.gp.deadline_ms);
+
   const double target_delay = opt.delay_spec_ps;
   const double target_pre =
       opt.precharge_spec_ps > 0.0 ? opt.precharge_spec_ps : target_delay;
@@ -112,6 +118,13 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
   std::vector<double> snap_required;
 
   for (int iter = 0; iter < opt.max_respec_iters; ++iter) {
+    if (deadline.expired()) {
+      last_fail = Status::Fail(FailureReason::kTimeout,
+                               "sizing deadline exceeded between respec "
+                               "iterations");
+      if (!best.ok) best.message = last_fail.to_string();
+      break;
+    }
     obs::Span iter_span("sizer.respec_iter");
     iter_span.arg("iter", iter);
     tel.counter_add("sizer.respec.iters");
@@ -134,7 +147,16 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
         copt.input_cap_limit_ff = opt.input_cap_limit_ff;
         copt.input_cap_limits_ff = opt.input_cap_limits_ff;
         copt.output_required_ps = scaled_required;
-        gen = generate_problem(nl, copt, *lib_, *tech_);
+        copt.deadline = deadline.enabled ? &deadline : nullptr;
+        try {
+          gen = generate_problem(nl, copt, *lib_, *tech_);
+        } catch (const util::TimeoutError& e) {
+          // Extraction/congen ran out of budget: report kTimeout and let
+          // the ladder produce a valid (if unoptimized) point.
+          last_fail = Status::Fail(FailureReason::kTimeout, e.what());
+          if (!best.ok) best.message = last_fail.to_string();
+          break;
+        }
         built_slope_budget = slope_budget;
         // Pre-solve gate: statically reject degenerate problems (NaN
         // coefficients, box-infeasible constraints, unbounded variables)
@@ -167,7 +189,25 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
       }
     }
 
-    gp::GpSolver solver(opt.gp);
+    // First iteration: accept a caller-provided warm start (a cached
+    // neighbor's solution) when it matches the generated variable table
+    // and is numerically sane; anything else degrades to a cold solve.
+    if (iter == 0 && warm_start.empty() && !opt.warm_start.empty() &&
+        opt.warm_start.size() == gen.vars->size()) {
+      bool sane = true;
+      for (const double v : opt.warm_start)
+        if (!std::isfinite(v) || v <= 0.0) sane = false;
+      if (sane) {
+        warm_start = opt.warm_start;
+        tel.counter_add("sizer.warm_start.accepted");
+      } else {
+        tel.counter_add("sizer.warm_start.rejected");
+      }
+    }
+
+    gp::SolverOptions gpo = opt.gp;
+    gpo.deadline_ms = deadline.remaining_ms();  // -1 when no deadline
+    gp::GpSolver solver(gpo);
     const gp::GpResult sol =
         warm_start.empty() ? solver.solve(*gen.problem)
                            : solver.solve_from(*gen.problem, warm_start);
@@ -278,6 +318,7 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
                               gen.stage_constraints + gen.slope_constraints;
       best.binding_constraints = sol.binding;
       best.respec_iterations = iter + 1;
+      best.solution_x = sol.x;
       best.message = meets ? "converged" : "best effort";
       best_err = err;
       best_meets = meets;
@@ -392,10 +433,20 @@ SizerResult Sizer::size(const netlist::Netlist& nl,
     return r;
   }
 
+  // The deadline budget spans the whole degradation ladder: a rung-2 retry
+  // only gets what rung 1 left over, so a served request's budget bounds
+  // the entire call, not each rung separately.
+  const util::Deadline ladder_deadline =
+      util::Deadline::from_ms(opt.gp.deadline_ms);
+
   // Rung 1: the full GP sizing loop.
   SizerResult first;
   try {
     first = size_gp(nl, opt);
+  } catch (const util::TimeoutError& e) {
+    first.ok = false;
+    first.status = Status::Fail(FailureReason::kTimeout, e.what());
+    first.message = first.status.to_string();
   } catch (const util::Error& e) {
     first.ok = false;
     first.status = Status::Fail(FailureReason::kNumericalError, e.what());
@@ -424,6 +475,10 @@ SizerResult Sizer::size(const netlist::Netlist& nl,
     relaxed.input_cap_limit_ff = -1.0;
     relaxed.input_cap_limits_ff.clear();
     relaxed.max_respec_iters = std::min(opt.max_respec_iters, 4);
+    // The retry inherits only the unspent budget (0 when already over:
+    // size_gp then times out immediately and the ladder falls through to
+    // the cheap baseline rung).
+    relaxed.gp.deadline_ms = ladder_deadline.remaining_ms();
     SizerResult second;
     try {
       second = size_gp(nl, relaxed);

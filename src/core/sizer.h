@@ -64,6 +64,17 @@ struct SizerOptions {
   /// constraints back to paths. Costs one extra generate_problem() after
   /// the loop; off by default.
   bool keep_solve_snapshot = false;
+
+  /// Warm start: seed the first GP solve from this point instead of the
+  /// box midpoint (GpSolver::solve_from). The vector must be a previous
+  /// SizerResult::solution_x of the *same* netlist under compatible
+  /// options — the variable table is a deterministic function of the
+  /// netlist, so points transfer between near-identical requests (the
+  /// serving layer's result cache feeds this from a solved neighbor).
+  /// Ignored when the size mismatches the generated variable table or any
+  /// entry is non-finite/non-positive; a bad warm start degrades to a cold
+  /// solve, never to a failure.
+  std::vector<double> warm_start;
 };
 
 /// Which rung of the degradation ladder produced a SizerResult.
@@ -139,6 +150,12 @@ struct SizerResult {
   /// Set only with SizerOptions::keep_solve_snapshot on a GP-rung result.
   /// shared_ptr keeps SizerResult copyable (GeneratedProblem is move-only).
   std::shared_ptr<SolveSnapshot> snapshot;
+  /// GP solution point of the accepted solve (variable-table order);
+  /// empty for baseline-rung and failed results. Feeding it back through
+  /// SizerOptions::warm_start on a near-identical request skips phase I
+  /// and most of the barrier schedule — the result cache's warm-start
+  /// currency.
+  std::vector<double> solution_x;
 };
 
 /// Sizes macros against a technology and calibrated model library.

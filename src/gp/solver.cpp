@@ -8,6 +8,7 @@
 
 #include "obs/obs.h"
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -221,23 +222,7 @@ struct BarrierScratch {
 };
 
 /// Wall-clock budget for one solve() call (shared across restarts).
-struct Deadline {
-  std::chrono::steady_clock::time_point at;
-  bool enabled = false;
-
-  static Deadline from_ms(double ms) {
-    Deadline d;
-    if (ms >= 0.0) {
-      d.enabled = true;
-      d.at = std::chrono::steady_clock::now() +
-             std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0));
-    }
-    return d;
-  }
-  bool expired() const {
-    return enabled && std::chrono::steady_clock::now() >= at;
-  }
-};
+using Deadline = util::Deadline;
 
 /// Hessian assembly target: a dense matrix or a skyline profile. At most
 /// one pointer is set; both unset means "no second derivatives wanted".
@@ -759,10 +744,14 @@ GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
     const BarrierProblem p2{&constraints, &objective, &ylo, &yhi};
 
     double t = options_.t_initial;
-    // A warm start that is already strictly feasible sits near the previous
-    // optimum — close to its active constraints. Low-t centering would drag
-    // the iterate back toward the analytic center only to return; skip ahead
-    // on the barrier schedule instead.
+    // A warm start that is strictly feasible sits near the previous
+    // optimum — close to its active constraints. Low-t centering would
+    // drag the iterate back toward the analytic center only to return, so
+    // skip two stages of the barrier schedule. Jumping further (e.g.
+    // straight to the terminal weight) backfires: far from the central
+    // path at high t, Newton exhausts its per-stage budget and the solve
+    // settles on an uncentered point. Phase I above restores strict
+    // feasibility when the raw warm point sat on its binding set.
     if (x0 != nullptr && max_constraint(y) < -options_.feas_margin)
       t *= options_.barrier_mu * options_.barrier_mu;
     bool hit_limit = true;

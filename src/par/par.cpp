@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -11,6 +12,8 @@
 
 #include "obs/obs.h"
 #include "util/check.h"
+#include "util/logging.h"
+#include "util/strfmt.h"
 
 namespace smart::par {
 
@@ -79,13 +82,25 @@ class Pool {
   Pool() { resize(env_threads()); }
   ~Pool() { stop_workers(); }
 
-  static int env_threads() {
-    if (const char* env = std::getenv("SMART_THREADS")) {
-      const int n = std::atoi(env);
-      if (n > 0) return n;
-    }
+  static int hardware_threads() {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+
+  static int env_threads() {
+    const char* env = std::getenv("SMART_THREADS");
+    if (env == nullptr) return hardware_threads();
+    int n = 0;
+    if (!parse_thread_spec(env, &n)) {
+      // A malformed spec must not silently degrade to single-threaded (the
+      // old atoi behavior for "abc") or launch thousands of workers.
+      util::log_warn(util::strfmt(
+          "par: ignoring invalid SMART_THREADS='%s' (want an integer in "
+          "[1, %d]); using hardware concurrency %d",
+          env, kMaxThreads, hardware_threads()));
+      return hardware_threads();
+    }
+    return n;
   }
 
   void stop_workers() {
@@ -179,9 +194,29 @@ class Pool {
 
 }  // namespace
 
+bool parse_thread_spec(const char* spec, int* out) {
+  if (spec == nullptr || *spec == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(spec, &end, 10);
+  if (errno != 0 || end == spec || *end != '\0') return false;
+  if (v < 1 || v > static_cast<long>(kMaxThreads)) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
 int thread_count() { return Pool::instance().threads(); }
 
-void set_thread_count(int n) { Pool::instance().resize(n); }
+void set_thread_count(int n) {
+  if (n < 1 || n > kMaxThreads) {
+    const int clamped = std::clamp(n, 1, kMaxThreads);
+    util::log_warn(util::strfmt(
+        "par: set_thread_count(%d) out of [1, %d]; clamping to %d", n,
+        kMaxThreads, clamped));
+    n = clamped;
+  }
+  Pool::instance().resize(n);
+}
 
 void parallel_for(size_t n, const std::function<void(size_t, size_t)>& body,
                   const char* tag, size_t min_grain) {

@@ -26,11 +26,24 @@
 
 namespace smart::par {
 
-/// Configured worker count (>= 1). First call reads SMART_THREADS.
+/// Upper bound on configurable workers; values beyond it are rejected as
+/// absurd (a typo'd SMART_THREADS, not a real machine).
+constexpr int kMaxThreads = 4096;
+
+/// Strictly parses a thread-count spec ("8"): the whole string must be a
+/// decimal integer in [1, kMaxThreads]. Returns false (leaving `out`
+/// untouched) on empty, non-numeric, trailing-garbage, or out-of-range
+/// input — the validation behind SMART_THREADS and `--threads`.
+bool parse_thread_spec(const char* spec, int* out);
+
+/// Configured worker count (>= 1). First call reads SMART_THREADS; a spec
+/// that fails parse_thread_spec logs a warning and falls back to the
+/// hardware concurrency instead of silently misbehaving.
 int thread_count();
 
-/// Rebuilds the pool with `n` workers (clamped to >= 1). Must not be called
-/// while any parallel_for is in flight; intended for CLI startup and tests.
+/// Rebuilds the pool with `n` workers. Out-of-range values are clamped to
+/// [1, kMaxThreads] with a warning. Must not be called while any
+/// parallel_for is in flight; intended for CLI startup and tests.
 void set_thread_count(int n);
 
 /// Runs `body(begin, end)` over static chunks of [0, n). Blocks until every

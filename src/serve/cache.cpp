@@ -1,0 +1,170 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/fault.h"
+#include "util/hash.h"
+
+namespace smart::serve {
+
+uint64_t ResultCache::checksum_of(const CachedResult& r) {
+  util::Fnv1a f;
+  f.mix(static_cast<uint64_t>(r.solution_x.size()));
+  for (const double v : r.solution_x) f.mix(v);
+  f.mix(static_cast<uint64_t>(r.widths.size()));
+  for (const double v : r.widths) f.mix(v);
+  f.mix(r.measured_delay_ps);
+  f.mix(r.measured_precharge_ps);
+  f.mix(r.total_width_um);
+  f.mix(r.newton_iterations);
+  f.mix(r.respec_iterations);
+  f.mix(std::string_view(r.rung));
+  return f.h;
+}
+
+double ResultCache::rel_distance(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({std::fabs(a[i]), std::fabs(b[i]), 1.0});
+    worst = std::max(worst, std::fabs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+bool ResultCache::lookup_exact(const std::string& bucket,
+                               uint64_t fingerprint, CachedResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(bucket);
+  if (it != buckets_.end()) {
+    auto& entries = it->second;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].fingerprint != fingerprint) continue;
+      CachedResult copy = entries[i].result;
+      // Poison injection site: corrupt the copy the way a bit flip in the
+      // stored entry would, then let the checksum catch it.
+      if (!copy.solution_x.empty())
+        copy.solution_x[0] = util::fault_corrupt(
+            util::FaultClass::kServeCachePoison, "serve.cache.lookup",
+            copy.solution_x[0]);
+      else if (!copy.widths.empty())
+        copy.widths[0] = util::fault_corrupt(
+            util::FaultClass::kServeCachePoison, "serve.cache.lookup",
+            copy.widths[0]);
+      if (checksum_of(copy) != entries[i].checksum) {
+        entries.erase(entries.begin() + static_cast<long>(i));
+        --entries_;
+        ++stats_.poisoned;
+        ++stats_.misses;
+        return false;
+      }
+      entries[i].last_used = ++tick_;
+      *out = std::move(copy);
+      ++stats_.hits;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  return false;
+}
+
+bool ResultCache::lookup_near(const std::string& bucket,
+                              const std::vector<double>& params,
+                              double max_rel_dist, CachedResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(bucket);
+  if (it == buckets_.end()) return false;
+  auto& entries = it->second;
+  size_t best = entries.size();
+  double best_dist = max_rel_dist;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].result.solution_x.empty()) continue;
+    const double d = rel_distance(entries[i].params, params);
+    if (d <= best_dist) {
+      best = i;
+      best_dist = d;
+    }
+  }
+  if (best == entries.size()) return false;
+  CachedResult copy = entries[best].result;
+  copy.solution_x[0] = util::fault_corrupt(
+      util::FaultClass::kServeCachePoison, "serve.cache.lookup",
+      copy.solution_x[0]);
+  if (checksum_of(copy) != entries[best].checksum) {
+    entries.erase(entries.begin() + static_cast<long>(best));
+    --entries_;
+    ++stats_.poisoned;
+    return false;
+  }
+  entries[best].last_used = ++tick_;
+  *out = std::move(copy);
+  ++stats_.near_hits;
+  return true;
+}
+
+void ResultCache::insert(const std::string& bucket, uint64_t fingerprint,
+                         std::vector<double> params, CachedResult result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  Entry entry;
+  entry.fingerprint = fingerprint;
+  entry.params = std::move(params);
+  entry.checksum = checksum_of(result);
+  entry.result = std::move(result);
+  entry.last_used = ++tick_;
+  auto& entries = buckets_[bucket];
+  for (Entry& existing : entries) {
+    if (existing.fingerprint == fingerprint) {
+      existing = std::move(entry);  // refresh in place, no growth
+      return;
+    }
+  }
+  entries.push_back(std::move(entry));
+  ++entries_;
+  ++stats_.insertions;
+  if (entries_ > capacity_) evict_locked();
+}
+
+void ResultCache::evict_locked() {
+  // Linear LRU scan: capacities are small (hundreds) and eviction is rare
+  // relative to lookups, so an index structure would not pay for itself.
+  auto victim_bucket = buckets_.end();
+  size_t victim_idx = 0;
+  uint64_t oldest = std::numeric_limits<uint64_t>::max();
+  for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+    for (size_t i = 0; i < it->second.size(); ++i) {
+      if (it->second[i].last_used < oldest) {
+        oldest = it->second[i].last_used;
+        victim_bucket = it;
+        victim_idx = i;
+      }
+    }
+  }
+  if (victim_bucket == buckets_.end()) return;
+  victim_bucket->second.erase(victim_bucket->second.begin() +
+                              static_cast<long>(victim_idx));
+  if (victim_bucket->second.empty()) buckets_.erase(victim_bucket);
+  --entries_;
+  ++stats_.evictions;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.clear();
+  entries_ = 0;
+}
+
+}  // namespace smart::serve

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file cache.h
+/// Content-addressed result cache of the sizing daemon. Keys are
+/// (macro bucket, constraint fingerprint): the bucket pins everything that
+/// must match exactly (macro identity, cost metric), the fingerprint the
+/// quantized continuous constraints. Two lookup modes:
+///
+///   * exact  — same bucket and fingerprint: the stored response is served
+///              without touching the solver.
+///   * near   — same bucket, different constraints within a relative
+///              L-infinity distance: the stored GP point seeds
+///              SizerOptions::warm_start, so the new solve skips phase I
+///              and most of the barrier schedule (measurably fewer Newton
+///              iterations — the cache's second currency).
+///
+/// Every entry carries an FNV checksum over its numeric content; lookups
+/// verify it, so a poisoned entry (util::FaultClass::kServeCachePoison, or
+/// a real memory corruption) is detected, dropped, and counted instead of
+/// being served. Eviction is LRU at a fixed capacity. All methods are
+/// thread-safe — the worker pool hits the cache concurrently.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace smart::serve {
+
+/// The sized answer a cache entry stores: enough to render a response
+/// without re-solving, plus the GP point that warm-starts neighbors.
+struct CachedResult {
+  std::vector<double> solution_x;  ///< GP point (empty for baseline rung)
+  std::vector<double> widths;      ///< accepted sizing (label order)
+  double measured_delay_ps = 0.0;
+  double measured_precharge_ps = 0.0;
+  double total_width_um = 0.0;
+  int newton_iterations = 0;
+  int respec_iterations = 0;
+  std::string rung;  ///< "gp" | "gp_relaxed" | "baseline"
+};
+
+struct CacheStats {
+  uint64_t hits = 0;        ///< exact hits served without solving
+  uint64_t near_hits = 0;   ///< neighbor found for a warm start
+  uint64_t misses = 0;      ///< exact lookups that found nothing usable
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;   ///< LRU evictions at capacity
+  uint64_t poisoned = 0;    ///< entries dropped on checksum mismatch
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Exact lookup; counts a hit or miss. Returns false (and counts
+  /// `poisoned`) when the matching entry failed its checksum.
+  bool lookup_exact(const std::string& bucket, uint64_t fingerprint,
+                    CachedResult* out);
+
+  /// Nearest stored neighbor in `bucket` by relative L-infinity distance
+  /// over the constraint params, within `max_rel_dist`. Only entries with
+  /// a non-empty GP point qualify (baseline results cannot warm-start).
+  /// Does not count hits/misses — it is a best-effort accelerator probed
+  /// after an exact miss.
+  bool lookup_near(const std::string& bucket,
+                   const std::vector<double>& params, double max_rel_dist,
+                   CachedResult* out);
+
+  void insert(const std::string& bucket, uint64_t fingerprint,
+              std::vector<double> params, CachedResult result);
+
+  CacheStats stats() const;
+  size_t size() const;
+  void clear();
+
+ private:
+  struct Entry {
+    uint64_t fingerprint = 0;
+    std::vector<double> params;
+    CachedResult result;
+    uint64_t checksum = 0;
+    uint64_t last_used = 0;
+  };
+
+  static uint64_t checksum_of(const CachedResult& r);
+  /// Relative L-infinity distance; infinity on dimension mismatch.
+  static double rel_distance(const std::vector<double>& a,
+                             const std::vector<double>& b);
+  void evict_locked();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Entry>> buckets_;
+  size_t capacity_;
+  size_t entries_ = 0;
+  uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace smart::serve

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file handlers.h
+/// Per-request business logic of the sizing daemon, crash-isolated from
+/// the transport: every handler returns a util::Status plus a JSON payload
+/// and never lets an exception escape — the server maps the status to a
+/// typed protocol error frame. Handlers are pure functions of the shared
+/// read-only context (macro database, tech, models) plus the result cache,
+/// so the worker pool runs them concurrently without coordination.
+
+#include <string>
+
+#include "core/database.h"
+#include "models/fitter.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+#include "tech/tech.h"
+#include "util/status.h"
+
+namespace smart::serve {
+
+/// Shared immutable state of the daemon. All pointers must outlive the
+/// server; `cache` may be nullptr (caching disabled).
+struct ServeContext {
+  const core::MacroDatabase* db = nullptr;
+  const tech::Tech* tech = nullptr;
+  const models::ModelLibrary* lib = nullptr;
+  ResultCache* cache = nullptr;
+};
+
+struct HandlerOutcome {
+  util::Status status;  ///< ok() => payload is the response JSON
+  std::string payload;  ///< response JSON, or error detail on failure
+};
+
+/// Dispatches one request frame. `budget_ms` is the wall-clock budget left
+/// after queueing (< 0 = none); solving handlers thread it into
+/// SolverOptions::deadline_ms so a queued-out request times out instead of
+/// hogging a worker. Never throws.
+HandlerOutcome handle_request(const ServeContext& ctx, FrameType type,
+                              const std::string& payload, double budget_ms);
+
+}  // namespace smart::serve

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file protocol.h
+/// Wire protocol of the SMART sizing daemon (smartd). Length-prefixed
+/// binary frames over a stream socket (TCP or Unix domain):
+///
+///   offset size field
+///   0      4    magic 0x534D5254 ("SMRT")
+///   4      2    protocol version (kProtocolVersion)
+///   6      2    FrameType
+///   8      2    ErrorCode (responses; 0 in requests)
+///   10     2    flags (reserved, must be 0)
+///   12     4    payload length (bytes, <= kMaxPayload)
+///   16     8    request id (echoed verbatim in the response)
+///   24     8    deadline_ms as an IEEE-754 double (< 0 = no deadline;
+///               the client's *remaining* budget at send time — the server
+///               subtracts its own queueing delay before solving)
+///   32     8    FNV-1a checksum over header bytes [0,32) and the payload
+///   40     ...  payload (UTF-8 JSON for every type that carries one)
+///
+/// All integers are little-endian on the wire. The checksum turns any
+/// corruption — a flaky client, a fault-injected byte flip — into a
+/// detected kBadFrame instead of a garbage solve. Decoding is incremental:
+/// feed a growing buffer, get kNeedMore until a whole frame is present.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace smart::serve {
+
+constexpr uint32_t kMagic = 0x534D5254u;  // "SMRT"
+constexpr uint16_t kProtocolVersion = 1;
+constexpr size_t kHeaderSize = 40;
+/// Upper bound on a frame payload; larger lengths are kBadFrame (protects
+/// the server from allocating on a corrupted length field).
+constexpr size_t kMaxPayload = 8u << 20;
+
+/// Frame types. Requests are < 64, responses >= 64; a server never sends a
+/// request type and vice versa.
+enum class FrameType : uint16_t {
+  // requests
+  kPing = 1,      ///< liveness probe; empty payload
+  kSize = 2,      ///< size one macro (payload: request JSON)
+  kAdvise = 3,    ///< rank all applicable topologies
+  kLint = 4,      ///< ERC + GP well-formedness report
+  kReport = 5,    ///< SMART-Scope introspection report
+  kShutdown = 6,  ///< ask the daemon to drain and exit
+  // responses
+  kPong = 65,    ///< reply to kPing
+  kResult = 66,  ///< success; payload is the response JSON
+  kError = 67,   ///< failure; `error` says why, payload carries detail JSON
+};
+
+const char* to_string(FrameType t);
+inline bool is_request(FrameType t) { return static_cast<uint16_t>(t) < 64; }
+
+/// Why a request failed, carried in response frames. Values 1..7 mirror
+/// util::FailureReason one-for-one (handler failures); values >= 32 are
+/// protocol/serving conditions the handler never sees.
+enum class ErrorCode : uint16_t {
+  kOk = 0,
+  kInvalidInput = 1,
+  kInfeasible = 2,
+  kMaxIter = 3,
+  kTimeout = 4,
+  kNumericalError = 5,
+  kFaultInjected = 6,
+  kInternal = 7,
+  kBadFrame = 32,            ///< bad magic/length/checksum or unknown type
+  kUnsupportedVersion = 33,  ///< protocol version mismatch
+  kOverloaded = 34,          ///< admission control shed the request
+  kShuttingDown = 35,        ///< daemon is draining; request not started
+};
+
+const char* to_string(ErrorCode e);
+ErrorCode error_from(const util::Status& status);
+/// Inverse mapping for client-side Status reconstruction. Protocol-level
+/// codes (kBadFrame and up) map to kInvalidInput/kInternal.
+util::FailureReason reason_from(ErrorCode e);
+
+/// One decoded (or to-be-encoded) frame. `deadline_ms < 0` means none.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  ErrorCode error = ErrorCode::kOk;
+  uint64_t request_id = 0;
+  double deadline_ms = -1.0;
+  std::string payload;
+};
+
+/// Serializes a frame (header + checksum + payload) to wire bytes.
+std::string encode_frame(const Frame& frame);
+
+enum class DecodeStatus {
+  kOk,        ///< one whole frame decoded; `consumed` bytes eaten
+  kNeedMore,  ///< buffer holds only a prefix; read more and retry
+  kBad,       ///< corrupt (magic/version/length/checksum); close the stream
+};
+
+/// Incrementally decodes the first frame of `data[0, len)`. On kOk the
+/// frame and its byte count are written to `out`/`consumed`; on kBad `err`
+/// explains what was wrong (version mismatches also set `bad_version`).
+DecodeStatus decode_frame(const char* data, size_t len, Frame* out,
+                          size_t* consumed, std::string* err,
+                          bool* bad_version = nullptr);
+
+/// JSON string escaping for hand-built payloads (quotes, backslashes,
+/// control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace smart::serve

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file request.h
+/// JSON request payload of the serving protocol, plus the content-address
+/// derivation the result cache keys on. One Request struct covers every
+/// solving frame type (size/advise/lint/report) — fields a given handler
+/// does not use are simply ignored.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace smart::serve {
+
+struct Request {
+  std::string type;      ///< macro type ("mux", "adder", ...)
+  std::string topology;  ///< required for size/lint/report; advise ranks all
+  int n = 4;
+  double bits = -1.0;  ///< < 0 = absent
+  double m = -1.0;     ///< < 0 = absent
+  double load_ff = 15.0;
+  double delay_ps = -1.0;      ///< <= 0 = derive from the hand baseline
+  double precharge_ps = -1.0;  ///< < 0 = same as delay
+  double slope_ps = -1.0;      ///< < 0 = default slope budget
+  std::string cost = "width";  ///< width|power|clock
+  int top_k = 5;               ///< report: paths in the scope view
+  bool use_cache = true;       ///< size: allow cache hits / warm starts
+};
+
+/// Parses a request payload. Unknown keys are rejected (a typo must not
+/// silently size with defaults); missing keys keep their defaults.
+util::Status parse_request(const std::string& payload, Request* out);
+
+/// Client-side serializer; parse_request(request_json(r)) round-trips.
+std::string request_json(const Request& r);
+
+core::MacroSpec to_spec(const Request& r);
+
+/// Cache bucket: everything that must match *exactly* for two requests to
+/// share solutions — the macro identity and the cost metric. Two requests
+/// in the same bucket generate the same netlist and variable table, so GP
+/// points transfer between them (the warm-start precondition).
+std::string macro_bucket(const Request& r);
+
+/// The continuous constraint parameters, in one documented stable order:
+/// {load_ff, delay_ps, precharge_ps, slope_ps}. Near-neighbor warm-start
+/// distance is relative L-infinity over this vector.
+std::vector<double> constraint_params(const Request& r);
+
+/// Content address of the full request: FNV-1a over the bucket and the
+/// constraint params quantized to 1e-6 (requests that agree to six decimals
+/// fingerprint identically, so float formatting noise cannot split keys).
+uint64_t request_fingerprint(const Request& r);
+
+}  // namespace smart::serve

@@ -1,0 +1,629 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/obs.h"
+#include "par/par.h"
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/strfmt.h"
+
+namespace smart::serve {
+
+namespace {
+
+int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Wake-pipe write end the signal handler targets. A single write() is
+/// async-signal-safe; everything else happens on the io thread.
+std::atomic<int> g_signal_wake_fd{-1};
+
+void on_shutdown_signal(int /*signum*/) {
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 'S';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+Server::Conn::~Conn() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(const ServeContext& ctx, ServerOptions options)
+    : ctx_(ctx), opt_(std::move(options)) {
+  if (opt_.enable_cache)
+    cache_ = std::make_unique<ResultCache>(opt_.cache_capacity);
+  ctx_.cache = cache_.get();
+}
+
+Server::~Server() {
+  if (running_.load(std::memory_order_acquire)) {
+    request_shutdown();
+    wait();
+  }
+  for (const int fd : wake_pipe_)
+    if (fd >= 0) ::close(fd);
+}
+
+void Server::bump(uint64_t ServerStats::*field, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.*field += delta;
+}
+
+util::Status Server::start() {
+  if (running_.load(std::memory_order_acquire))
+    return util::Status::Fail(util::FailureReason::kInvalidInput,
+                              "server already running");
+  if (::pipe(wake_pipe_) != 0)
+    return util::Status::Fail(
+        util::FailureReason::kInternal,
+        util::strfmt("pipe: %s", std::strerror(errno)));
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+
+  const bool unix_mode = !opt_.unix_path.empty();
+  listen_fd_ = ::socket(unix_mode ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    return util::Status::Fail(
+        util::FailureReason::kInternal,
+        util::strfmt("socket: %s", std::strerror(errno)));
+
+  if (unix_mode) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt_.unix_path.size() >= sizeof(addr.sun_path)) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return util::Status::Fail(util::FailureReason::kInvalidInput,
+                                "unix socket path too long");
+    }
+    std::strncpy(addr.sun_path, opt_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(opt_.unix_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const std::string err =
+          util::strfmt("bind %s: %s", opt_.unix_path.c_str(),
+                       std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return util::Status::Fail(util::FailureReason::kInternal, err);
+    }
+    endpoint_ = opt_.unix_path;
+  } else {
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(opt_.port));
+    if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return util::Status::Fail(
+          util::FailureReason::kInvalidInput,
+          util::strfmt("bad bind address '%s'", opt_.host.c_str()));
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const std::string err = util::strfmt("bind %s:%d: %s",
+                                           opt_.host.c_str(), opt_.port,
+                                           std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return util::Status::Fail(util::FailureReason::kInternal, err);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    bound_port_ = ntohs(bound.sin_port);
+    endpoint_ = util::strfmt("%s:%d", opt_.host.c_str(), bound_port_);
+  }
+
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string err =
+        util::strfmt("listen: %s", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::Fail(util::FailureReason::kInternal, err);
+  }
+  set_nonblocking(listen_fd_);
+
+  const int n = opt_.workers > 0 ? opt_.workers
+                                 : std::max(1, par::thread_count());
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  io_thread_ = std::thread([this] { io_loop(); });
+  util::log_info(util::strfmt("smartd: listening on %s (%d workers)",
+                              endpoint_.c_str(), n));
+  return util::Status::Ok();
+}
+
+void Server::request_shutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'S';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::wait() {
+  if (io_thread_.joinable()) io_thread_.join();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+  running_.store(false, std::memory_order_release);
+  if (!opt_.unix_path.empty()) ::unlink(opt_.unix_path.c_str());
+  // Part of the graceful-drain contract: telemetry written after the last
+  // in-flight request has finished, so the export reflects the whole run.
+  auto& tel = obs::Telemetry::instance();
+  if (!opt_.metrics_out.empty() && !tel.write_metrics(opt_.metrics_out))
+    util::log_warn(util::strfmt("smartd: cannot write metrics to %s",
+                                opt_.metrics_out.c_str()));
+  if (!opt_.trace_out.empty() && !tel.write_chrome_trace(opt_.trace_out))
+    util::log_warn(util::strfmt("smartd: cannot write trace to %s",
+                                opt_.trace_out.c_str()));
+}
+
+ServerStats Server::stats() const {
+  ServerStats snap;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snap = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    snap.queue_depth = queue_.size();
+    snap.in_flight = in_flight_;
+  }
+  snap.connections = conn_count_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Server::install_signal_handlers(Server* server) {
+  g_signal_wake_fd.store(server != nullptr ? server->wake_pipe_[1] : -1,
+                         std::memory_order_relaxed);
+  struct sigaction sa{};
+  sa.sa_handler = server != nullptr ? on_shutdown_signal : SIG_DFL;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+void Server::io_loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Conn>> polled;
+  for (;;) {
+    fds.clear();
+    polled.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({draining_.load(std::memory_order_relaxed) ? -1
+                                                             : listen_fd_,
+                   POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) {
+      fds.push_back({fd, POLLIN, 0});
+      polled.push_back(conn);
+    }
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char buf[64];
+      bool shutdown_byte = false;
+      for (;;) {
+        const ssize_t n = ::read(wake_pipe_[0], buf, sizeof(buf));
+        if (n <= 0) break;
+        for (ssize_t i = 0; i < n; ++i)
+          if (buf[i] == 'S') shutdown_byte = true;
+      }
+      if (shutdown_byte ||
+          shutdown_requested_.load(std::memory_order_acquire))
+        begin_drain();
+    }
+    if ((fds[1].revents & POLLIN) != 0) accept_pending();
+    for (size_t i = 0; i < polled.size(); ++i) {
+      const short revents = fds[2 + i].revents;
+      const auto& conn = polled[i];
+      if (conn->closed.load(std::memory_order_acquire) ||
+          (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+        close_conn(conn->fd);
+        continue;
+      }
+      if ((revents & POLLIN) != 0) read_conn(conn);
+    }
+    reap_idle();
+
+    if (draining_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.empty() && in_flight_ == 0) break;
+    }
+  }
+
+  // Drained: release the workers, then drop every connection (closing the
+  // sockets tells lingering clients the daemon is gone).
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  for (const auto& [fd, conn] : conns_)
+    conn->closed.store(true, std::memory_order_release);
+  conns_.clear();
+  conn_count_.store(0, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  util::log_info("smartd: drained");
+}
+
+void Server::begin_drain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  util::log_info("smartd: drain requested; finishing in-flight requests");
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::accept_pending() {
+  for (;;) {
+    if (listen_fd_ < 0) return;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient error; poll will retry
+    }
+    // Injected accept failure: the kernel handed us a connection but the
+    // daemon "fails" it — the client sees a reset and retries.
+    if (util::fault_fires(util::FaultClass::kServeIoFail, "serve.accept")) {
+      ::close(fd);
+      bump(&ServerStats::io_faults);
+      continue;
+    }
+    if (conns_.size() >= opt_.max_connections) {
+      ::close(fd);
+      bump(&ServerStats::rejected);
+      continue;
+    }
+    set_nonblocking(fd);
+    if (opt_.unix_path.empty()) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->last_active_ms.store(now_ms(), std::memory_order_relaxed);
+    conns_.emplace(fd, std::move(conn));
+    conn_count_.store(conns_.size(), std::memory_order_relaxed);
+    bump(&ServerStats::accepted);
+    obs::Telemetry::instance().counter_add("serve.accepted");
+  }
+}
+
+void Server::read_conn(const std::shared_ptr<Conn>& conn) {
+  char buf[16384];
+  for (;;) {
+    if (util::fault_fires(util::FaultClass::kServeIoFail, "serve.read")) {
+      bump(&ServerStats::io_faults);
+      close_conn(conn->fd);
+      return;
+    }
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) {  // peer closed
+      close_conn(conn->fd);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(conn->fd);
+      return;
+    }
+    const size_t received = static_cast<size_t>(n);
+    conn->rbuf.append(buf, received);
+    // Frame-corruption site: flip the last received byte; the checksum in
+    // decode_frame must turn this into kBadFrame, never a garbage solve.
+    if (util::fault_fires(util::FaultClass::kServeFrameCorrupt,
+                          "serve.frame"))
+      conn->rbuf[conn->rbuf.size() - 1] =
+          static_cast<char>(conn->rbuf[conn->rbuf.size() - 1] ^ 0x5A);
+    conn->last_active_ms.store(now_ms(), std::memory_order_relaxed);
+    if (received < sizeof(buf)) break;  // drained the socket
+  }
+
+  while (!conn->closed.load(std::memory_order_acquire)) {
+    Frame frame;
+    size_t consumed = 0;
+    std::string err;
+    bool bad_version = false;
+    const DecodeStatus st =
+        decode_frame(conn->rbuf.data(), conn->rbuf.size(), &frame,
+                     &consumed, &err, &bad_version);
+    if (st == DecodeStatus::kNeedMore) {
+      if (conn->rbuf.size() > kHeaderSize + kMaxPayload) {
+        bump(&ServerStats::bad_frames);
+        send_error(conn, 0, ErrorCode::kBadFrame, "oversized frame", 250.0);
+        close_conn(conn->fd);
+      }
+      return;
+    }
+    if (st == DecodeStatus::kBad) {
+      bump(&ServerStats::bad_frames);
+      obs::Telemetry::instance().counter_add("serve.bad_frames");
+      send_error(conn, 0,
+                 bad_version ? ErrorCode::kUnsupportedVersion
+                             : ErrorCode::kBadFrame,
+                 err, 250.0);
+      close_conn(conn->fd);
+      return;
+    }
+    conn->rbuf.erase(0, consumed);
+    dispatch(conn, std::move(frame));
+  }
+}
+
+void Server::dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
+  switch (frame.type) {
+    case FrameType::kPing: {
+      bump(&ServerStats::pings);
+      Frame pong;
+      pong.type = FrameType::kPong;
+      pong.request_id = frame.request_id;
+      send_frame(conn, pong, 250.0);
+      return;
+    }
+    case FrameType::kShutdown: {
+      Frame ack;
+      ack.type = FrameType::kResult;
+      ack.request_id = frame.request_id;
+      ack.payload = "{\"draining\":true}";
+      send_frame(conn, ack, 250.0);
+      begin_drain();
+      return;
+    }
+    case FrameType::kSize:
+    case FrameType::kAdvise:
+    case FrameType::kLint:
+    case FrameType::kReport:
+      break;
+    default:
+      // A response-type frame from a client is a protocol violation.
+      bump(&ServerStats::bad_frames);
+      send_error(conn, frame.request_id, ErrorCode::kBadFrame,
+                 util::strfmt("unexpected frame type %s",
+                              to_string(frame.type)),
+                 250.0);
+      close_conn(conn->fd);
+      return;
+  }
+
+  if (draining_.load(std::memory_order_relaxed)) {
+    send_error(conn, frame.request_id, ErrorCode::kShuttingDown,
+               "daemon is draining; request not started", 250.0);
+    return;
+  }
+  const uint64_t id = frame.request_id;
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= opt_.max_queue) {
+      shed = true;
+    } else {
+      WorkItem item;
+      item.conn = conn;
+      item.enqueued = std::chrono::steady_clock::now();
+      item.deadline = util::Deadline::from_ms(frame.deadline_ms);
+      item.frame = std::move(frame);
+      queue_.push_back(std::move(item));
+    }
+  }
+  auto& tel = obs::Telemetry::instance();
+  if (shed) {
+    bump(&ServerStats::shed);
+    tel.counter_add("serve.shed");
+    send_error(conn, id, ErrorCode::kOverloaded,
+               util::strfmt("queue full (%zu queued)", opt_.max_queue),
+               250.0);
+    return;
+  }
+  conn->outstanding.fetch_add(1, std::memory_order_relaxed);
+  bump(&ServerStats::requests);
+  tel.counter_add("serve.requests");
+  queue_cv_.notify_one();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [&] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_workers_) return;
+        continue;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    process(std::move(item));
+  }
+}
+
+void Server::process(WorkItem item) {
+  auto& tel = obs::Telemetry::instance();
+  const double queue_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - item.enqueued)
+          .count();
+  tel.hist_record("serve.queue_ms", queue_ms);
+
+  const auto finish = [&] {
+    item.conn->outstanding.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    --in_flight_;
+  };
+
+  // Client already gone (mid-request disconnect): don't burn a solve.
+  if (item.conn->closed.load(std::memory_order_acquire)) {
+    bump(&ServerStats::abandoned);
+    tel.counter_add("serve.abandoned");
+    finish();
+    return;
+  }
+  // Deadline spent in the queue: typed timeout, no solver time wasted.
+  if (item.deadline.expired()) {
+    bump(&ServerStats::timeouts);
+    tel.counter_add("serve.timeouts");
+    send_error(item.conn, item.frame.request_id, ErrorCode::kTimeout,
+               "deadline expired before the request started",
+               opt_.write_timeout_ms);
+    finish();
+    return;
+  }
+  // Worker-stall site: a bounded hiccup, long enough that concurrent
+  // clients pile into the queue and admission control gets exercised.
+  if (util::fault_fires(util::FaultClass::kServeWorkerStall,
+                        "serve.worker"))
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // Deadline propagation: client budget minus queueing delay becomes the
+  // solver's deadline (-1 = unbounded).
+  const double budget_ms = item.deadline.remaining_ms();
+  obs::StopWatch watch;
+  const HandlerOutcome out =
+      handle_request(ctx_, item.frame.type, item.frame.payload, budget_ms);
+  tel.hist_record("serve.request_ms", watch.elapsed_ms());
+
+  Frame reply;
+  reply.request_id = item.frame.request_id;
+  if (out.status.ok()) {
+    reply.type = FrameType::kResult;
+    reply.payload = out.payload;
+  } else {
+    bump(&ServerStats::errors);
+    tel.counter_add("serve.errors");
+    reply.type = FrameType::kError;
+    reply.error = error_from(out.status);
+    reply.payload = util::strfmt(
+        "{\"error\":\"%s\",\"detail\":\"%s\"}", to_string(reply.error),
+        json_escape(out.status.detail).c_str());
+  }
+  if (send_frame(item.conn, reply, opt_.write_timeout_ms)) {
+    bump(&ServerStats::responses);
+    tel.counter_add("serve.responses");
+  } else {
+    bump(&ServerStats::abandoned);
+    tel.counter_add("serve.abandoned");
+  }
+  item.conn->last_active_ms.store(now_ms(), std::memory_order_relaxed);
+  finish();
+}
+
+bool Server::send_frame(const std::shared_ptr<Conn>& conn,
+                        const Frame& frame, double timeout_ms) {
+  const std::string bytes = encode_frame(frame);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->closed.load(std::memory_order_acquire)) return false;
+  const auto give_up = [&] {
+    // Mark dead and half-close so the io thread's poll sees HUP and
+    // removes the connection; the fd itself closes with the last ref.
+    conn->closed.store(true, std::memory_order_release);
+    ::shutdown(conn->fd, SHUT_RDWR);
+    return false;
+  };
+  obs::StopWatch watch;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    if (util::fault_fires(util::FaultClass::kServeIoFail, "serve.write")) {
+      bump(&ServerStats::io_faults);
+      return give_up();
+    }
+    const ssize_t n = ::send(conn->fd, bytes.data() + off,
+                             bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Slow-client protection: wait for writability only within the
+      // response's write budget, then disconnect.
+      const double left = timeout_ms - watch.elapsed_ms();
+      if (left <= 0.0) return give_up();
+      pollfd p{conn->fd, POLLOUT, 0};
+      ::poll(&p, 1, static_cast<int>(std::min(left, 100.0)) + 1);
+      continue;
+    }
+    return give_up();
+  }
+  return true;
+}
+
+void Server::send_error(const std::shared_ptr<Conn>& conn,
+                        uint64_t request_id, ErrorCode code,
+                        const std::string& detail, double timeout_ms) {
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.error = code;
+  frame.request_id = request_id;
+  frame.payload =
+      util::strfmt("{\"error\":\"%s\",\"detail\":\"%s\"}", to_string(code),
+                   json_escape(detail).c_str());
+  send_frame(conn, frame, timeout_ms);
+}
+
+void Server::close_conn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  it->second->closed.store(true, std::memory_order_release);
+  conns_.erase(it);  // fd closes when the last worker drops its reference
+  conn_count_.store(conns_.size(), std::memory_order_relaxed);
+}
+
+void Server::reap_idle() {
+  if (opt_.idle_timeout_ms <= 0.0) return;
+  const int64_t now = now_ms();
+  std::vector<int> victims;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->outstanding.load(std::memory_order_relaxed) > 0) continue;
+    const int64_t idle =
+        now - conn->last_active_ms.load(std::memory_order_relaxed);
+    if (static_cast<double>(idle) > opt_.idle_timeout_ms)
+      victims.push_back(fd);
+  }
+  for (const int fd : victims) {
+    close_conn(fd);
+    bump(&ServerStats::reaped_idle);
+    obs::Telemetry::instance().counter_add("serve.reaped_idle");
+  }
+}
+
+}  // namespace smart::serve

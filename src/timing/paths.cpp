@@ -413,6 +413,13 @@ class Extractor {
       buckets[static_cast<size_t>(level[n])].push_back(n);
 
     for (auto& bucket : buckets) {
+      // Deadline poll between wavefront levels: a served request with an
+      // exhausted budget must stop extracting, not finish the build. The
+      // poll sits between parallel_for calls, so chunk boundaries (and
+      // therefore the deterministic output) are untouched.
+      if (util::deadline_expired(opt_.deadline))
+        throw util::TimeoutError(
+            "path extraction deadline exceeded (wavefront)");
       par::parallel_for(
           bucket.size(),
           [&](size_t begin, size_t end) {
@@ -817,6 +824,8 @@ std::vector<Path> PathExtractor::extract(const PruneOptions& opt,
   for (Phase phase : {Phase::kEvaluate, Phase::kPrecharge}) {
     // The precharge phase only exists for dynamic logic.
     if (phase == Phase::kPrecharge && !has_domino) continue;
+    if (util::deadline_expired(opt.deadline))
+      throw util::TimeoutError("path extraction deadline exceeded (phase)");
     {
       obs::Span build_span("timing.extract.build");
       ex.build(phase);
@@ -947,6 +956,8 @@ std::vector<Path> PathExtractor::extract(const PruneOptions& opt,
   // parallel_for cannot change the outcome: the per-bucket front scan is
   // sequential in arrival order, exactly like the original single loop.
   auto pareto_stage = [&](uint64_t Candidate::*key) {
+    if (util::deadline_expired(opt.deadline))
+      throw util::TimeoutError("path pruning deadline exceeded");
     // CSR bucket grouping: one open-addressing pass assigns dense bucket
     // ids in first-sight order, a counting pass lays buckets out in a flat
     // member array — no per-bucket vectors, no rehashing node allocations.

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "util/deadline.h"
 
 namespace smart::timing {
 
@@ -55,6 +56,11 @@ struct PruneOptions {
   bool dominance = true;
   /// Safety bound on equivalence classes kept per (net, edge) node.
   size_t max_classes_per_node = 65536;
+  /// Optional wall-clock budget, polled between parallel wavefront levels
+  /// and pruning stages (not inside a chunk, so the check itself cannot
+  /// perturb determinism). Expiry throws util::TimeoutError, which the
+  /// sizer maps to FailureReason::kTimeout. Non-owning; may be nullptr.
+  const util::Deadline* deadline = nullptr;
 };
 
 /// Problem-size statistics; reproduces the paper's §5.2 numbers.

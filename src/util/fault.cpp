@@ -21,6 +21,14 @@ const char* to_string(FaultClass c) {
       return "timer_perturb";
     case FaultClass::kTimerNonFinite:
       return "timer_non_finite";
+    case FaultClass::kServeFrameCorrupt:
+      return "serve_frame_corrupt";
+    case FaultClass::kServeIoFail:
+      return "serve_io_fail";
+    case FaultClass::kServeWorkerStall:
+      return "serve_worker_stall";
+    case FaultClass::kServeCachePoison:
+      return "serve_cache_poison";
   }
   return "unknown";
 }
@@ -88,6 +96,7 @@ double FaultInjector::corrupt(FaultClass fault, const char* site,
     case FaultClass::kModelNonFinite:
     case FaultClass::kSolverNonFinite:
     case FaultClass::kTimerNonFinite:
+    case FaultClass::kServeCachePoison:
       return std::numeric_limits<double>::quiet_NaN();
     default:
       return value;

@@ -27,6 +27,11 @@ enum class FaultClass {
   kSolverExhaustIters,  ///< force the Newton iteration budget to exhaust
   kTimerPerturb,        ///< scale reference-timer delays by `magnitude`
   kTimerNonFinite,      ///< poison the reference-timer worst delay with NaN
+  // Serving-layer faults (SMART-Serve resilience sweep).
+  kServeFrameCorrupt,   ///< flip bytes of a received protocol frame
+  kServeIoFail,         ///< fail a socket accept/read/write
+  kServeWorkerStall,    ///< stall a request worker for `magnitude` ms
+  kServeCachePoison,    ///< corrupt a result-cache entry on lookup
 };
 
 const char* to_string(FaultClass c);

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "obs/obs.h"
@@ -144,6 +145,31 @@ TEST_F(ParTest, RecordsPerChunkSpansWithWorkerTids) {
   // a worker) must have contributed a tid.
   EXPECT_GE(chunk_spans, 1u);
   EXPECT_GE(tids.size(), 1u);
+}
+
+TEST_F(ParTest, ParseThreadSpecAcceptsIntegersInRange) {
+  int n = 0;
+  EXPECT_TRUE(parse_thread_spec("1", &n));
+  EXPECT_EQ(n, 1);
+  EXPECT_TRUE(parse_thread_spec("8", &n));
+  EXPECT_EQ(n, 8);
+  EXPECT_TRUE(
+      parse_thread_spec(std::to_string(kMaxThreads).c_str(), &n));
+  EXPECT_EQ(n, kMaxThreads);
+}
+
+TEST_F(ParTest, ParseThreadSpecRejectsMalformedAndOutOfRange) {
+  int n = 42;
+  EXPECT_FALSE(parse_thread_spec(nullptr, &n));
+  EXPECT_FALSE(parse_thread_spec("", &n));
+  EXPECT_FALSE(parse_thread_spec("0", &n));
+  EXPECT_FALSE(parse_thread_spec("-3", &n));
+  EXPECT_FALSE(parse_thread_spec("abc", &n));
+  EXPECT_FALSE(parse_thread_spec("4x", &n));  // trailing garbage
+  EXPECT_FALSE(parse_thread_spec("2.5", &n));
+  EXPECT_FALSE(
+      parse_thread_spec(std::to_string(kMaxThreads + 1).c_str(), &n));
+  EXPECT_EQ(n, 42) << "out must be untouched on failure";
 }
 
 }  // namespace

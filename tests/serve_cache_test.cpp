@@ -1,0 +1,143 @@
+// Result-cache tests: exact/near lookup semantics, LRU eviction at
+// capacity, and checksum-verified poison detection (the
+// kServeCachePoison fault site).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/cache.h"
+#include "util/fault.h"
+
+namespace smart::serve {
+namespace {
+
+CachedResult result_for(double delay) {
+  CachedResult r;
+  r.solution_x = {1.0, 2.0, 3.0};
+  r.widths = {0.5, 1.0, 1.5};
+  r.measured_delay_ps = delay;
+  r.total_width_um = 3.0;
+  r.newton_iterations = 42;
+  r.respec_iterations = 2;
+  r.rung = "gp";
+  return r;
+}
+
+TEST(ServeCache, ExactHitAfterInsert) {
+  ResultCache cache(8);
+  CachedResult out;
+  EXPECT_FALSE(cache.lookup_exact("mux/a", 1, &out));
+  cache.insert("mux/a", 1, {100.0}, result_for(95.0));
+  ASSERT_TRUE(cache.lookup_exact("mux/a", 1, &out));
+  EXPECT_DOUBLE_EQ(out.measured_delay_ps, 95.0);
+  EXPECT_EQ(out.rung, "gp");
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.insertions, 1u);
+}
+
+TEST(ServeCache, DifferentBucketOrFingerprintMisses) {
+  ResultCache cache(8);
+  cache.insert("mux/a", 1, {100.0}, result_for(95.0));
+  CachedResult out;
+  EXPECT_FALSE(cache.lookup_exact("mux/b", 1, &out));  // other bucket
+  EXPECT_FALSE(cache.lookup_exact("mux/a", 2, &out));  // other constraints
+}
+
+TEST(ServeCache, ReinsertSameKeyRefreshesInPlace) {
+  ResultCache cache(8);
+  cache.insert("mux/a", 1, {100.0}, result_for(95.0));
+  cache.insert("mux/a", 1, {100.0}, result_for(90.0));
+  EXPECT_EQ(cache.size(), 1u);
+  CachedResult out;
+  ASSERT_TRUE(cache.lookup_exact("mux/a", 1, &out));
+  EXPECT_DOUBLE_EQ(out.measured_delay_ps, 90.0);
+}
+
+TEST(ServeCache, NearLookupFindsNeighborWithinRadius) {
+  ResultCache cache(8);
+  cache.insert("mux/a", 1, {15.0, 100.0, -1.0, -1.0}, result_for(95.0));
+  CachedResult out;
+  // 10% away on the delay axis: inside a 0.25 radius.
+  EXPECT_TRUE(
+      cache.lookup_near("mux/a", {15.0, 110.0, -1.0, -1.0}, 0.25, &out));
+  // 50% away: outside.
+  EXPECT_FALSE(
+      cache.lookup_near("mux/a", {15.0, 150.0, -1.0, -1.0}, 0.25, &out));
+  // Same constraints, other bucket: never transfers.
+  EXPECT_FALSE(
+      cache.lookup_near("mux/b", {15.0, 100.0, -1.0, -1.0}, 0.25, &out));
+}
+
+TEST(ServeCache, NearLookupPrefersClosestNeighbor) {
+  ResultCache cache(8);
+  cache.insert("mux/a", 1, {15.0, 100.0, -1.0, -1.0}, result_for(95.0));
+  cache.insert("mux/a", 2, {15.0, 120.0, -1.0, -1.0}, result_for(115.0));
+  CachedResult out;
+  ASSERT_TRUE(
+      cache.lookup_near("mux/a", {15.0, 118.0, -1.0, -1.0}, 0.25, &out));
+  EXPECT_DOUBLE_EQ(out.measured_delay_ps, 115.0);
+}
+
+TEST(ServeCache, NearLookupSkipsBaselineEntriesWithoutGpPoint) {
+  ResultCache cache(8);
+  CachedResult baseline = result_for(95.0);
+  baseline.solution_x.clear();  // baseline rung: nothing to warm-start from
+  baseline.rung = "baseline";
+  cache.insert("mux/a", 1, {15.0, 100.0, -1.0, -1.0}, baseline);
+  CachedResult out;
+  EXPECT_FALSE(
+      cache.lookup_near("mux/a", {15.0, 101.0, -1.0, -1.0}, 0.25, &out));
+}
+
+TEST(ServeCache, LruEvictionAtCapacity) {
+  ResultCache cache(3);
+  cache.insert("b", 1, {1.0}, result_for(1.0));
+  cache.insert("b", 2, {2.0}, result_for(2.0));
+  cache.insert("b", 3, {3.0}, result_for(3.0));
+  // Touch 1 so 2 becomes the least-recently-used entry.
+  CachedResult out;
+  ASSERT_TRUE(cache.lookup_exact("b", 1, &out));
+  cache.insert("b", 4, {4.0}, result_for(4.0));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.lookup_exact("b", 1, &out));   // recently used: kept
+  EXPECT_FALSE(cache.lookup_exact("b", 2, &out));  // LRU: evicted
+  EXPECT_TRUE(cache.lookup_exact("b", 3, &out));
+  EXPECT_TRUE(cache.lookup_exact("b", 4, &out));
+}
+
+TEST(ServeCache, PoisonedEntryDetectedDroppedCounted) {
+  ResultCache cache(8);
+  cache.insert("mux/a", 1, {100.0}, result_for(95.0));
+  CachedResult out;
+  {
+    util::FaultScope fault(util::FaultClass::kServeCachePoison,
+                           "serve.cache.lookup");
+    // The poisoned copy fails its checksum: the lookup reports a miss,
+    // counts the poisoning, and drops the entry.
+    EXPECT_FALSE(cache.lookup_exact("mux/a", 1, &out));
+  }
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.poisoned, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // Disarmed, a re-insert works normally again — no sticky state.
+  cache.insert("mux/a", 1, {100.0}, result_for(95.0));
+  EXPECT_TRUE(cache.lookup_exact("mux/a", 1, &out));
+}
+
+TEST(ServeCache, ClearEmptiesEverything) {
+  ResultCache cache(8);
+  cache.insert("a", 1, {1.0}, result_for(1.0));
+  cache.insert("b", 2, {2.0}, result_for(2.0));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  CachedResult out;
+  EXPECT_FALSE(cache.lookup_exact("a", 1, &out));
+}
+
+}  // namespace
+}  // namespace smart::serve

@@ -259,5 +259,48 @@ TEST_F(SizerTest, ReportDescribesSolution) {
   EXPECT_NE(report.find("mW"), std::string::npos);
 }
 
+TEST_F(SizerTest, TinyDeadlineTimesOutWithValidBestEffortPoint) {
+  const auto nl = test::inverter_chain(4, 30.0);
+  SizerOptions opt;
+  opt.delay_spec_ps = 100.0;
+  // Far too small to cover extraction + constraint generation + the GP:
+  // the deadline must surface as a structured kTimeout, and the ladder
+  // must still hand back a usable sizing (the baseline fallback), never
+  // an empty result or an exception.
+  opt.gp.deadline_ms = 0.01;
+  const auto r = sizer_.size(nl, opt);
+  ASSERT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.rung, SizingRung::kBaseline) << r.message;
+  EXPECT_EQ(r.status.reason, util::FailureReason::kTimeout)
+      << r.status.to_string();
+  ASSERT_FALSE(r.sizing.empty());
+  for (const double w : r.sizing) {
+    EXPECT_TRUE(std::isfinite(w));
+    EXPECT_GT(w, 0.0);
+  }
+  EXPECT_GT(r.total_width_um, 0.0);
+}
+
+TEST_F(SizerTest, WarmStartFromOwnSolutionConvergesCheaper) {
+  const auto nl = test::inverter_chain(4, 30.0);
+  SizerOptions opt;
+  opt.delay_spec_ps = 90.0;  // tight enough that the GP works for it
+  const auto cold = sizer_.size(nl, opt);
+  ASSERT_TRUE(cold.ok) << cold.message;
+  ASSERT_EQ(cold.rung, SizingRung::kGp);
+  ASSERT_FALSE(cold.solution_x.empty());
+
+  SizerOptions warm_opt = opt;
+  warm_opt.warm_start = cold.solution_x;
+  const auto warm = sizer_.size(nl, warm_opt);
+  ASSERT_TRUE(warm.ok) << warm.message;
+  // Re-solving from the solved point must cost fewer Newton iterations —
+  // the property the serving layer's result cache banks on — and land on
+  // the same design.
+  EXPECT_LT(warm.gp_newton_iterations, cold.gp_newton_iterations);
+  EXPECT_NEAR(warm.total_width_um, cold.total_width_um,
+              0.02 * cold.total_width_um);
+}
+
 }  // namespace
 }  // namespace smart::core

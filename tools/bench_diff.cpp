@@ -18,6 +18,7 @@
 // is deliberate, so regressions do not fail the run in this mode (exit 0
 // unless the files cannot be read or written).
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -44,22 +45,52 @@ bool read_file(const std::string& path, std::string* out) {
 }
 
 /// Loads the "gauges" object of one metrics export as name -> value.
-bool load_gauges(const std::string& path, const std::string& prefix,
+/// `role` ("baseline" or "current") scopes the diagnostics; a missing or
+/// malformed baseline additionally prints how to mint a fresh one, since
+/// that is the common first-run failure.
+bool load_gauges(const std::string& path, const char* role,
+                 const std::string& prefix,
                  std::map<std::string, double>* out) {
+  const bool is_baseline = std::strcmp(role, "baseline") == 0;
   std::string text;
   if (!read_file(path, &text)) {
-    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    std::fprintf(stderr, "bench_diff: cannot read %s file %s: %s\n", role,
+                 path.c_str(), std::strerror(errno));
+    if (is_baseline)
+      std::fprintf(stderr,
+                   "bench_diff: create a baseline with "
+                   "`perf_microbench --metrics-out %s`, or accept a "
+                   "current run with `bench_diff %s <current.json> "
+                   "--update`\n",
+                   path.c_str(), path.c_str());
     return false;
   }
   JsonValue root;
   if (!smart::util::json_parse(text, &root)) {
-    std::fprintf(stderr, "bench_diff: %s is not valid JSON\n", path.c_str());
+    std::string head = text.substr(0, 60);
+    for (char& c : head)
+      if (c == '\n' || c == '\r') c = ' ';
+    std::fprintf(stderr,
+                 "bench_diff: %s file %s is not valid JSON "
+                 "(starts: \"%s%s\")\n",
+                 role, path.c_str(), head.c_str(),
+                 text.size() > 60 ? "..." : "");
+    if (is_baseline)
+      std::fprintf(stderr,
+                   "bench_diff: the baseline is likely truncated or "
+                   "hand-edited; regenerate it with "
+                   "`perf_microbench --metrics-out %s` or refresh it "
+                   "with --update\n",
+                   path.c_str());
     return false;
   }
   const JsonValue* gauges = root.find("gauges");
   if (gauges == nullptr || gauges->kind != JsonValue::Kind::kObject) {
-    std::fprintf(stderr, "bench_diff: %s has no \"gauges\" object\n",
-                 path.c_str());
+    std::fprintf(stderr,
+                 "bench_diff: %s file %s has no \"gauges\" object — is it "
+                 "a metrics export (obs::Telemetry JSON) and not some "
+                 "other JSON?\n",
+                 role, path.c_str());
     return false;
   }
   for (const auto& [name, value] : gauges->object) {
@@ -126,8 +157,8 @@ int main(int argc, char** argv) {
   }
 
   std::map<std::string, double> baseline, current;
-  if (!load_gauges(baseline_path, prefix, &baseline) ||
-      !load_gauges(current_path, prefix, &current))
+  if (!load_gauges(baseline_path, "baseline", prefix, &baseline) ||
+      !load_gauges(current_path, "current", prefix, &current))
     return 2;
   if (baseline.empty()) {
     std::fprintf(stderr,

@@ -12,6 +12,9 @@
 //                    [--suppress ID,ID] [--out FILE] [--delay PS]
 //   smart_cli report <type/topology[/n]> [--delay PS] [--top-k K]
 //                    [--format text|json] [--out FILE]
+//   smart_cli client <ping|size|advise|lint|report|shutdown>
+//                    (--port N | --unix PATH) [--type T --topology X ...]
+//                    [--deadline-ms MS] [--retries N] [--no-cache]
 //
 // `advise` runs the full Fig-1 flow (generate every applicable topology,
 // GP-size each against the spec, verify with the reference timer, rank by
@@ -55,6 +58,8 @@
 #include "refsim/critical_path.h"
 #include "refsim/noise.h"
 #include "scope/scope.h"
+#include "serve/client.h"
+#include "serve/request.h"
 #include "timing/paths.h"
 #include "util/logging.h"
 #include "util/strfmt.h"
@@ -136,6 +141,10 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
       {"report",
        {"type", "topology", "n", "bits", "m", "load", "slope", "delay",
         "top-k", "format", "out"}},
+      {"client",
+       {"port", "host", "unix", "type", "topology", "n", "bits", "m",
+        "load", "slope", "delay", "precharge", "cost", "top-k",
+        "deadline-ms", "retries", "no-cache"}},
   };
   return flags;
 }
@@ -513,6 +522,79 @@ int cmd_report(const Args& args) {
   return report.message == "ok" ? 0 : 1;
 }
 
+// Talks to a running smartd over the framed protocol. The op rides as the
+// positional operand; the macro spec flags mirror the local commands. The
+// client retries only requests the daemon provably never started (connect
+// failures, kOverloaded sheds) with exponential backoff + jitter.
+int cmd_client(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "client needs an op: "
+                 "ping|size|advise|lint|report|shutdown\n");
+    return 2;
+  }
+  const std::string op = args.positional.front();
+  serve::FrameType type;
+  if (op == "ping") type = serve::FrameType::kPing;
+  else if (op == "size") type = serve::FrameType::kSize;
+  else if (op == "advise") type = serve::FrameType::kAdvise;
+  else if (op == "lint") type = serve::FrameType::kLint;
+  else if (op == "report") type = serve::FrameType::kReport;
+  else if (op == "shutdown") type = serve::FrameType::kShutdown;
+  else {
+    std::fprintf(stderr, "unknown client op '%s'\n", op.c_str());
+    return 2;
+  }
+
+  serve::ClientOptions copt;
+  copt.unix_path = args.str("unix");
+  copt.host = args.str("host", "127.0.0.1");
+  copt.port = static_cast<int>(args.num("port", 0));
+  if (copt.unix_path.empty() && copt.port <= 0) {
+    std::fprintf(stderr, "client needs --port N or --unix PATH\n");
+    return 2;
+  }
+  copt.max_retries = static_cast<int>(args.num("retries", 3));
+
+  serve::Request req;
+  req.type = args.str("type");
+  req.topology = args.str("topology");
+  req.n = static_cast<int>(args.num("n", 4));
+  if (args.has("bits")) req.bits = args.num("bits", 8);
+  if (args.has("m")) req.m = args.num("m", 0);
+  req.load_ff = args.num("load", 15.0);
+  req.delay_ps = args.num("delay", -1.0);
+  if (args.has("precharge")) req.precharge_ps = args.num("precharge", -1.0);
+  if (args.has("slope")) req.slope_ps = args.num("slope", -1.0);
+  req.cost = args.str("cost", "width");
+  req.top_k = static_cast<int>(args.num("top-k", 5));
+  if (args.has("no-cache")) req.use_cache = false;
+
+  const bool solving = type != serve::FrameType::kPing &&
+                       type != serve::FrameType::kShutdown;
+  if (solving && req.type.empty()) {
+    std::fprintf(stderr, "client %s needs --type (and usually --topology)\n",
+                 op.c_str());
+    return 2;
+  }
+
+  serve::Client client(copt);
+  serve::Frame reply;
+  const auto status =
+      client.call(type, solving ? serve::request_json(req) : "",
+                  args.num("deadline-ms", -1.0), &reply);
+  if (!status.ok()) {
+    std::fprintf(stderr, "client %s failed: %s\n", op.c_str(),
+                 status.to_string().c_str());
+    return 1;
+  }
+  if (type == serve::FrameType::kPing)
+    std::printf("pong\n");
+  else
+    std::printf("%s\n", reply.payload.c_str());
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: smart_cli <list|advise|spice|save|paths|noise|corners"
@@ -523,7 +605,10 @@ void usage() {
                "       smart_cli lint <type/topology[/n] | --all> "
                "[--format text|json] [--suppress ID,ID] [--out FILE]\n"
                "       smart_cli report <type/topology[/n]> [--delay PS] "
-               "[--top-k K] [--format text|json] [--out FILE]\n");
+               "[--top-k K] [--format text|json] [--out FILE]\n"
+               "       smart_cli client <ping|size|advise|lint|report|"
+               "shutdown> (--port N | --unix PATH) [--type T --topology X "
+               "--n N ...] [--deadline-ms MS] [--retries N] [--no-cache]\n");
 }
 
 int dispatch(const Args& args) {
@@ -536,6 +621,7 @@ int dispatch(const Args& args) {
   if (args.command == "corners") return cmd_corners(args);
   if (args.command == "lint") return cmd_lint(args);
   if (args.command == "report") return cmd_report(args);
+  if (args.command == "client") return cmd_client(args);
   usage();
   return args.command.empty() ? 1 : 2;
 }
@@ -555,7 +641,7 @@ int validate(const Args& args) {
     }
   }
   if (!args.positional.empty() && args.command != "lint" &&
-      args.command != "report") {
+      args.command != "report" && args.command != "client") {
     std::fprintf(stderr, "unexpected argument '%s' for command '%s'\n",
                  args.positional.front().c_str(), args.command.c_str());
     usage();
@@ -580,15 +666,14 @@ int main(int argc, char** argv) {
     util::set_log_level(level);
   }
   if (args.has("threads")) {
-    const std::string t = args.str("threads");
-    char* end = nullptr;
-    const long v = std::strtol(t.c_str(), &end, 10);
-    if (t.empty() || *end != '\0' || v < 1 || v > 4096) {
-      std::fprintf(stderr, "invalid --threads '%s' (want a positive integer)\n",
-                   t.c_str());
+    int n = 0;
+    if (!par::parse_thread_spec(args.str("threads").c_str(), &n)) {
+      std::fprintf(stderr,
+                   "invalid --threads '%s' (want an integer in [1, %d])\n",
+                   args.str("threads").c_str(), par::kMaxThreads);
       return 2;
     }
-    par::set_thread_count(static_cast<int>(v));
+    par::set_thread_count(n);
   }
   const std::string trace_out = args.str("trace-out");
   const std::string metrics_out = args.str("metrics-out");
