@@ -1,11 +1,15 @@
 #include "obs/obs.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 
 namespace smart::obs {
 
 namespace {
+
+thread_local uint64_t t_trace_id = 0;
 
 /// JSON string escaping for metric/span names (they are identifiers in
 /// practice, but the exporter must never emit malformed JSON).
@@ -37,6 +41,17 @@ std::string json_num(double v) {
   if (!std::isfinite(v)) return "0";
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// Fixed-point microseconds for trace timestamps. The trace clock is
+/// CLOCK_MONOTONIC-absolute (machine uptime), so ts can be ~1e11 µs —
+/// %.10g would round away sub-10µs structure there; %.3f keeps ns
+/// resolution at any uptime.
+std::string json_us(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
   return buf;
 }
 
@@ -98,7 +113,50 @@ HistogramSummary summarize_samples(const std::vector<double>& samples) {
   return summarize(samples);
 }
 
-Telemetry::Telemetry() : epoch_(std::chrono::steady_clock::now()) {}
+uint64_t current_trace_id() { return t_trace_id; }
+
+ScopedTraceId::ScopedTraceId(uint64_t id) : prev_(t_trace_id) {
+  t_trace_id = id;
+}
+
+ScopedTraceId::~ScopedTraceId() { t_trace_id = prev_; }
+
+BoundedHistogram::BoundedHistogram(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void BoundedHistogram::record(double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(sample);
+  } else {
+    ring_[next_] = sample;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+HistogramSummary BoundedHistogram::summary() const {
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples = ring_;
+  }
+  return summarize(samples);
+}
+
+uint64_t BoundedHistogram::total_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+// The trace epoch is the steady clock's zero (on Linux: machine boot),
+// shared by every process on the machine — so a client trace and a daemon
+// trace concatenate into one coherent cross-process timeline with no
+// offset negotiation.
+Telemetry::Telemetry()
+    : epoch_(), pid_(static_cast<uint32_t>(::getpid())) {}
 
 Telemetry& Telemetry::instance() {
   static Telemetry telemetry;
@@ -186,6 +244,11 @@ std::vector<SpanEvent> Telemetry::spans() const {
   return events_;
 }
 
+void Telemetry::set_process_label(std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_label_ = std::move(label);
+}
+
 void Telemetry::record_span(SpanEvent ev) {
   std::lock_guard<std::mutex> lock(mu_);
   ev.tid = tid_of(std::this_thread::get_id());
@@ -194,18 +257,33 @@ void Telemetry::record_span(SpanEvent ev) {
 
 std::string Telemetry::chrome_trace_json() const {
   std::lock_guard<std::mutex> lock(mu_);
+  const std::string pid = json_num(pid_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
+  if (!process_label_.empty()) {
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + pid +
+           ",\"tid\":0,\"args\":{\"name\":\"" + json_escape(process_label_) +
+           "\"}}";
+    first = false;
+  }
   for (const auto& ev : events_) {
     if (!first) out += ",";
     first = false;
     out += "{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
            json_escape(ev.cat) + "\",\"ph\":\"X\",\"ts\":" +
-           json_num(ev.ts_us) + ",\"dur\":" + json_num(ev.dur_us) +
-           ",\"pid\":1,\"tid\":" + json_num(ev.tid);
-    if (!ev.args.empty()) {
+           json_us(ev.ts_us) + ",\"dur\":" + json_us(ev.dur_us) +
+           ",\"pid\":" + pid + ",\"tid\":" + json_num(ev.tid);
+    const bool has_args = !ev.args.empty() || ev.trace_id != 0;
+    if (has_args) {
       out += ",\"args\":{";
       bool afirst = true;
+      if (ev.trace_id != 0) {
+        char idbuf[32];
+        std::snprintf(idbuf, sizeof(idbuf), "%llu",
+                      static_cast<unsigned long long>(ev.trace_id));
+        out += std::string("\"trace_id\":") + idbuf;
+        afirst = false;
+      }
       for (const auto& [k, v] : ev.args) {
         if (!afirst) out += ",";
         afirst = false;
@@ -277,6 +355,7 @@ Span::Span(const char* name, const char* cat) {
   live_ = true;
   ev_.name = name;
   ev_.cat = cat;
+  ev_.trace_id = t_trace_id;
   start_us_ = tel.now_us();
 }
 
@@ -286,6 +365,7 @@ Span::Span(std::string name, const char* cat) {
   live_ = true;
   ev_.name = std::move(name);
   ev_.cat = cat;
+  ev_.trace_id = t_trace_id;
   start_us_ = tel.now_us();
 }
 

@@ -31,15 +31,44 @@
 namespace smart::obs {
 
 /// One completed span in Chrome trace_event "X" (complete-event) form.
-/// Timestamps are microseconds since the process-wide trace epoch.
+/// Timestamps are microseconds on the shared trace clock (see
+/// Telemetry::now_us): CLOCK_MONOTONIC's zero, not process start, so
+/// traces exported by different processes on the same machine merge into
+/// one consistent timeline.
 struct SpanEvent {
   std::string name;
   std::string cat;
   double ts_us = 0.0;
   double dur_us = 0.0;
   uint32_t tid = 0;
+  /// Distributed trace this span belongs to (0 = none). Exported as an
+  /// args entry so Perfetto/chrome://tracing can filter one request's
+  /// spans across processes. Kept within 48 bits so the id survives the
+  /// double-typed JSON number round trip exactly.
+  uint64_t trace_id = 0;
   /// Numeric annotations, rendered into the event's "args" object.
   std::vector<std::pair<std::string, double>> args;
+};
+
+/// Trace id of the calling thread's current request context (0 = none).
+/// Spans constructed while a context is set inherit it automatically.
+uint64_t current_trace_id();
+
+/// RAII trace context: sets the calling thread's trace id for the scope,
+/// restoring the previous one on destruction (contexts nest). Always
+/// active regardless of the telemetry enable flag — it is one thread-local
+/// store, and downstream consumers (access logs) need ids even when span
+/// collection is off.
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(uint64_t id);
+  ~ScopedTraceId();
+
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  uint64_t prev_;
 };
 
 /// Summary statistics of one histogram, computed at query/export time.
@@ -68,6 +97,30 @@ struct HistogramSummary {
 /// the Telemetry histogram exporter — report layers can build histograms
 /// that round-trip through the metrics JSON identically.
 HistogramSummary summarize_samples(const std::vector<double>& samples);
+
+/// Thread-safe bounded-memory histogram: a fixed-capacity ring of the most
+/// recent samples plus an all-time count. Unlike Telemetry::hist_record
+/// (which accumulates every sample until export — fine for batch runs,
+/// unbounded for a daemon), this is safe to leave recording forever, and it
+/// works regardless of the telemetry enable flag. summary() snapshots the
+/// retained window under the lock without clearing it.
+class BoundedHistogram {
+ public:
+  explicit BoundedHistogram(size_t capacity = 1024);
+
+  void record(double sample);
+  /// Summary over the retained window (most recent `capacity` samples).
+  HistogramSummary summary() const;
+  /// All-time sample count (>= summary().count once the ring wraps).
+  uint64_t total_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> ring_;
+  size_t capacity_;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+};
 
 /// Process-wide telemetry collector. All recording methods are no-ops
 /// (one relaxed atomic load) while disabled.
@@ -98,6 +151,11 @@ class Telemetry {
   /// Copy of the span buffer, in completion (end-time) order.
   std::vector<SpanEvent> spans() const;
 
+  /// Human label for this process in the Chrome trace ("smartd",
+  /// "smart_cli", ...). Emitted as a process_name metadata event so merged
+  /// multi-process traces read sensibly. Empty (the default) emits none.
+  void set_process_label(std::string label);
+
   // ---- exporters ----
   /// Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
   std::string chrome_trace_json() const;
@@ -119,6 +177,8 @@ class Telemetry {
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
+  uint32_t pid_ = 0;
+  std::string process_label_;
   mutable std::mutex mu_;
   std::vector<SpanEvent> events_;
   std::map<std::string, double, std::less<>> counters_;

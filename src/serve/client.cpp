@@ -10,12 +10,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "obs/obs.h"
+#include "util/json.h"
 #include "util/strfmt.h"
 
 namespace smart::serve {
@@ -141,8 +143,10 @@ util::Status Client::read_frame(Frame* out, double timeout_ms) {
     Frame frame;
     size_t consumed = 0;
     std::string err;
+    obs::StopWatch decode_watch;
     const DecodeStatus st = decode_frame(buf.data(), buf.size(), &frame,
                                          &consumed, &err, nullptr);
+    last_call_.decode_ms += decode_watch.elapsed_ms();
     if (st == DecodeStatus::kOk) {
       *out = std::move(frame);
       return Status::Ok();
@@ -178,6 +182,49 @@ void Client::backoff(int attempt) {
       std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0)));
 }
 
+uint64_t Client::make_trace_id() {
+  // Trace ids must differ across clients and processes; the deterministic
+  // jitter rng would hand every Client the identical id sequence. Mix a
+  // process-wide counter, the pid, and elapsed time through a splitmix64
+  // finalizer instead, and keep 48 bits so the id survives the
+  // double-typed JSON number round trip exactly.
+  static std::atomic<uint64_t> seq{0};
+  uint64_t x = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  x ^= static_cast<uint64_t>(::getpid()) << 40;
+  x += 0x9e3779b97f4a7c15ull *
+       (seq.fetch_add(1, std::memory_order_relaxed) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  const uint64_t id = x & 0xFFFFFFFFFFFFull;
+  return id != 0 ? id : 1;
+}
+
+namespace {
+
+/// Pulls the server-reported stage breakdown (the "pulse" object smartd
+/// splices into result payloads) into the call stats. Quietly a no-op for
+/// error replies, pings, and pre-v2 servers.
+void parse_server_pulse(const Frame& reply, CallStats* stats) {
+  if (reply.type != FrameType::kResult || reply.payload.empty()) return;
+  if (reply.payload.find("\"pulse\"") == std::string::npos) return;
+  util::JsonValue doc;
+  if (!util::json_parse(reply.payload, &doc)) return;
+  const util::JsonValue* pulse = doc.find("pulse");
+  if (pulse == nullptr) return;
+  if (const util::JsonValue* v = pulse->find("queue_us"))
+    stats->server_queue_us = v->number;
+  if (const util::JsonValue* v = pulse->find("decode_us"))
+    stats->server_decode_us = v->number;
+  if (const util::JsonValue* v = pulse->find("solve_us"))
+    stats->server_solve_us = v->number;
+}
+
+}  // namespace
+
 util::Status Client::call(FrameType type, const std::string& payload,
                           double deadline_ms, Frame* reply) {
   // kShutdown is fired at most once — replaying it is harmless in effect
@@ -186,13 +233,26 @@ util::Status Client::call(FrameType type, const std::string& payload,
   const int attempts = retryable ? opt_.max_retries + 1 : 1;
   Status last = Status::Fail(FailureReason::kInternal, "not attempted");
 
+  last_call_ = CallStats{};
+  last_call_.trace_id = make_trace_id();
+  // Client-side spans join the request's cross-process trace: everything
+  // recorded here and everything the server records for this request
+  // carries the same trace id.
+  obs::ScopedTraceId trace_scope(last_call_.trace_id);
+  obs::Span call_span("client.call", "serve");
+  obs::StopWatch total_watch;
+
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       ++retries_;
       backoff(attempt - 1);
     }
+    ++last_call_.attempts;
     if (fd_ < 0) {
+      obs::Span connect_span("client.connect", "serve");
+      obs::StopWatch connect_watch;
       last = connect_once();
+      last_call_.connect_ms += connect_watch.elapsed_ms();
       if (!last.ok()) continue;  // connect never starts the request
     }
 
@@ -200,25 +260,38 @@ util::Status Client::call(FrameType type, const std::string& payload,
     frame.type = type;
     frame.request_id = next_id_++;
     frame.deadline_ms = deadline_ms;
+    frame.trace_id = last_call_.trace_id;
     frame.payload = payload;
     size_t sent = 0;
     const std::string bytes = encode_frame(frame);
     const double send_budget =
         deadline_ms >= 0.0 ? deadline_ms : opt_.io_timeout_ms;
-    last = send_all(bytes, send_budget, &sent);
+    obs::StopWatch send_watch;
+    {
+      obs::Span send_span("client.send", "serve");
+      last = send_all(bytes, send_budget, &sent);
+    }
+    last_call_.send_ms += send_watch.elapsed_ms();
     if (!last.ok()) {
       const bool never_started = sent == 0;
       close();
       if (never_started) continue;  // stale pooled connection; safe retry
+      last_call_.total_ms = total_watch.elapsed_ms();
       return last;  // partially sent: the server may be solving it
     }
 
     const double read_budget = deadline_ms >= 0.0
                                    ? deadline_ms + 2000.0
                                    : opt_.io_timeout_ms;
-    last = read_frame(reply, read_budget);
+    obs::StopWatch wait_watch;
+    {
+      obs::Span wait_span("client.wait", "serve");
+      last = read_frame(reply, read_budget);
+    }
+    last_call_.wait_ms += wait_watch.elapsed_ms();
     if (!last.ok()) {
       close();
+      last_call_.total_ms = total_watch.elapsed_ms();
       return last;  // request may be executing; never replay
     }
     // A server that could not decode the request (corruption in flight)
@@ -226,9 +299,11 @@ util::Status Client::call(FrameType type, const std::string& payload,
     // frame to this request; any other id mismatch is a protocol bug.
     const bool anonymous_error =
         reply->type == FrameType::kError && reply->request_id == 0;
-    if (reply->request_id != frame.request_id && !anonymous_error)
+    if (reply->request_id != frame.request_id && !anonymous_error) {
+      last_call_.total_ms = total_watch.elapsed_ms();
       return Status::Fail(FailureReason::kInternal,
                           "response id does not match request");
+    }
 
     if (reply->type == FrameType::kError &&
         reply->error == ErrorCode::kOverloaded) {
@@ -237,10 +312,13 @@ util::Status Client::call(FrameType type, const std::string& payload,
                           "server overloaded: " + reply->payload);
       continue;
     }
+    last_call_.total_ms = total_watch.elapsed_ms();
+    parse_server_pulse(*reply, &last_call_);
     if (reply->type == FrameType::kError)
       return Status::Fail(reason_from(reply->error), reply->payload);
     return Status::Ok();
   }
+  last_call_.total_ms = total_watch.elapsed_ms();
   return last;
 }
 

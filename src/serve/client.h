@@ -34,6 +34,24 @@ struct ClientOptions {
   uint64_t jitter_seed = 0x5eedc11e;
 };
 
+/// Per-call timing and trace identity of the most recent call(), always
+/// populated (independent of the telemetry flag). Server-side stage
+/// micros come from the "pulse" object smartd splices into result
+/// payloads; they stay negative when the reply carried none (errors,
+/// pings, old servers).
+struct CallStats {
+  uint64_t trace_id = 0;  ///< id generated for the call (48-bit, nonzero)
+  int attempts = 0;       ///< connection+send attempts consumed
+  double connect_ms = 0.0;  ///< connect() time (0 on a pooled connection)
+  double send_ms = 0.0;     ///< request serialization + socket write
+  double wait_ms = 0.0;     ///< send-complete to response-complete
+  double decode_ms = 0.0;   ///< client-side response frame decode
+  double total_ms = 0.0;    ///< whole call() including retries/backoff
+  double server_queue_us = -1.0;
+  double server_decode_us = -1.0;
+  double server_solve_us = -1.0;
+};
+
 class Client {
  public:
   explicit Client(ClientOptions options)
@@ -56,6 +74,8 @@ class Client {
   bool connected() const { return fd_ >= 0; }
   /// Retries performed across all call()s (observability for tests).
   int retries() const { return retries_; }
+  /// Timing/trace breakdown of the most recent call().
+  const CallStats& last_call() const { return last_call_; }
 
  private:
   util::Status connect_once();
@@ -63,12 +83,15 @@ class Client {
                         size_t* sent);
   util::Status read_frame(Frame* out, double timeout_ms);
   void backoff(int attempt);
+  /// 48-bit nonzero trace id (fits a JSON double exactly).
+  uint64_t make_trace_id();
 
   ClientOptions opt_;
   util::Rng rng_;
   int fd_ = -1;
   uint64_t next_id_ = 1;
   int retries_ = 0;
+  CallStats last_call_;
 };
 
 }  // namespace smart::serve

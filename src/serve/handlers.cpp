@@ -83,6 +83,41 @@ std::string render_widths(const std::vector<double>& widths) {
   return out;
 }
 
+/// SMART-Scope-flavored solve diagnostics for the slow-request spool:
+/// which rung answered, how hard the GP worked, what was binding, and the
+/// model-vs-STA respec trajectory. Built from fields SizerResult always
+/// records — no keep_solve_snapshot needed on the serving path.
+std::string solve_diag_json(const core::SizerResult& result) {
+  std::string out = util::strfmt(
+      "{\"rung\":\"%s\",\"status\":\"%s\",\"ok\":%s,"
+      "\"newton_iterations\":%d,\"respec_iterations\":%d,"
+      "\"measured_delay_ps\":%.3f,\"total_width_um\":%.3f,"
+      "\"binding\":[",
+      core::to_string(result.rung),
+      json_escape(result.status.to_string()).c_str(),
+      result.ok ? "true" : "false", result.gp_newton_iterations,
+      result.respec_iterations, result.measured_delay_ps,
+      result.total_width_um);
+  for (size_t i = 0; i < result.binding_constraints.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + json_escape(result.binding_constraints[i]) + "\"";
+  }
+  out += "],\"respec_trace\":[";
+  for (size_t i = 0; i < result.respec_trace.size(); ++i) {
+    const auto& it = result.respec_trace[i];
+    if (i > 0) out += ",";
+    out += util::strfmt(
+        "{\"iter\":%d,\"model_spec_ps\":%.3f,\"measured_delay_ps\":%.3f,"
+        "\"mismatch\":%.4f,\"binding_count\":%zu,\"meets\":%s,"
+        "\"accepted\":%s}",
+        it.iter, it.model_spec_ps, it.measured_delay_ps, it.mismatch,
+        it.binding_count, it.meets ? "true" : "false",
+        it.accepted ? "true" : "false");
+  }
+  out += "]}";
+  return out;
+}
+
 std::string render_size_response(const std::string& macro,
                                  const CachedResult& r,
                                  const char* cache_state, bool warm) {
@@ -101,10 +136,11 @@ std::string render_size_response(const std::string& macro,
 HandlerOutcome handle_size(const ServeContext& ctx, const Request& req,
                            double budget_ms) {
   auto& tel = obs::Telemetry::instance();
-  netlist::Netlist nl("");
-  if (Status st = generate(ctx, req, &nl); !st.ok()) return {st, ""};
-
   const std::string bucket = macro_bucket(req);
+  netlist::Netlist nl("");
+  if (Status st = generate(ctx, req, &nl); !st.ok())
+    return {st, "", bucket};
+
   const uint64_t fingerprint = request_fingerprint(req);
   const std::vector<double> params = constraint_params(req);
   const bool cache_on = ctx.cache != nullptr && req.use_cache;
@@ -113,14 +149,14 @@ HandlerOutcome handle_size(const ServeContext& ctx, const Request& req,
     CachedResult hit;
     if (ctx.cache->lookup_exact(bucket, fingerprint, &hit)) {
       tel.counter_add("serve.cache.hit");
-      return {Status::Ok(),
-              render_size_response(bucket, hit, "hit", false)};
+      return {Status::Ok(), render_size_response(bucket, hit, "hit", false),
+              bucket, "hit", hit.rung, ""};
     }
   }
 
   core::SizerOptions opt;
   if (Status st = sizing_options(ctx, req, nl, budget_ms, &opt); !st.ok())
-    return {st, ""};
+    return {st, "", bucket};
 
   bool warm = false;
   if (cache_on) {
@@ -133,6 +169,7 @@ HandlerOutcome handle_size(const ServeContext& ctx, const Request& req,
       tel.counter_add("serve.cache.miss");
     }
   }
+  const std::string cache_state = cache_on ? (warm ? "warm" : "miss") : "";
 
   const core::Sizer sizer(*ctx.tech, *ctx.lib);
   const core::SizerResult result = sizer.size(nl, opt);
@@ -141,7 +178,8 @@ HandlerOutcome handle_size(const ServeContext& ctx, const Request& req,
                           ? Status::Fail(FailureReason::kInternal,
                                          result.message)
                           : result.status;
-    return {st, ""};
+    return {st, "", bucket, cache_state, core::to_string(result.rung),
+            solve_diag_json(result)};
   }
 
   CachedResult value;
@@ -156,7 +194,8 @@ HandlerOutcome handle_size(const ServeContext& ctx, const Request& req,
   const std::string payload =
       render_size_response(bucket, value, warm ? "warm" : "miss", warm);
   if (cache_on) ctx.cache->insert(bucket, fingerprint, params, value);
-  return {Status::Ok(), payload};
+  return {Status::Ok(), payload, bucket, warm ? "warm" : "miss", value.rung,
+          solve_diag_json(result)};
 }
 
 HandlerOutcome handle_advise(const ServeContext& ctx, const Request& req,
@@ -234,7 +273,8 @@ HandlerOutcome handle_report(const ServeContext& ctx, const Request& req,
   scope::ScopeOptions sopt;
   sopt.top_k = static_cast<size_t>(req.top_k);
   const auto report = scope::build_report(nl, result, *ctx.tech, sopt);
-  return {Status::Ok(), scope::render_json(report)};
+  return {Status::Ok(), scope::render_json(report), macro_bucket(req), "",
+          core::to_string(result.rung), solve_diag_json(result)};
 }
 
 }  // namespace
@@ -251,20 +291,30 @@ HandlerOutcome handle_request(const ServeContext& ctx, FrameType type,
       return fail(FailureReason::kInvalidInput,
                   util::strfmt("%s request needs a 'topology'",
                                to_string(type)));
+    HandlerOutcome out;
     switch (type) {
       case FrameType::kSize:
-        return handle_size(ctx, req, budget_ms);
+        out = handle_size(ctx, req, budget_ms);
+        break;
       case FrameType::kAdvise:
-        return handle_advise(ctx, req, budget_ms);
+        out = handle_advise(ctx, req, budget_ms);
+        break;
       case FrameType::kLint:
-        return handle_lint(ctx, req);
+        out = handle_lint(ctx, req);
+        break;
       case FrameType::kReport:
-        return handle_report(ctx, req, budget_ms);
+        out = handle_report(ctx, req, budget_ms);
+        break;
       default:
         return fail(FailureReason::kInvalidInput,
                     util::strfmt("frame type %s is not a solving request",
                                  to_string(type)));
     }
+    // Every op gets a macro key in its access-log record, even the ones
+    // (advise, lint) that do not go through the size bucket.
+    if (out.macro.empty())
+      out.macro = req.topology.empty() ? req.type : macro_bucket(req);
+    return out;
   } catch (const util::TimeoutError& e) {
     return fail(FailureReason::kTimeout, e.what());
   } catch (const std::exception& e) {

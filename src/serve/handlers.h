@@ -31,6 +31,14 @@ struct ServeContext {
 struct HandlerOutcome {
   util::Status status;  ///< ok() => payload is the response JSON
   std::string payload;  ///< response JSON, or error detail on failure
+  // ---- SMART-Pulse accounting (access log, stats, slow-spool) ----
+  std::string macro;  ///< macro bucket key ("" when the op has none)
+  std::string cache;  ///< "hit" | "near" | "miss" | "" (non-solve ops)
+  std::string rung;   ///< sizing rung of a solve ("" otherwise)
+  /// SMART-Scope-style solve diagnostics JSON (respec trace, binding
+  /// constraints, Newton iterations); "" when the op ran no solver.
+  /// Captured with the request by the slow-request spool.
+  std::string diag;
 };
 
 /// Dispatches one request frame. `budget_ms` is the wall-clock budget left

@@ -40,12 +40,13 @@ uint64_t get_u64(const unsigned char* p) {
   return v;
 }
 
-/// Checksum over the header with its checksum field zeroed, then the
-/// payload. Both sides must compute it over identical bytes.
-uint64_t frame_checksum(const char* header32, const char* payload,
-                        size_t payload_len) {
+/// Checksum over the header bytes that precede the checksum field, then
+/// the payload. Both sides must compute it over identical bytes; the
+/// summed header length is version-dependent (32 in v1, 40 in v2).
+uint64_t frame_checksum(const char* header, size_t summed_len,
+                        const char* payload, size_t payload_len) {
   util::Fnv1a f;
-  f.mix_bytes(header32, 32);
+  f.mix_bytes(header, summed_len);
   f.mix_bytes(payload, payload_len);
   return f.h;
 }
@@ -60,6 +61,8 @@ const char* to_string(FrameType t) {
     case FrameType::kLint: return "lint";
     case FrameType::kReport: return "report";
     case FrameType::kShutdown: return "shutdown";
+    case FrameType::kStats: return "stats";
+    case FrameType::kHealth: return "health";
     case FrameType::kPong: return "pong";
     case FrameType::kResult: return "result";
     case FrameType::kError: return "error";
@@ -123,11 +126,17 @@ util::FailureReason reason_from(ErrorCode e) {
   return util::FailureReason::kInternal;
 }
 
-std::string encode_frame(const Frame& frame) {
+namespace {
+
+/// Shared header fields [0,32) common to both versions, then the
+/// version-specific tail: v1 appends the checksum directly; v2 appends
+/// the trace id first.
+std::string encode_with_version(const Frame& frame, uint16_t version) {
+  const size_t header = version >= 2 ? kHeaderSize : kHeaderSizeV1;
   std::string out;
-  out.reserve(kHeaderSize + frame.payload.size());
+  out.reserve(header + frame.payload.size());
   put_u32(out, kMagic);
-  put_u16(out, kProtocolVersion);
+  put_u16(out, version);
   put_u16(out, static_cast<uint16_t>(frame.type));
   put_u16(out, static_cast<uint16_t>(frame.error));
   put_u16(out, 0);  // flags (reserved)
@@ -136,28 +145,43 @@ std::string encode_frame(const Frame& frame) {
   uint64_t deadline_bits = 0;
   std::memcpy(&deadline_bits, &frame.deadline_ms, sizeof(deadline_bits));
   put_u64(out, deadline_bits);
-  const uint64_t sum =
-      frame_checksum(out.data(), frame.payload.data(), frame.payload.size());
+  if (version >= 2) put_u64(out, frame.trace_id);
+  const uint64_t sum = frame_checksum(out.data(), out.size(),
+                                      frame.payload.data(),
+                                      frame.payload.size());
   put_u64(out, sum);
   out.append(frame.payload);
   return out;
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  return encode_with_version(frame, kProtocolVersion);
+}
+
+std::string encode_frame_v1(const Frame& frame) {
+  return encode_with_version(frame, 1);
 }
 
 DecodeStatus decode_frame(const char* data, size_t len, Frame* out,
                           size_t* consumed, std::string* err,
                           bool* bad_version) {
   if (bad_version != nullptr) *bad_version = false;
-  if (len < kHeaderSize) return DecodeStatus::kNeedMore;
+  // The first 16 bytes are layout-identical in every version; buffer at
+  // least that much before judging anything so a split read never turns
+  // into a spurious kBad.
+  if (len < kHeaderPrefix) return DecodeStatus::kNeedMore;
   const auto* p = reinterpret_cast<const unsigned char*>(data);
   if (get_u32(p) != kMagic) {
     if (err != nullptr) *err = "bad magic";
     return DecodeStatus::kBad;
   }
   const uint16_t version = get_u16(p + 4);
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     if (err != nullptr)
-      *err = util::strfmt("unsupported protocol version %u (want %u)",
-                          version, kProtocolVersion);
+      *err = util::strfmt("unsupported protocol version %u (want %u..%u)",
+                          version, kMinProtocolVersion, kProtocolVersion);
     if (bad_version != nullptr) *bad_version = true;
     return DecodeStatus::kBad;
   }
@@ -169,11 +193,14 @@ DecodeStatus decode_frame(const char* data, size_t len, Frame* out,
                           flags, payload_len);
     return DecodeStatus::kBad;
   }
-  if (len < kHeaderSize + payload_len) return DecodeStatus::kNeedMore;
+  const size_t header = version >= 2 ? kHeaderSize : kHeaderSizeV1;
+  if (len < header + payload_len) return DecodeStatus::kNeedMore;
 
-  const uint64_t stated = get_u64(p + 32);
+  // The checksum sits in the last 8 header bytes, summed over everything
+  // before it plus the payload.
+  const uint64_t stated = get_u64(p + header - 8);
   const uint64_t actual =
-      frame_checksum(data, data + kHeaderSize, payload_len);
+      frame_checksum(data, header - 8, data + header, payload_len);
   if (stated != actual) {
     if (err != nullptr) *err = "frame checksum mismatch";
     return DecodeStatus::kBad;
@@ -187,6 +214,8 @@ DecodeStatus decode_frame(const char* data, size_t len, Frame* out,
     case FrameType::kLint:
     case FrameType::kReport:
     case FrameType::kShutdown:
+    case FrameType::kStats:
+    case FrameType::kHealth:
     case FrameType::kPong:
     case FrameType::kResult:
     case FrameType::kError:
@@ -202,8 +231,9 @@ DecodeStatus decode_frame(const char* data, size_t len, Frame* out,
   out->request_id = get_u64(p + 16);
   const uint64_t deadline_bits = get_u64(p + 24);
   std::memcpy(&out->deadline_ms, &deadline_bits, sizeof(out->deadline_ms));
-  out->payload.assign(data + kHeaderSize, payload_len);
-  *consumed = kHeaderSize + payload_len;
+  out->trace_id = version >= 2 ? get_u64(p + 32) : 0;
+  out->payload.assign(data + header, payload_len);
+  *consumed = header + payload_len;
   return DecodeStatus::kOk;
 }
 

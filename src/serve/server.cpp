@@ -48,6 +48,38 @@ void on_shutdown_signal(int /*signum*/) {
   }
 }
 
+/// Atomic file replace for the periodic metrics flush: a reader (or a
+/// crash) never sees a torn file, only the previous complete one.
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = std::fclose(f) == 0 && n == content.size();
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+int64_t unix_ms_now() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Stage-histogram JSON for the kStats snapshot: window summary plus the
+/// all-time count (the window is the last N samples, count <= N).
+std::string hist_json(const obs::BoundedHistogram& h) {
+  const obs::HistogramSummary s = h.summary();
+  return util::strfmt(
+      "{\"count\":%llu,\"window\":%zu,\"min\":%.3f,\"max\":%.3f,"
+      "\"mean\":%.3f,\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f}",
+      static_cast<unsigned long long>(h.total_count()), s.count, s.min,
+      s.max, s.mean, s.p50, s.p90, s.p99);
+}
+
 }  // namespace
 
 Server::Conn::~Conn() {
@@ -73,6 +105,11 @@ Server::~Server() {
 void Server::bump(uint64_t ServerStats::*field, uint64_t delta) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.*field += delta;
+}
+
+void Server::bump_code(ErrorCode code) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++errors_by_code_[static_cast<uint16_t>(code)];
 }
 
 util::Status Server::start() {
@@ -153,16 +190,46 @@ util::Status Server::start() {
   }
   set_nonblocking(listen_fd_);
 
+  // SMART-Pulse state, configured before any thread can touch it.
+  started_ = std::chrono::steady_clock::now();
+  if (!access_log_.configure(opt_.access_log_capacity, opt_.access_log_path))
+    util::log_warn(util::strfmt("smartd: cannot open access log %s",
+                                opt_.access_log_path.c_str()));
+  if (!spool_.configure(opt_.slow_spool_dir, opt_.slow_threshold_ms))
+    util::log_warn(util::strfmt("smartd: cannot create slow spool dir %s",
+                                opt_.slow_spool_dir.c_str()));
+
   const int n = opt_.workers > 0 ? opt_.workers
                                  : std::max(1, par::thread_count());
+  worker_count_ = n;
   running_.store(true, std::memory_order_release);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i)
     workers_.emplace_back([this] { worker_loop(); });
   io_thread_ = std::thread([this] { io_loop(); });
+  if (!opt_.metrics_out.empty() && opt_.metrics_flush_ms > 0.0) {
+    stop_flush_ = false;
+    flush_thread_ = std::thread([this] { flush_loop(); });
+  }
   util::log_info(util::strfmt("smartd: listening on %s (%d workers)",
                               endpoint_.c_str(), n));
   return util::Status::Ok();
+}
+
+void Server::flush_loop() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  const auto interval = std::chrono::duration<double, std::milli>(
+      opt_.metrics_flush_ms);
+  while (!stop_flush_) {
+    flush_cv_.wait_for(lock, interval, [&] { return stop_flush_; });
+    if (stop_flush_) break;
+    // The exporter snapshots under the telemetry lock without clearing
+    // state; the atomic replace keeps readers (and crashes) safe.
+    lock.unlock();
+    write_file_atomic(opt_.metrics_out,
+                      obs::Telemetry::instance().metrics_json());
+    lock.lock();
+  }
 }
 
 void Server::request_shutdown() {
@@ -178,6 +245,14 @@ void Server::wait() {
   for (std::thread& t : workers_)
     if (t.joinable()) t.join();
   workers_.clear();
+  if (flush_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      stop_flush_ = true;
+    }
+    flush_cv_.notify_all();
+    flush_thread_.join();
+  }
   running_.store(false, std::memory_order_release);
   if (!opt_.unix_path.empty()) ::unlink(opt_.unix_path.c_str());
   // Part of the graceful-drain contract: telemetry written after the last
@@ -318,6 +393,16 @@ void Server::accept_pending() {
     }
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
+    if (opt_.unix_path.empty()) {
+      sockaddr_in sa{};
+      socklen_t slen = sizeof(sa);
+      char ip[INET_ADDRSTRLEN] = "?";
+      if (::getpeername(fd, reinterpret_cast<sockaddr*>(&sa), &slen) == 0 &&
+          ::inet_ntop(AF_INET, &sa.sin_addr, ip, sizeof(ip)) != nullptr)
+        conn->peer = util::strfmt("%s:%d", ip, ntohs(sa.sin_port));
+    } else {
+      conn->peer = "unix";
+    }
     conn->last_active_ms.store(now_ms(), std::memory_order_relaxed);
     conns_.emplace(fd, std::move(conn));
     conn_count_.store(conns_.size(), std::memory_order_relaxed);
@@ -362,9 +447,11 @@ void Server::read_conn(const std::shared_ptr<Conn>& conn) {
     size_t consumed = 0;
     std::string err;
     bool bad_version = false;
+    obs::StopWatch decode_watch;
     const DecodeStatus st =
         decode_frame(conn->rbuf.data(), conn->rbuf.size(), &frame,
                      &consumed, &err, &bad_version);
+    const double decode_us = decode_watch.elapsed_ms() * 1000.0;
     if (st == DecodeStatus::kNeedMore) {
       if (conn->rbuf.size() > kHeaderSize + kMaxPayload) {
         bump(&ServerStats::bad_frames);
@@ -384,17 +471,19 @@ void Server::read_conn(const std::shared_ptr<Conn>& conn) {
       return;
     }
     conn->rbuf.erase(0, consumed);
-    dispatch(conn, std::move(frame));
+    dispatch(conn, std::move(frame), decode_us);
   }
 }
 
-void Server::dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
+void Server::dispatch(const std::shared_ptr<Conn>& conn, Frame frame,
+                      double decode_us) {
   switch (frame.type) {
     case FrameType::kPing: {
       bump(&ServerStats::pings);
       Frame pong;
       pong.type = FrameType::kPong;
       pong.request_id = frame.request_id;
+      pong.trace_id = frame.trace_id;
       send_frame(conn, pong, 250.0);
       return;
     }
@@ -402,9 +491,33 @@ void Server::dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
       Frame ack;
       ack.type = FrameType::kResult;
       ack.request_id = frame.request_id;
+      ack.trace_id = frame.trace_id;
       ack.payload = "{\"draining\":true}";
       send_frame(conn, ack, 250.0);
       begin_drain();
+      return;
+    }
+    // The admin plane answers on the io thread — cheap JSON snapshots
+    // must not queue behind solves, and they keep working while the
+    // daemon drains (a dying server is exactly when probes matter).
+    case FrameType::kStats: {
+      bump(&ServerStats::stats_requests);
+      Frame reply;
+      reply.type = FrameType::kResult;
+      reply.request_id = frame.request_id;
+      reply.trace_id = frame.trace_id;
+      reply.payload = stats_json();
+      send_frame(conn, reply, opt_.write_timeout_ms);
+      return;
+    }
+    case FrameType::kHealth: {
+      bump(&ServerStats::health_requests);
+      Frame reply;
+      reply.type = FrameType::kResult;
+      reply.request_id = frame.request_id;
+      reply.trace_id = frame.trace_id;
+      reply.payload = health_json();
+      send_frame(conn, reply, 250.0);
       return;
     }
     case FrameType::kSize:
@@ -418,17 +531,20 @@ void Server::dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
       send_error(conn, frame.request_id, ErrorCode::kBadFrame,
                  util::strfmt("unexpected frame type %s",
                               to_string(frame.type)),
-                 250.0);
+                 250.0, frame.trace_id);
       close_conn(conn->fd);
       return;
   }
 
   if (draining_.load(std::memory_order_relaxed)) {
     send_error(conn, frame.request_id, ErrorCode::kShuttingDown,
-               "daemon is draining; request not started", 250.0);
+               "daemon is draining; request not started", 250.0,
+               frame.trace_id);
     return;
   }
   const uint64_t id = frame.request_id;
+  const uint64_t trace_id = frame.trace_id;
+  const FrameType op = frame.type;
   bool shed = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -439,6 +555,8 @@ void Server::dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
       item.conn = conn;
       item.enqueued = std::chrono::steady_clock::now();
       item.deadline = util::Deadline::from_ms(frame.deadline_ms);
+      item.decode_us = decode_us;
+      item.enqueue_ts_us = obs::Telemetry::instance().now_us();
       item.frame = std::move(frame);
       queue_.push_back(std::move(item));
     }
@@ -449,7 +567,19 @@ void Server::dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
     tel.counter_add("serve.shed");
     send_error(conn, id, ErrorCode::kOverloaded,
                util::strfmt("queue full (%zu queued)", opt_.max_queue),
-               250.0);
+               250.0, trace_id);
+    // Shed requests never reach a worker; account them here so the
+    // access log covers every admitted-or-refused request.
+    RequestRecord rec;
+    rec.trace_id = trace_id;
+    rec.request_id = id;
+    rec.peer = conn->peer;
+    rec.op = to_string(op);
+    rec.status = to_string(ErrorCode::kOverloaded);
+    rec.decode_us = decode_us;
+    rec.total_us = decode_us;
+    rec.unix_ms = unix_ms_now();
+    access_log_.append(rec);
     return;
   }
   conn->outstanding.fetch_add(1, std::memory_order_relaxed);
@@ -483,9 +613,40 @@ void Server::process(WorkItem item) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - item.enqueued)
           .count();
+  const double queue_us = queue_ms * 1000.0;
   tel.hist_record("serve.queue_ms", queue_ms);
+  stage_.queue_ms.record(queue_ms);
+  stage_.decode_ms.record(item.decode_us / 1000.0);
+  // The queue wait happened on no thread — record it as an explicit span
+  // (enqueue timestamp + measured duration) so the trace shows the gap
+  // between client send and worker pickup under the request's trace id.
+  if (tel.enabled() && item.frame.trace_id != 0) {
+    obs::SpanEvent ev;
+    ev.name = "serve.queue";
+    ev.cat = "serve";
+    ev.ts_us = item.enqueue_ts_us;
+    ev.dur_us = queue_us;
+    ev.trace_id = item.frame.trace_id;
+    tel.record_span(std::move(ev));
+  }
+
+  // Every span below (serve.worker, and the sizer.*/gp.* spans inside the
+  // handler) inherits the request's trace id from this thread context.
+  obs::ScopedTraceId trace_scope(item.frame.trace_id);
+
+  RequestRecord rec;
+  rec.trace_id = item.frame.trace_id;
+  rec.request_id = item.frame.request_id;
+  rec.peer = item.conn->peer;
+  rec.op = to_string(item.frame.type);
+  rec.queue_us = queue_us;
+  rec.decode_us = item.decode_us;
 
   const auto finish = [&] {
+    rec.total_us = item.decode_us + queue_us + rec.solve_us + rec.encode_us;
+    rec.unix_ms = unix_ms_now();
+    stage_.total_ms.record(rec.total_us / 1000.0);
+    access_log_.append(rec);
     item.conn->outstanding.fetch_sub(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(queue_mu_);
     --in_flight_;
@@ -495,6 +656,7 @@ void Server::process(WorkItem item) {
   if (item.conn->closed.load(std::memory_order_acquire)) {
     bump(&ServerStats::abandoned);
     tel.counter_add("serve.abandoned");
+    rec.status = "abandoned";
     finish();
     return;
   }
@@ -504,7 +666,8 @@ void Server::process(WorkItem item) {
     tel.counter_add("serve.timeouts");
     send_error(item.conn, item.frame.request_id, ErrorCode::kTimeout,
                "deadline expired before the request started",
-               opt_.write_timeout_ms);
+               opt_.write_timeout_ms, item.frame.trace_id);
+    rec.status = to_string(ErrorCode::kTimeout);
     finish();
     return;
   }
@@ -518,15 +681,37 @@ void Server::process(WorkItem item) {
   // solver's deadline (-1 = unbounded).
   const double budget_ms = item.deadline.remaining_ms();
   obs::StopWatch watch;
-  const HandlerOutcome out =
-      handle_request(ctx_, item.frame.type, item.frame.payload, budget_ms);
-  tel.hist_record("serve.request_ms", watch.elapsed_ms());
+  HandlerOutcome out;
+  {
+    obs::Span span("serve.worker", "serve");
+    span.arg("queue_ms", queue_ms);
+    out = handle_request(ctx_, item.frame.type, item.frame.payload,
+                         budget_ms);
+  }
+  const double solve_ms = watch.elapsed_ms();
+  tel.hist_record("serve.request_ms", solve_ms);
+  stage_.solve_ms.record(solve_ms);
+  rec.solve_us = solve_ms * 1000.0;
+  rec.macro = out.macro;
+  rec.cache = out.cache;
+  rec.rung = out.rung;
 
   Frame reply;
   reply.request_id = item.frame.request_id;
+  reply.trace_id = item.frame.trace_id;
   if (out.status.ok()) {
     reply.type = FrameType::kResult;
     reply.payload = out.payload;
+    rec.status = "ok";
+    // Server-side stage breakdown, spliced into the result JSON so the
+    // client can report where its latency went (see Client::last_call).
+    const size_t brace = reply.payload.rfind('}');
+    if (brace != std::string::npos)
+      reply.payload.insert(
+          brace,
+          util::strfmt(",\"pulse\":{\"queue_us\":%.1f,\"decode_us\":%.1f,"
+                       "\"solve_us\":%.1f}",
+                       queue_us, item.decode_us, rec.solve_us));
   } else {
     bump(&ServerStats::errors);
     tel.counter_add("serve.errors");
@@ -535,15 +720,38 @@ void Server::process(WorkItem item) {
     reply.payload = util::strfmt(
         "{\"error\":\"%s\",\"detail\":\"%s\"}", to_string(reply.error),
         json_escape(out.status.detail).c_str());
+    bump_code(reply.error);
+    rec.status = to_string(reply.error);
   }
+  obs::StopWatch encode_watch;
   if (send_frame(item.conn, reply, opt_.write_timeout_ms)) {
     bump(&ServerStats::responses);
     tel.counter_add("serve.responses");
   } else {
     bump(&ServerStats::abandoned);
     tel.counter_add("serve.abandoned");
+    rec.status = "abandoned";
   }
+  const double encode_ms = encode_watch.elapsed_ms();
+  stage_.encode_ms.record(encode_ms);
+  rec.encode_us = encode_ms * 1000.0;
+  busy_us_.fetch_add(
+      static_cast<uint64_t>((solve_ms + encode_ms) * 1000.0),
+      std::memory_order_relaxed);
   item.conn->last_active_ms.store(now_ms(), std::memory_order_relaxed);
+
+  // Slow-request capture: record + original request + solve diagnostics,
+  // spooled crash-safely for offline analysis.
+  const double total_ms =
+      (item.decode_us + queue_us + rec.solve_us + rec.encode_us) / 1000.0;
+  if (spool_.enabled() && total_ms > spool_.threshold_ms()) {
+    rec.total_us = total_ms * 1000.0;
+    rec.unix_ms = unix_ms_now();
+    if (spool_.capture(rec, item.frame.payload, out.diag)) {
+      bump(&ServerStats::slow_captured);
+      tel.counter_add("serve.slow_captured");
+    }
+  }
   finish();
 }
 
@@ -589,14 +797,17 @@ bool Server::send_frame(const std::shared_ptr<Conn>& conn,
 
 void Server::send_error(const std::shared_ptr<Conn>& conn,
                         uint64_t request_id, ErrorCode code,
-                        const std::string& detail, double timeout_ms) {
+                        const std::string& detail, double timeout_ms,
+                        uint64_t trace_id) {
   Frame frame;
   frame.type = FrameType::kError;
   frame.error = code;
   frame.request_id = request_id;
+  frame.trace_id = trace_id;
   frame.payload =
       util::strfmt("{\"error\":\"%s\",\"detail\":\"%s\"}", to_string(code),
                    json_escape(detail).c_str());
+  bump_code(code);
   send_frame(conn, frame, timeout_ms);
 }
 
@@ -624,6 +835,118 @@ void Server::reap_idle() {
     bump(&ServerStats::reaped_idle);
     obs::Telemetry::instance().counter_add("serve.reaped_idle");
   }
+}
+
+std::string Server::stats_json() const {
+  const ServerStats s = stats();
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  const auto u64 = [](uint64_t v) {
+    return util::strfmt("%llu", static_cast<unsigned long long>(v));
+  };
+
+  std::string out = "{";
+  out += util::strfmt("\"uptime_s\":%.3f,", uptime_s);
+  out += "\"endpoint\":\"" + json_escape(endpoint_) + "\",";
+  out += util::strfmt("\"protocol_version\":%u,", kProtocolVersion);
+  out += util::strfmt("\"draining\":%s,",
+                      draining_.load(std::memory_order_relaxed) ? "true"
+                                                                : "false");
+  out += "\"counters\":{";
+  out += "\"accepted\":" + u64(s.accepted) + ",";
+  out += "\"rejected\":" + u64(s.rejected) + ",";
+  out += "\"requests\":" + u64(s.requests) + ",";
+  out += "\"responses\":" + u64(s.responses) + ",";
+  out += "\"shed\":" + u64(s.shed) + ",";
+  out += "\"bad_frames\":" + u64(s.bad_frames) + ",";
+  out += "\"timeouts\":" + u64(s.timeouts) + ",";
+  out += "\"errors\":" + u64(s.errors) + ",";
+  out += "\"abandoned\":" + u64(s.abandoned) + ",";
+  out += "\"reaped_idle\":" + u64(s.reaped_idle) + ",";
+  out += "\"io_faults\":" + u64(s.io_faults) + ",";
+  out += "\"pings\":" + u64(s.pings) + ",";
+  out += "\"stats_requests\":" + u64(s.stats_requests) + ",";
+  out += "\"health_requests\":" + u64(s.health_requests) + ",";
+  out += "\"slow_captured\":" + u64(s.slow_captured) + "},";
+  out += "\"gauges\":{";
+  out += "\"queue_depth\":" + u64(s.queue_depth) + ",";
+  out += "\"in_flight\":" + u64(s.in_flight) + ",";
+  out += "\"connections\":" + u64(s.connections) + "},";
+
+  // Worker utilization: busy worker-µs over elapsed worker-µs.
+  const uint64_t busy = busy_us_.load(std::memory_order_relaxed);
+  const double capacity_us =
+      uptime_s * 1e6 * std::max(1, worker_count_);
+  out += util::strfmt(
+      "\"utilization\":{\"workers\":%d,\"busy_us\":%llu,"
+      "\"busy_ratio\":%.4f},",
+      worker_count_, static_cast<unsigned long long>(busy),
+      capacity_us > 0.0 ? static_cast<double>(busy) / capacity_us : 0.0);
+
+  out += "\"stages\":{";
+  out += "\"queue_ms\":" + hist_json(stage_.queue_ms) + ",";
+  out += "\"decode_ms\":" + hist_json(stage_.decode_ms) + ",";
+  out += "\"solve_ms\":" + hist_json(stage_.solve_ms) + ",";
+  out += "\"encode_ms\":" + hist_json(stage_.encode_ms) + ",";
+  out += "\"total_ms\":" + hist_json(stage_.total_ms) + "},";
+
+  if (cache_ != nullptr) {
+    const CacheStats cs = cache_->stats();
+    out += util::strfmt(
+        "\"cache\":{\"size\":%zu,\"hits\":%llu,\"near_hits\":%llu,"
+        "\"misses\":%llu,\"insertions\":%llu,\"evictions\":%llu,"
+        "\"poisoned\":%llu},",
+        cache_->size(), static_cast<unsigned long long>(cs.hits),
+        static_cast<unsigned long long>(cs.near_hits),
+        static_cast<unsigned long long>(cs.misses),
+        static_cast<unsigned long long>(cs.insertions),
+        static_cast<unsigned long long>(cs.evictions),
+        static_cast<unsigned long long>(cs.poisoned));
+  } else {
+    out += "\"cache\":null,";
+  }
+
+  out += "\"errors_by_code\":{";
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    bool first = true;
+    for (const auto& [code, count] : errors_by_code_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      out += to_string(static_cast<ErrorCode>(code));
+      out += "\":" + u64(count);
+    }
+  }
+  out += "},";
+
+  out += util::strfmt("\"slow\":{\"threshold_ms\":%.1f,\"captured\":%llu},",
+                      spool_.threshold_ms(),
+                      static_cast<unsigned long long>(spool_.captured()));
+  out += "\"requests_total\":" + u64(access_log_.total()) + ",";
+  out += "\"recent\":" + access_log_.recent_json();
+  out += "}";
+  return out;
+}
+
+std::string Server::health_json() const {
+  const ServerStats s = stats();
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  const bool draining = draining_.load(std::memory_order_relaxed);
+  return util::strfmt(
+      "{\"status\":\"%s\",\"uptime_s\":%.3f,\"endpoint\":\"%s\","
+      "\"protocol_version\":%u,\"workers\":%d,\"connections\":%llu,"
+      "\"queue_depth\":%llu,\"in_flight\":%llu}",
+      draining ? "draining" : "ok", uptime_s,
+      json_escape(endpoint_).c_str(), kProtocolVersion, worker_count_,
+      static_cast<unsigned long long>(s.connections),
+      static_cast<unsigned long long>(s.queue_depth),
+      static_cast<unsigned long long>(s.in_flight));
 }
 
 }  // namespace smart::serve

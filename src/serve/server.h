@@ -36,9 +36,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.h"
 #include "serve/cache.h"
 #include "serve/handlers.h"
 #include "serve/protocol.h"
+#include "serve/pulse.h"
 #include "util/deadline.h"
 #include "util/status.h"
 
@@ -67,6 +69,19 @@ struct ServerOptions {
   /// Obs exports flushed after drain (empty = none).
   std::string metrics_out;
   std::string trace_out;
+  /// Periodic metrics flush interval for metrics_out; <= 0 writes only at
+  /// drain. With a positive interval a killed daemon still leaves data no
+  /// older than this (flushes are atomic: tmp file + rename).
+  double metrics_flush_ms = 0.0;
+  /// SMART-Pulse access log: JSONL file sink (empty = ring only) and the
+  /// size of the recent-requests ring exposed through kStats.
+  std::string access_log_path;
+  size_t access_log_capacity = 64;
+  /// Slow-request capture: requests slower than slow_threshold_ms end-to-
+  /// end are spooled (record + request + solve diagnostics) into
+  /// slow_spool_dir. Empty dir or non-positive threshold disables it.
+  std::string slow_spool_dir;
+  double slow_threshold_ms = -1.0;
 };
 
 /// Monotonic counters snapshot; every field counts since start().
@@ -83,6 +98,9 @@ struct ServerStats {
   uint64_t reaped_idle = 0;   ///< idle connections closed
   uint64_t io_faults = 0;     ///< injected/real socket-level failures
   uint64_t pings = 0;
+  uint64_t stats_requests = 0;   ///< kStats snapshots served
+  uint64_t health_requests = 0;  ///< kHealth probes served
+  uint64_t slow_captured = 0;    ///< requests spooled by the slow capture
   uint64_t queue_depth = 0;   ///< gauge: queued at snapshot time
   uint64_t in_flight = 0;     ///< gauge: executing at snapshot time
   uint64_t connections = 0;   ///< gauge: open at snapshot time
@@ -120,6 +138,17 @@ class Server {
   ServerStats stats() const;
   ResultCache* cache() { return cache_ ? cache_.get() : nullptr; }
 
+  /// SMART-Pulse stats snapshot — the JSON served for kStats frames:
+  /// uptime, counters, queue/in-flight gauges, per-stage latency
+  /// histograms, cache and error-by-code counters, worker utilization,
+  /// and the recent-request ring. Safe from any thread.
+  std::string stats_json() const;
+  /// The JSON served for kHealth frames: status ("ok"/"draining"),
+  /// uptime, and headline gauges. Safe from any thread.
+  std::string health_json() const;
+  /// All-time request records accounted by the access log.
+  uint64_t accounted_requests() const { return access_log_.total(); }
+
   /// Installs SIGTERM/SIGINT handlers that request_shutdown() this server
   /// (async-signal-safe: one write to the wake pipe). Call after start();
   /// pass nullptr to detach.
@@ -129,6 +158,7 @@ class Server {
   struct Conn {
     int fd = -1;
     std::string rbuf;  ///< io thread only
+    std::string peer;  ///< "ip:port" or "unix"; set at accept, then const
     /// Last traffic (steady ms); touched by io thread and workers.
     std::atomic<int64_t> last_active_ms{0};
     /// Requests of this connection queued or executing. The idle reaper
@@ -144,13 +174,28 @@ class Server {
     Frame frame;
     std::chrono::steady_clock::time_point enqueued;
     util::Deadline deadline;
+    double decode_us = 0.0;      ///< frame decode time on the io thread
+    double enqueue_ts_us = 0.0;  ///< trace-clock enqueue time (queue span)
+  };
+
+  /// Per-stage latency rings behind the kStats snapshot. Bounded and
+  /// always on (independent of the telemetry enable flag) — a daemon must
+  /// answer stats after weeks of uptime without unbounded sample growth.
+  struct StageHists {
+    obs::BoundedHistogram queue_ms;
+    obs::BoundedHistogram decode_ms;
+    obs::BoundedHistogram solve_ms;
+    obs::BoundedHistogram encode_ms;
+    obs::BoundedHistogram total_ms;
   };
 
   void io_loop();
   void worker_loop();
+  void flush_loop();
   void accept_pending();
   void read_conn(const std::shared_ptr<Conn>& conn);
-  void dispatch(const std::shared_ptr<Conn>& conn, Frame frame);
+  void dispatch(const std::shared_ptr<Conn>& conn, Frame frame,
+                double decode_us);
   void process(WorkItem item);
   /// Encodes and writes a frame with the write-timeout budget; marks the
   /// connection closed on failure. Returns false when the client is gone.
@@ -158,10 +203,12 @@ class Server {
                   double timeout_ms);
   void send_error(const std::shared_ptr<Conn>& conn, uint64_t request_id,
                   ErrorCode code, const std::string& detail,
-                  double timeout_ms);
+                  double timeout_ms, uint64_t trace_id = 0);
   void close_conn(int fd);
   void begin_drain();
   void reap_idle();
+  /// Per-ErrorCode failure accounting (kStats "errors_by_code").
+  void bump_code(ErrorCode code);
 
   ServeContext ctx_;
   ServerOptions opt_;
@@ -174,7 +221,22 @@ class Server {
 
   std::thread io_thread_;
   std::vector<std::thread> workers_;
+  std::thread flush_thread_;
   std::map<int, std::shared_ptr<Conn>> conns_;  ///< io thread only
+
+  // ---- SMART-Pulse state ----
+  StageHists stage_;
+  AccessLog access_log_;
+  SlowSpool spool_;
+  /// Worker-time accounting for utilization: µs spent handling + encoding
+  /// across all workers since start().
+  std::atomic<uint64_t> busy_us_{0};
+  std::chrono::steady_clock::time_point started_;
+  int worker_count_ = 0;
+
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  bool stop_flush_ = false;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -189,6 +251,7 @@ class Server {
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;
+  std::map<uint16_t, uint64_t> errors_by_code_;  ///< guarded by stats_mu_
   void bump(uint64_t ServerStats::*field, uint64_t delta = 1);
 };
 

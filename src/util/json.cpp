@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstddef>
+#include <cstdio>
 #include <exception>
 
 namespace smart::util {
@@ -164,6 +165,87 @@ class Parser {
 
 bool json_parse(const std::string& text, JsonValue* out) {
   return Parser(text).parse(out);
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string* out) {
+  *out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void dump_value(const JsonValue& v, std::string* out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += v.boolean ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber: {
+      char buf[32];
+      // Integral values print without an exponent or trailing ".0" so ids
+      // (trace/request) survive a parse→dump round trip byte-identically.
+      if (v.number == static_cast<long long>(v.number)) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v.number));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+      }
+      *out += buf;
+      break;
+    }
+    case JsonValue::Kind::kString:
+      dump_string(v.str, out);
+      break;
+    case JsonValue::Kind::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < v.array.size(); ++i) {
+        if (i != 0) *out += ',';
+        dump_value(v.array[i], out);
+      }
+      *out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.object) {
+        if (!first) *out += ',';
+        first = false;
+        dump_string(key, out);
+        *out += ':';
+        dump_value(member, out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_dump(const JsonValue& value) {
+  std::string out;
+  dump_value(value, &out);
+  return out;
 }
 
 }  // namespace smart::util

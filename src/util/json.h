@@ -35,4 +35,9 @@ struct JsonValue {
 /// error or trailing garbage; `out` is unspecified on failure.
 bool json_parse(const std::string& text, JsonValue* out);
 
+/// Serializes a JsonValue back to compact JSON text. Round-trips anything
+/// json_parse accepts (numbers come back via %.17g, so integers stay
+/// integral); used by tools that rewrite documents, e.g. trace merging.
+std::string json_dump(const JsonValue& value);
+
 }  // namespace smart::util

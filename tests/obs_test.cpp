@@ -309,6 +309,110 @@ TEST_F(ObsTest, ResetClearsEverything) {
   EXPECT_TRUE(tel.enabled());  // reset keeps the flag
 }
 
+TEST_F(ObsTest, ScopedTraceIdNestsAndRestores) {
+  EXPECT_EQ(current_trace_id(), 0u);
+  {
+    ScopedTraceId outer(0x111);
+    EXPECT_EQ(current_trace_id(), 0x111u);
+    {
+      ScopedTraceId inner(0x222);
+      EXPECT_EQ(current_trace_id(), 0x222u);
+    }
+    EXPECT_EQ(current_trace_id(), 0x111u);
+  }
+  EXPECT_EQ(current_trace_id(), 0u);
+}
+
+TEST_F(ObsTest, SpansInheritTheActiveTraceId) {
+  {
+    Span before("before");  // no trace context
+    ScopedTraceId scope(0xABC);
+    Span tagged("tagged");
+    { Span nested("nested"); }
+  }
+  const auto spans = Telemetry::instance().spans();
+  ASSERT_EQ(spans.size(), 3u);
+  std::map<std::string, uint64_t> by_name;
+  for (const auto& ev : spans) by_name[ev.name] = ev.trace_id;
+  EXPECT_EQ(by_name["before"], 0u);
+  EXPECT_EQ(by_name["tagged"], 0xABCu);
+  EXPECT_EQ(by_name["nested"], 0xABCu);
+
+  // The trace export carries the id as an integer arg; untagged spans
+  // omit it (zero is "no trace").
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(Telemetry::instance().chrome_trace_json())
+                  .parse(&root));
+  for (const auto& ev : root.find("traceEvents")->array) {
+    const JsonValue* args = ev.find("args");
+    const JsonValue* tid = args != nullptr ? args->find("trace_id") : nullptr;
+    if (ev.find("name")->str == "before") {
+      EXPECT_EQ(tid, nullptr);
+    } else {
+      ASSERT_NE(tid, nullptr) << ev.find("name")->str;
+      EXPECT_DOUBLE_EQ(tid->number, static_cast<double>(0xABC));
+    }
+  }
+}
+
+TEST_F(ObsTest, TraceIdSurvivesDisabledTelemetry) {
+  // The propagation context is orthogonal to the recording flag: a
+  // disabled client must still stamp trace ids into its request frames.
+  Telemetry::instance().enable(false);
+  ScopedTraceId scope(0x42);
+  EXPECT_EQ(current_trace_id(), 0x42u);
+}
+
+TEST_F(ObsTest, ProcessLabelEmitsMetadataEvent) {
+  auto& tel = Telemetry::instance();
+  tel.set_process_label("test_proc");
+  { Span span("s"); }
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(tel.chrome_trace_json()).parse(&root));
+  const auto& events = root.find("traceEvents")->array;
+  ASSERT_GE(events.size(), 2u);
+  const JsonValue& meta = events.front();
+  EXPECT_EQ(meta.find("ph")->str, "M");
+  EXPECT_EQ(meta.find("name")->str, "process_name");
+  ASSERT_NE(meta.find("args"), nullptr);
+  EXPECT_EQ(meta.find("args")->find("name")->str, "test_proc");
+  tel.set_process_label("");
+}
+
+TEST(BoundedHistogramTest, WindowsSamplesButCountsAll) {
+  BoundedHistogram hist(4);
+  for (int i = 1; i <= 10; ++i) hist.record(static_cast<double>(i));
+  EXPECT_EQ(hist.total_count(), 10u);
+  const HistogramSummary s = hist.summary();
+  // Only the newest 4 samples (7..10) remain in the window.
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+}
+
+TEST(BoundedHistogramTest, EmptyAndPartialWindows) {
+  BoundedHistogram hist(8);
+  EXPECT_EQ(hist.total_count(), 0u);
+  EXPECT_EQ(hist.summary().count, 0u);
+  hist.record(2.5);
+  const HistogramSummary s = hist.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);
+}
+
+TEST(BoundedHistogramTest, ConcurrentRecordsStayBounded) {
+  BoundedHistogram hist(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < 1000; ++i) hist.record(static_cast<double>(i));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(hist.total_count(), 4000u);
+  EXPECT_EQ(hist.summary().count, 64u);
+}
+
 // End-to-end: one real sizing run emits the pipeline's span tree and the
 // headline metrics the CLI exports (prune reduction, per-solve Newton
 // iterations, respec mismatch, rung taken).

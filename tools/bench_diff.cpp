@@ -3,7 +3,7 @@
 // and flags per-metric regressions beyond a threshold.
 //
 //   bench_diff <baseline.json> <current.json> [--threshold PCT]
-//              [--prefix NAME.] [--update]
+//              [--prefix NAME.] [--format text|json] [--update]
 //
 // Compares every gauge whose name starts with the prefix (default "bench.",
 // the timing gauges; an empty prefix compares all gauges). A current value
@@ -11,6 +11,10 @@
 // CI runners are noisy) is a regression. Exit codes: 0 = no regressions,
 // 1 = at least one regression, 2 = usage or parse error. CI runs this as
 // an advisory step — the exit code flags, it does not gate.
+//
+// `--format json` replaces the table with a machine-readable document
+// (metrics array + summary) so dashboards and CI annotations can consume
+// the comparison without scraping the table; exit codes are unchanged.
 //
 // `--update` accepts the current run as the new baseline: after printing
 // the comparison plus per-metric speedup ratios (baseline / current), the
@@ -24,6 +28,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "util/json.h"
 #include "util/strfmt.h"
@@ -111,8 +116,21 @@ bool write_file(const std::string& path, const std::string& text) {
 void usage() {
   std::fprintf(stderr,
                "usage: bench_diff <baseline.json> <current.json> "
-               "[--threshold PCT] [--prefix NAME.] [--update]\n");
+               "[--threshold PCT] [--prefix NAME.] [--format text|json] "
+               "[--update]\n");
 }
+
+/// One compared metric; `baseline`/`current` are negative-NaN-free but a
+/// side can be absent (MISSING / new metrics).
+struct DiffRow {
+  std::string name;
+  bool has_base = false;
+  bool has_cur = false;
+  double base = 0.0;
+  double cur = 0.0;
+  double delta_pct = 0.0;
+  const char* verdict = "ok";
+};
 
 }  // namespace
 
@@ -120,6 +138,7 @@ int main(int argc, char** argv) {
   std::string baseline_path, current_path;
   double threshold = 25.0;
   std::string prefix = "bench.";
+  std::string format = "text";
   bool update = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -135,6 +154,8 @@ int main(int argc, char** argv) {
         threshold = std::atof(v);
       } else if (const char* v = value_of("--prefix")) {
         prefix = v;
+      } else if (const char* v = value_of("--format")) {
+        format = v;
       } else if (arg == "--update") {
         update = true;
       } else {
@@ -155,6 +176,11 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "bench_diff: unknown format '%s' (want text or "
+                 "json)\n", format.c_str());
+    return 2;
+  }
 
   std::map<std::string, double> baseline, current;
   if (!load_gauges(baseline_path, "baseline", prefix, &baseline) ||
@@ -167,48 +193,92 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  smart::util::Table table({"metric", "baseline", "current", "delta", "verdict"});
+  std::vector<DiffRow> rows;
   size_t regressions = 0, improvements = 0, missing = 0;
   for (const auto& [name, base] : baseline) {
+    DiffRow row;
+    row.name = name;
+    row.has_base = true;
+    row.base = base;
     const auto it = current.find(name);
     if (it == current.end()) {
       // A benchmark that disappeared is flagged like a regression: a rename
       // must come with a baseline refresh, and a silently dropped bench
       // would otherwise hide its own regression forever.
-      table.add_row({name, smart::util::strfmt("%.4g", base), "-", "-",
-                     "MISSING"});
+      row.verdict = "MISSING";
       ++missing;
+      rows.push_back(row);
       continue;
     }
-    const double cur = it->second;
-    const double delta_pct = base > 0.0 ? (cur / base - 1.0) * 100.0 : 0.0;
-    const char* verdict = "ok";
-    if (delta_pct > threshold) {
-      verdict = "REGRESSION";
+    row.has_cur = true;
+    row.cur = it->second;
+    row.delta_pct = base > 0.0 ? (row.cur / base - 1.0) * 100.0 : 0.0;
+    if (row.delta_pct > threshold) {
+      row.verdict = "REGRESSION";
       ++regressions;
-    } else if (delta_pct < -threshold) {
-      verdict = "improved";
+    } else if (row.delta_pct < -threshold) {
+      row.verdict = "improved";
       ++improvements;
     }
-    table.add_row({name, smart::util::strfmt("%.4g", base),
-                   smart::util::strfmt("%.4g", cur),
-                   smart::util::strfmt("%+.1f%%", delta_pct), verdict});
+    rows.push_back(row);
   }
   for (const auto& [name, cur] : current) {
-    if (baseline.count(name) == 0)
-      table.add_row({name, "-", smart::util::strfmt("%.4g", cur), "-",
-                     "new (not in baseline)"});
+    if (baseline.count(name) != 0) continue;
+    DiffRow row;
+    row.name = name;
+    row.has_cur = true;
+    row.cur = cur;
+    row.verdict = "new";
+    rows.push_back(row);
   }
 
-  std::printf("%s", table.render(smart::util::strfmt(
-                                     "bench_diff: %s vs baseline %s "
-                                     "(threshold %.0f%%)",
-                                     current_path.c_str(),
-                                     baseline_path.c_str(), threshold))
-                        .c_str());
-  std::printf("%zu regressions, %zu improvements, %zu missing of %zu "
-              "baseline metrics\n",
-              regressions, improvements, missing, baseline.size());
+  if (format == "json") {
+    std::string out = "{\"baseline\":\"" + baseline_path +
+                      "\",\"current\":\"" + current_path + "\",";
+    out += smart::util::strfmt("\"threshold_pct\":%.1f,\"metrics\":[",
+                               threshold);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const DiffRow& r = rows[i];
+      if (i != 0) out += ",";
+      out += "{\"name\":\"" + r.name + "\",";
+      out += r.has_base ? smart::util::strfmt("\"baseline\":%.6g,", r.base)
+                        : "\"baseline\":null,";
+      out += r.has_cur ? smart::util::strfmt("\"current\":%.6g,", r.cur)
+                       : "\"current\":null,";
+      out += r.has_base && r.has_cur
+                 ? smart::util::strfmt("\"delta_pct\":%.2f,", r.delta_pct)
+                 : "\"delta_pct\":null,";
+      out += "\"verdict\":\"" + std::string(r.verdict) + "\"}";
+    }
+    out += smart::util::strfmt(
+        "],\"summary\":{\"regressions\":%zu,\"improvements\":%zu,"
+        "\"missing\":%zu,\"compared\":%zu}}",
+        regressions, improvements, missing, baseline.size());
+    std::printf("%s\n", out.c_str());
+  } else {
+    smart::util::Table table(
+        {"metric", "baseline", "current", "delta", "verdict"});
+    for (const DiffRow& r : rows) {
+      table.add_row(
+          {r.name,
+           r.has_base ? smart::util::strfmt("%.4g", r.base) : "-",
+           r.has_cur ? smart::util::strfmt("%.4g", r.cur) : "-",
+           r.has_base && r.has_cur
+               ? smart::util::strfmt("%+.1f%%", r.delta_pct)
+               : "-",
+           std::strcmp(r.verdict, "new") == 0 ? "new (not in baseline)"
+                                              : r.verdict});
+    }
+    std::printf("%s", table.render(smart::util::strfmt(
+                                       "bench_diff: %s vs baseline %s "
+                                       "(threshold %.0f%%)",
+                                       current_path.c_str(),
+                                       baseline_path.c_str(), threshold))
+                          .c_str());
+    std::printf("%zu regressions, %zu improvements, %zu missing of %zu "
+                "baseline metrics\n",
+                regressions, improvements, missing, baseline.size());
+  }
 
   if (update) {
     // Speedup view of the accepted refresh: ratio > 1 means the new

@@ -14,7 +14,11 @@
 //                    [--format text|json] [--out FILE]
 //   smart_cli client <ping|size|advise|lint|report|shutdown>
 //                    (--port N | --unix PATH) [--type T --topology X ...]
-//                    [--deadline-ms MS] [--retries N] [--no-cache]
+//                    [--deadline-ms MS] [--retries N] [--no-cache] [-v]
+//   smart_cli stats  (--port N | --unix PATH) [--format text|json]
+//                    [--watch] [--interval-ms MS]
+//   smart_cli health (--port N | --unix PATH)
+//   smart_cli trace-merge FILE... [--out FILE]
 //
 // `advise` runs the full Fig-1 flow (generate every applicable topology,
 // GP-size each against the spec, verify with the reference timer, rank by
@@ -23,6 +27,13 @@
 // sizes one macro with a report-grade solve and prints the SMART-Scope
 // introspection view (top-K critical paths, binding set with duals, slack
 // histogram, width sensitivities).
+//
+// SMART-Pulse commands: `stats` renders a live snapshot of a running
+// smartd (counters, per-stage latency percentiles, cache, utilization,
+// recent requests; --watch refreshes it top-style); `health` is a cheap
+// liveness probe (exit 0 only when the daemon answers "ok");
+// `trace-merge` joins client- and daemon-side Chrome traces into one file
+// so a request's cross-process timeline lines up under its trace id.
 //
 // Global flags (any command, `--flag value` or `--flag=value` style):
 //   --trace-out FILE    write a Chrome trace_event JSON of the run's spans
@@ -35,12 +46,14 @@
 //                       hardware concurrency; results are identical at any
 //                       thread count)
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/advisor.h"
@@ -61,6 +74,7 @@
 #include "serve/client.h"
 #include "serve/request.h"
 #include "timing/paths.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/strfmt.h"
 #include "util/table.h"
@@ -92,6 +106,10 @@ Args parse(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string token = argv[i];
+    if (token == "-v") {  // short spelling of --verbose (client timing)
+      args.flags["verbose"] = "";
+      continue;
+    }
     if (token.rfind("--", 0) == 0) {
       std::string key = token.substr(2);
       const auto eq = key.find('=');
@@ -144,7 +162,12 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
       {"client",
        {"port", "host", "unix", "type", "topology", "n", "bits", "m",
         "load", "slope", "delay", "precharge", "cost", "top-k",
-        "deadline-ms", "retries", "no-cache"}},
+        "deadline-ms", "retries", "no-cache", "verbose"}},
+      {"stats",
+       {"port", "host", "unix", "format", "watch", "interval-ms",
+        "deadline-ms", "retries"}},
+      {"health", {"port", "host", "unix", "deadline-ms", "retries"}},
+      {"trace-merge", {"out"}},
   };
   return flags;
 }
@@ -522,6 +545,21 @@ int cmd_report(const Args& args) {
   return report.message == "ok" ? 0 : 1;
 }
 
+// Endpoint plumbing shared by the daemon-facing commands (client, stats,
+// health). False (with the usage error printed) when no endpoint is given.
+bool endpoint_options(const Args& args, const char* cmd,
+                      serve::ClientOptions* out) {
+  out->unix_path = args.str("unix");
+  out->host = args.str("host", "127.0.0.1");
+  out->port = static_cast<int>(args.num("port", 0));
+  if (out->unix_path.empty() && out->port <= 0) {
+    std::fprintf(stderr, "%s needs --port N or --unix PATH\n", cmd);
+    return false;
+  }
+  out->max_retries = static_cast<int>(args.num("retries", 3));
+  return true;
+}
+
 // Talks to a running smartd over the framed protocol. The op rides as the
 // positional operand; the macro spec flags mirror the local commands. The
 // client retries only requests the daemon provably never started (connect
@@ -547,14 +585,7 @@ int cmd_client(const Args& args) {
   }
 
   serve::ClientOptions copt;
-  copt.unix_path = args.str("unix");
-  copt.host = args.str("host", "127.0.0.1");
-  copt.port = static_cast<int>(args.num("port", 0));
-  if (copt.unix_path.empty() && copt.port <= 0) {
-    std::fprintf(stderr, "client needs --port N or --unix PATH\n");
-    return 2;
-  }
-  copt.max_retries = static_cast<int>(args.num("retries", 3));
+  if (!endpoint_options(args, "client", &copt)) return 2;
 
   serve::Request req;
   req.type = args.str("type");
@@ -583,6 +614,23 @@ int cmd_client(const Args& args) {
   const auto status =
       client.call(type, solving ? serve::request_json(req) : "",
                   args.num("deadline-ms", -1.0), &reply);
+  // -v: per-request timing on stderr (stdout stays the raw payload).
+  // Client-side phases always; the server's stage breakdown when the
+  // reply carried a pulse object.
+  if (args.has("verbose")) {
+    const serve::CallStats& cs = client.last_call();
+    std::fprintf(stderr,
+                 "call: trace %llx, %d attempt%s, total %.2f ms "
+                 "(connect %.2f, send %.2f, wait %.2f, decode %.2f)\n",
+                 static_cast<unsigned long long>(cs.trace_id), cs.attempts,
+                 cs.attempts == 1 ? "" : "s", cs.total_ms, cs.connect_ms,
+                 cs.send_ms, cs.wait_ms, cs.decode_ms);
+    if (cs.server_solve_us >= 0.0)
+      std::fprintf(stderr,
+                   "server: queue %.0f us, decode %.0f us, solve %.0f us\n",
+                   cs.server_queue_us, cs.server_decode_us,
+                   cs.server_solve_us);
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "client %s failed: %s\n", op.c_str(),
                  status.to_string().c_str());
@@ -592,6 +640,220 @@ int cmd_client(const Args& args) {
     std::printf("pong\n");
   else
     std::printf("%s\n", reply.payload.c_str());
+  return 0;
+}
+
+// ---- SMART-Pulse commands --------------------------------------------
+
+double jnum(const util::JsonValue* v, double fallback = 0.0) {
+  return v != nullptr ? v->number : fallback;
+}
+
+// One fetch of the kStats snapshot rendered as a top-style text view.
+// Returns false when the payload does not parse (daemon/tool mismatch).
+bool render_stats_text(const std::string& payload) {
+  util::JsonValue doc;
+  if (!util::json_parse(payload, &doc)) return false;
+  const util::JsonValue* counters = doc.find("counters");
+  const util::JsonValue* gauges = doc.find("gauges");
+  const util::JsonValue* util_v = doc.find("utilization");
+  if (counters == nullptr || gauges == nullptr || util_v == nullptr)
+    return false;
+  const auto c = [&](const char* k) {
+    return static_cast<unsigned long long>(jnum(counters->find(k)));
+  };
+  const auto g = [&](const char* k) {
+    return static_cast<unsigned long long>(jnum(gauges->find(k)));
+  };
+
+  const bool draining =
+      doc.find("draining") != nullptr && doc.find("draining")->boolean;
+  std::printf("smartd %s — up %.1f s, protocol v%.0f, %s\n",
+              doc.find("endpoint") ? doc.find("endpoint")->str.c_str() : "?",
+              jnum(doc.find("uptime_s")),
+              jnum(doc.find("protocol_version"), 2.0),
+              draining ? "DRAINING" : "serving");
+  std::printf(
+      "requests %llu  responses %llu  pings %llu  shed %llu  errors %llu  "
+      "timeouts %llu  bad_frames %llu  abandoned %llu\n",
+      c("requests"), c("responses"), c("pings"), c("shed"), c("errors"),
+      c("timeouts"), c("bad_frames"), c("abandoned"));
+  std::printf(
+      "queue %llu  in_flight %llu  connections %llu  workers %.0f  "
+      "utilization %.1f%%\n",
+      g("queue_depth"), g("in_flight"), g("connections"),
+      jnum(util_v->find("workers")),
+      100.0 * jnum(util_v->find("busy_ratio")));
+
+  if (const util::JsonValue* cache = doc.find("cache");
+      cache != nullptr && cache->kind == util::JsonValue::Kind::kObject) {
+    std::printf(
+        "cache: size %.0f  hits %.0f  warm %.0f  misses %.0f  "
+        "evictions %.0f  poisoned %.0f\n",
+        jnum(cache->find("size")), jnum(cache->find("hits")),
+        jnum(cache->find("near_hits")), jnum(cache->find("misses")),
+        jnum(cache->find("evictions")), jnum(cache->find("poisoned")));
+  } else {
+    std::printf("cache: disabled\n");
+  }
+
+  if (const util::JsonValue* stages = doc.find("stages")) {
+    util::Table table({"stage", "count", "p50 (ms)", "p90 (ms)", "p99 (ms)",
+                       "max (ms)"});
+    for (const char* name :
+         {"queue_ms", "decode_ms", "solve_ms", "encode_ms", "total_ms"}) {
+      const util::JsonValue* h = stages->find(name);
+      if (h == nullptr) continue;
+      table.add_row({std::string(name, std::strlen(name) - 3),
+                     util::strfmt("%.0f", jnum(h->find("count"))),
+                     util::strfmt("%.3f", jnum(h->find("p50"))),
+                     util::strfmt("%.3f", jnum(h->find("p90"))),
+                     util::strfmt("%.3f", jnum(h->find("p99"))),
+                     util::strfmt("%.3f", jnum(h->find("max")))});
+    }
+    std::printf("%s", table.render("per-stage latency").c_str());
+  }
+
+  if (const util::JsonValue* errs = doc.find("errors_by_code");
+      errs != nullptr && !errs->object.empty()) {
+    std::printf("errors by code:");
+    for (const auto& [code, count] : errs->object)
+      std::printf("  %s=%.0f", code.c_str(), count.number);
+    std::printf("\n");
+  }
+  const util::JsonValue* slow = doc.find("slow");
+  const double slow_thresh = slow ? jnum(slow->find("threshold_ms"), -1) : -1;
+  if (slow_thresh > 0.0)
+    std::printf("slow capture: threshold %.1f ms, captured %.0f\n",
+                slow_thresh, jnum(slow->find("captured")));
+  const util::JsonValue* recent = doc.find("recent");
+  std::printf("accounted %.0f requests (%zu in ring)\n",
+              jnum(doc.find("requests_total")),
+              recent != nullptr ? recent->array.size() : 0);
+  return true;
+}
+
+// Live serving snapshot: one kStats round trip, rendered as text (or the
+// raw JSON with --format json); --watch refreshes until interrupted.
+int cmd_stats(const Args& args) {
+  const std::string format = args.str("format", "text");
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "unknown stats format '%s' (want text or json)\n",
+                 format.c_str());
+    return 2;
+  }
+  serve::ClientOptions copt;
+  if (!endpoint_options(args, "stats", &copt)) return 2;
+  const bool watch = args.has("watch");
+  const double interval_ms = args.num("interval-ms", 2000.0);
+
+  serve::Client client(copt);
+  for (;;) {
+    serve::Frame reply;
+    const auto status = client.call(serve::FrameType::kStats, "",
+                                    args.num("deadline-ms", -1.0), &reply);
+    if (!status.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    if (format == "json") {
+      std::printf("%s\n", reply.payload.c_str());
+    } else if (!render_stats_text(reply.payload)) {
+      std::fprintf(stderr, "stats payload did not parse: %s\n",
+                   reply.payload.c_str());
+      return 1;
+    }
+    if (!watch) return 0;
+    std::printf("\n");
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<int64_t>(std::max(100.0, interval_ms))));
+  }
+}
+
+// Liveness probe: exit 0 only when the daemon answers kHealth with
+// status "ok" (draining or unreachable both exit 1, so supervisors can
+// gate restarts/traffic on the exit code alone).
+int cmd_health(const Args& args) {
+  serve::ClientOptions copt;
+  if (!endpoint_options(args, "health", &copt)) return 2;
+  serve::Client client(copt);
+  serve::Frame reply;
+  const auto status = client.call(serve::FrameType::kHealth, "",
+                                  args.num("deadline-ms", -1.0), &reply);
+  if (!status.ok()) {
+    std::fprintf(stderr, "health probe failed: %s\n",
+                 status.to_string().c_str());
+    return 1;
+  }
+  std::printf("%s\n", reply.payload.c_str());
+  util::JsonValue doc;
+  if (!util::json_parse(reply.payload, &doc)) return 1;
+  const util::JsonValue* st = doc.find("status");
+  return st != nullptr && st->str == "ok" ? 0 : 1;
+}
+
+// Merges Chrome trace_event files (client + daemon sides of a serving
+// run) into one document. Both sides stamp spans on the shared
+// CLOCK_MONOTONIC timebase and tag them with the request's trace id, so
+// the merged file lines up a request's full cross-process timeline.
+int cmd_trace_merge(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "trace-merge needs input files\n");
+    return 2;
+  }
+  util::JsonValue merged;
+  merged.kind = util::JsonValue::Kind::kObject;
+  util::JsonValue events;
+  events.kind = util::JsonValue::Kind::kArray;
+  for (const std::string& path : args.positional) {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "trace-merge: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::string text;
+    char chunk[65536];
+    size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+      text.append(chunk, n);
+    std::fclose(f);
+    util::JsonValue doc;
+    if (!util::json_parse(text, &doc)) {
+      std::fprintf(stderr, "trace-merge: %s is not valid JSON\n",
+                   path.c_str());
+      return 1;
+    }
+    const util::JsonValue* trace_events = doc.find("traceEvents");
+    if (trace_events == nullptr ||
+        trace_events->kind != util::JsonValue::Kind::kArray) {
+      std::fprintf(stderr, "trace-merge: %s has no traceEvents array\n",
+                   path.c_str());
+      return 1;
+    }
+    for (const util::JsonValue& ev : trace_events->array)
+      events.array.push_back(ev);
+    if (const util::JsonValue* unit = doc.find("displayTimeUnit"))
+      merged.object.emplace("displayTimeUnit", *unit);
+  }
+  merged.object["traceEvents"] = std::move(events);
+
+  const std::string rendered = util::json_dump(merged);
+  const std::string out = args.str("out");
+  if (out.empty()) {
+    std::printf("%s\n", rendered.c_str());
+    return 0;
+  }
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace-merge: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fputs(rendered.c_str(), f);
+  std::fclose(f);
+  std::printf("merged %zu events from %zu traces -> %s\n",
+              merged.object["traceEvents"].array.size(),
+              args.positional.size(), out.c_str());
   return 0;
 }
 
@@ -608,7 +870,12 @@ void usage() {
                "[--top-k K] [--format text|json] [--out FILE]\n"
                "       smart_cli client <ping|size|advise|lint|report|"
                "shutdown> (--port N | --unix PATH) [--type T --topology X "
-               "--n N ...] [--deadline-ms MS] [--retries N] [--no-cache]\n");
+               "--n N ...] [--deadline-ms MS] [--retries N] [--no-cache]"
+               " [-v]\n"
+               "       smart_cli stats (--port N | --unix PATH) "
+               "[--format text|json] [--watch] [--interval-ms MS]\n"
+               "       smart_cli health (--port N | --unix PATH)\n"
+               "       smart_cli trace-merge FILE... [--out FILE]\n");
 }
 
 int dispatch(const Args& args) {
@@ -622,6 +889,9 @@ int dispatch(const Args& args) {
   if (args.command == "lint") return cmd_lint(args);
   if (args.command == "report") return cmd_report(args);
   if (args.command == "client") return cmd_client(args);
+  if (args.command == "stats") return cmd_stats(args);
+  if (args.command == "health") return cmd_health(args);
+  if (args.command == "trace-merge") return cmd_trace_merge(args);
   usage();
   return args.command.empty() ? 1 : 2;
 }
@@ -641,7 +911,8 @@ int validate(const Args& args) {
     }
   }
   if (!args.positional.empty() && args.command != "lint" &&
-      args.command != "report" && args.command != "client") {
+      args.command != "report" && args.command != "client" &&
+      args.command != "trace-merge") {
     std::fprintf(stderr, "unexpected argument '%s' for command '%s'\n",
                  args.positional.front().c_str(), args.command.c_str());
     usage();
@@ -678,7 +949,10 @@ int main(int argc, char** argv) {
   const std::string trace_out = args.str("trace-out");
   const std::string metrics_out = args.str("metrics-out");
   auto& telemetry = obs::Telemetry::instance();
-  if (!trace_out.empty() || !metrics_out.empty()) telemetry.enable(true);
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    telemetry.enable(true);
+    telemetry.set_process_label("smart_cli");
+  }
 
   int rc = 2;
   try {

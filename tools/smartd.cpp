@@ -8,7 +8,9 @@
 //   smartd [--port N] [--host ADDR] [--unix PATH] [--workers N]
 //          [--max-queue N] [--max-connections N] [--cache-size N]
 //          [--no-cache] [--idle-timeout-ms MS] [--write-timeout-ms MS]
-//          [--metrics-out FILE] [--trace-out FILE]
+//          [--metrics-out FILE] [--trace-out FILE] [--metrics-flush-ms MS]
+//          [--access-log FILE] [--access-log-size N]
+//          [--slow-spool DIR] [--slow-threshold-ms MS]
 //          [--log-level LVL] [--threads N]
 //
 // Prints "smartd listening on <endpoint>" to stdout once ready (smoke
@@ -57,7 +59,10 @@ void usage() {
       " [--no-cache]\n"
       "              [--idle-timeout-ms MS] [--write-timeout-ms MS]\n"
       "              [--metrics-out FILE] [--trace-out FILE]"
-      " [--log-level LVL] [--threads N]\n"
+      " [--metrics-flush-ms MS]\n"
+      "              [--access-log FILE] [--access-log-size N]\n"
+      "              [--slow-spool DIR] [--slow-threshold-ms MS]\n"
+      "              [--log-level LVL] [--threads N]\n"
       "              [--arm-fault frame-corrupt|io-fail|worker-stall|"
       "cache-poison]\n");
 }
@@ -67,6 +72,8 @@ const char* const kKnownFlags[] = {
     "workers",        "max-queue",      "max-connections",
     "cache-size",     "no-cache",       "idle-timeout-ms",
     "write-timeout-ms", "metrics-out",  "trace-out",
+    "metrics-flush-ms", "access-log",   "access-log-size",
+    "slow-spool",     "slow-threshold-ms",
     "log-level",      "threads",        "arm-fault"};
 
 /// Chaos mode for smoke runs: arms one serve-layer fault site in situ so an
@@ -175,8 +182,16 @@ int main(int argc, char** argv) {
   opt.write_timeout_ms = flags.num("write-timeout-ms", 5000.0);
   opt.metrics_out = flags.str("metrics-out");
   opt.trace_out = flags.str("trace-out");
-  if (!opt.metrics_out.empty() || !opt.trace_out.empty())
+  opt.metrics_flush_ms = flags.num("metrics-flush-ms", 0.0);
+  opt.access_log_path = flags.str("access-log");
+  opt.access_log_capacity =
+      static_cast<size_t>(flags.num("access-log-size", 64));
+  opt.slow_spool_dir = flags.str("slow-spool");
+  opt.slow_threshold_ms = flags.num("slow-threshold-ms", -1.0);
+  if (!opt.metrics_out.empty() || !opt.trace_out.empty()) {
     obs::Telemetry::instance().enable(true);
+    obs::Telemetry::instance().set_process_label("smartd");
+  }
 
   serve::ServeContext ctx;
   ctx.db = &macros::builtin_database();
