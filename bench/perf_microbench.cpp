@@ -5,11 +5,15 @@
 // rests on the flow being fast; these benches track that.
 //
 // Pass --metrics-out=FILE to additionally export every benchmark's
-// per-iteration real time through the obs metrics registry as gauges
-// (`bench.<name>.real_ns`), BENCH_*.json style, so the perf trajectory is
-// machine-readable across PRs.
+// per-iteration real time (`bench.<name>.real_ns`), CPU time
+// (`bench.<name>.cpu_ns`) and the process peak RSS
+// (`bench.peak_rss_kb`) through the obs metrics registry as gauges,
+// BENCH_*.json style, so the perf trajectory — including memory — is
+// machine-readable across PRs (`bench_diff --record`).
 
 #include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
 
 #include <string>
 #include <utility>
@@ -21,6 +25,8 @@
 #include "macros/registry.h"
 #include "models/fitter.h"
 #include "obs/obs.h"
+#include "prof/prof.h"
+#include "prof/resource.h"
 #include "refsim/logic_sim.h"
 #include "refsim/rc_timer.h"
 #include "timing/paths.h"
@@ -167,6 +173,36 @@ void BM_ObsCounterDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsCounterDisabled);
 
+// The SMART-Prof span hooks, before any profiler ever starts: every span
+// site pays one extra relaxed atomic load (nullptr hook check) on top of
+// the telemetry check. This bench MUST run before the BM_ProfSpanHook*
+// benches below — Profiler::start() installs the hooks process-wide and
+// they cannot be uninstalled. Google-benchmark runs in registration
+// order, and registration order here is file order.
+void BM_ProfSpanNoHooks(benchmark::State& state) {
+  obs::Telemetry::instance().enable(false);
+  if (obs::span_hooks() != nullptr) {
+    state.SkipWithError("span hooks already installed");
+    return;
+  }
+  for (auto _ : state) {
+    obs::Span span("bench.noop");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ProfSpanNoHooks);
+
+// Resource-accounting scope with telemetry disabled: one relaxed atomic
+// load, same budget as the obs hooks it rides along with.
+void BM_ProfResourceScopeDisabled(benchmark::State& state) {
+  obs::Telemetry::instance().enable(false);
+  for (auto _ : state) {
+    prof::ResourceScope scope("bench.noop");
+    benchmark::DoNotOptimize(&scope);
+  }
+}
+BENCHMARK(BM_ProfResourceScopeDisabled);
+
 // Full sizing loop with tracing armed: what a traced production run pays
 // over the disabled-path BM_FullSizingLoop number.
 void BM_FullSizingLoopTraced(benchmark::State& state) {
@@ -187,10 +223,37 @@ void BM_FullSizingLoopTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSizingLoopTraced);
 
-/// Console reporter that also captures each benchmark's adjusted real time
-/// so the run can be exported through the obs metrics registry.
+// Span cost with the SMART-Prof hooks installed but no collection running:
+// the hook maintains the interned span-path stack, so each span pays one
+// path-table lookup. Profiler::start() installs the hooks process-wide and
+// they cannot be uninstalled, so this bench (and anything registered after
+// it) sees hooked spans — it must stay LAST in this file.
+void BM_ProfSpanHooksIdle(benchmark::State& state) {
+  obs::Telemetry::instance().enable(false);
+  auto& profiler = prof::Profiler::instance();
+  if (obs::span_hooks() == nullptr) {
+    prof::ProfilerOptions popt;
+    popt.hz = 97.0;
+    if (profiler.start(popt).ok()) profiler.stop();
+  }
+  for (auto _ : state) {
+    obs::Span span("bench.noop");
+    benchmark::DoNotOptimize(&span);
+  }
+  profiler.reset();
+}
+BENCHMARK(BM_ProfSpanHooksIdle);
+
+/// Console reporter that also captures each benchmark's adjusted real and
+/// CPU time so the run can be exported through the obs metrics registry.
 class MetricsCapture : public benchmark::ConsoleReporter {
  public:
+  struct Captured {
+    std::string name;
+    double real_ns = 0.0;
+    double cpu_ns = 0.0;
+  };
+
   // Plain output: a hand-constructed ConsoleReporter bypasses the library's
   // isatty-based color detection, and ANSI codes in piped output would
   // corrupt downstream parsing.
@@ -199,17 +262,16 @@ class MetricsCapture : public benchmark::ConsoleReporter {
   void ReportRuns(const std::vector<Run>& report) override {
     for (const auto& run : report) {
       if (run.error_occurred) continue;
-      results_.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+      results_.push_back({run.benchmark_name(), run.GetAdjustedRealTime(),
+                          run.GetAdjustedCPUTime()});
     }
     ConsoleReporter::ReportRuns(report);
   }
 
-  const std::vector<std::pair<std::string, double>>& results() const {
-    return results_;
-  }
+  const std::vector<Captured>& results() const { return results_; }
 
  private:
-  std::vector<std::pair<std::string, double>> results_;
+  std::vector<Captured> results_;
 };
 
 }  // namespace
@@ -244,8 +306,15 @@ int main(int argc, char** argv) {
     auto& tel = obs::Telemetry::instance();
     tel.enable(true);
     tel.reset();
-    for (const auto& [name, real_ns] : reporter.results())
-      tel.gauge_set("bench." + name + ".real_ns", real_ns);
+    for (const auto& r : reporter.results()) {
+      tel.gauge_set("bench." + r.name + ".real_ns", r.real_ns);
+      tel.gauge_set("bench." + r.name + ".cpu_ns", r.cpu_ns);
+    }
+    // Memory trajectory: the process peak RSS after the full suite. Not a
+    // per-bench number, but regressions (a leak, a bloated cache) move it.
+    struct rusage ru;
+    if (::getrusage(RUSAGE_SELF, &ru) == 0)
+      tel.gauge_set("bench.peak_rss_kb", static_cast<double>(ru.ru_maxrss));
     if (!tel.write_metrics(metrics_out)) {
       std::fprintf(stderr, "cannot write metrics to %s\n",
                    metrics_out.c_str());

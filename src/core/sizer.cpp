@@ -5,6 +5,7 @@
 
 #include "gp/verify.h"
 #include "obs/obs.h"
+#include "prof/resource.h"
 #include "util/check.h"
 #include "util/deadline.h"
 #include "util/logging.h"
@@ -424,6 +425,7 @@ SizerResult Sizer::size_gp(const netlist::Netlist& nl,
 SizerResult Sizer::size(const netlist::Netlist& nl,
                         const SizerOptions& opt) const {
   obs::Span size_span("sizer.size");
+  prof::ResourceScope size_rusage("sizer.size");
   if (!(opt.delay_spec_ps > 0.0)) {
     SizerResult r;
     r.status = Status::Fail(FailureReason::kInvalidInput,

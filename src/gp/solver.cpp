@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "obs/obs.h"
+#include "prof/resource.h"
 #include "util/check.h"
 #include "util/deadline.h"
 #include "util/fault.h"
@@ -554,6 +555,7 @@ GpResult GpSolver::solve_from(const GpProblem& problem,
 
 GpResult GpSolver::run(const GpProblem& problem, const util::Vec* x0) const {
   obs::Span solve_span("gp.solve");
+  prof::ResourceScope solve_rusage("gp.solve");
   const auto& vars = problem.vars();
   const size_t n = vars.size();
   GpResult result;

@@ -115,6 +115,20 @@ HistogramSummary summarize_samples(const std::vector<double>& samples) {
 
 uint64_t current_trace_id() { return t_trace_id; }
 
+namespace {
+std::atomic<const SpanHooks*> g_span_hooks{nullptr};
+}  // namespace
+
+void install_span_hooks(const SpanHooks* hooks) {
+  const SpanHooks* expected = nullptr;
+  g_span_hooks.compare_exchange_strong(expected, hooks,
+                                       std::memory_order_acq_rel);
+}
+
+const SpanHooks* span_hooks() {
+  return g_span_hooks.load(std::memory_order_acquire);
+}
+
 ScopedTraceId::ScopedTraceId(uint64_t id) : prev_(t_trace_id) {
   t_trace_id = id;
 }
@@ -350,6 +364,13 @@ bool Telemetry::write_metrics(const std::string& path) const {
 }
 
 Span::Span(const char* name, const char* cat) {
+  // The profiler's span-path context works even when telemetry is off, so
+  // the hook check precedes the enabled check (both are one relaxed/acquire
+  // atomic load when inactive).
+  if (const SpanHooks* h = g_span_hooks.load(std::memory_order_acquire)) {
+    h->enter(name);
+    hooked_ = true;
+  }
   auto& tel = Telemetry::instance();
   if (!tel.enabled()) return;
   live_ = true;
@@ -360,6 +381,10 @@ Span::Span(const char* name, const char* cat) {
 }
 
 Span::Span(std::string name, const char* cat) {
+  if (const SpanHooks* h = g_span_hooks.load(std::memory_order_acquire)) {
+    h->enter(name.c_str());
+    hooked_ = true;
+  }
   auto& tel = Telemetry::instance();
   if (!tel.enabled()) return;
   live_ = true;
@@ -370,6 +395,10 @@ Span::Span(std::string name, const char* cat) {
 }
 
 Span::~Span() {
+  if (hooked_) {
+    // Hooks are install-once, so a hooked span always finds them again.
+    g_span_hooks.load(std::memory_order_acquire)->exit();
+  }
   if (!live_) return;
   auto& tel = Telemetry::instance();
   ev_.ts_us = start_us_;

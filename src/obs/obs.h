@@ -54,6 +54,28 @@ struct SpanEvent {
 /// Spans constructed while a context is set inherit it automatically.
 uint64_t current_trace_id();
 
+/// Observer hooks fired at span construction/destruction, independent of
+/// the telemetry enable flag. The SMART-Prof sampling profiler installs
+/// these to maintain a per-thread span-path context that its SIGPROF
+/// samples are tagged with (see src/prof). Hooks run in normal (non-signal)
+/// context on the span's thread; `enter` receives the span name, which is
+/// only guaranteed valid for the duration of the call (copy it if kept).
+///
+/// While no hooks are installed every span pays exactly one extra relaxed
+/// atomic load (the same discipline as the telemetry enable flag). Hooks
+/// are install-once: they stay for the process lifetime so enter/exit
+/// pairing can never be torn by a mid-span uninstall.
+struct SpanHooks {
+  void (*enter)(const char* name) = nullptr;
+  void (*exit)() = nullptr;
+};
+
+/// Installs process-lifetime span hooks. Idempotent for the same pointer;
+/// a second install with a different pointer is ignored (first wins).
+void install_span_hooks(const SpanHooks* hooks);
+/// Currently installed hooks (nullptr = none).
+const SpanHooks* span_hooks();
+
 /// RAII trace context: sets the calling thread's trace id for the scope,
 /// restoring the previous one on destruction (contexts nest). Always
 /// active regardless of the telemetry enable flag — it is one thread-local
@@ -208,6 +230,7 @@ class Span {
 
  private:
   bool live_ = false;
+  bool hooked_ = false;
   double start_us_ = 0.0;
   SpanEvent ev_;
 };

@@ -1,0 +1,122 @@
+/// \file alloc_hook.cpp
+/// Optional counting allocator: replaces global operator new/delete to
+/// maintain per-thread allocation counters (prof::thread_alloc_counters).
+/// Counting is off by default — the replaced operators cost one relaxed
+/// atomic load on the disabled path, same discipline as obs/fault hooks.
+///
+/// Compiled out under ASan/TSan/MSan: sanitizer runtimes interpose the
+/// allocator themselves and a second replacement breaks their bookkeeping.
+/// prof::alloc_hook_available() reports which variant the build carries.
+
+#include "prof/prof.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    defined(__SANITIZE_MEMORY__)
+#define SMART_PROF_NO_ALLOC_HOOK 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define SMART_PROF_NO_ALLOC_HOOK 1
+#endif
+#endif
+
+namespace smart::prof {
+
+namespace {
+std::atomic<bool> g_alloc_hook_on{false};
+thread_local AllocCounters t_alloc_counters;
+}  // namespace
+
+#if !defined(SMART_PROF_NO_ALLOC_HOOK)
+
+bool alloc_hook_available() { return true; }
+
+namespace {
+inline void count_alloc(size_t size) {
+  if (!g_alloc_hook_on.load(std::memory_order_relaxed)) return;
+  t_alloc_counters.bytes += size;
+  ++t_alloc_counters.allocs;
+}
+}  // namespace
+
+#else  // sanitizer build: no operator replacement, counters stay zero
+
+bool alloc_hook_available() { return false; }
+
+#endif
+
+void set_alloc_hook_enabled(bool on) {
+  if (!alloc_hook_available()) return;
+  g_alloc_hook_on.store(on, std::memory_order_relaxed);
+}
+
+bool alloc_hook_enabled() {
+  return g_alloc_hook_on.load(std::memory_order_relaxed);
+}
+
+AllocCounters thread_alloc_counters() { return t_alloc_counters; }
+
+}  // namespace smart::prof
+
+#if !defined(SMART_PROF_NO_ALLOC_HOOK)
+
+// Replaceable global allocation functions ([new.delete.single] — a program
+// may provide these in any translation unit). Kept minimal: malloc/free
+// plus the counter bump; alignment overloads forward to aligned_alloc.
+
+void* operator new(std::size_t size) {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  smart::prof::count_alloc(size);
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p != nullptr) smart::prof::count_alloc(size);
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (size == 0) size = 1;
+  const size_t a = static_cast<size_t>(align);
+  void* p = std::aligned_alloc(a, (size + a - 1) / a * a);
+  if (p == nullptr) throw std::bad_alloc();
+  smart::prof::count_alloc(size);
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // !SMART_PROF_NO_ALLOC_HOOK

@@ -7,6 +7,7 @@
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -17,6 +18,8 @@
 
 #include "obs/obs.h"
 #include "par/par.h"
+#include "prof/prof.h"
+#include "prof/resource.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/strfmt.h"
@@ -198,6 +201,27 @@ util::Status Server::start() {
   if (!spool_.configure(opt_.slow_spool_dir, opt_.slow_threshold_ms))
     util::log_warn(util::strfmt("smartd: cannot create slow spool dir %s",
                                 opt_.slow_spool_dir.c_str()));
+  if (!opt_.profile_dir.empty()) {
+    if (::mkdir(opt_.profile_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      util::log_warn(util::strfmt("smartd: cannot create profile dir %s",
+                                  opt_.profile_dir.c_str()));
+    } else {
+      prof::ProfilerOptions popt;
+      popt.hz = opt_.profile_hz;
+      popt.max_samples = opt_.profile_max_samples;
+      if (const util::Status st = prof::Profiler::instance().start(popt);
+          st.ok()) {
+        profiling_ = true;
+        util::log_info(util::strfmt("smartd: profiling at %.0f Hz -> %s",
+                                    opt_.profile_hz,
+                                    opt_.profile_dir.c_str()));
+      } else {
+        util::log_warn(
+            util::strfmt("smartd: profiler start failed: %s",
+                         st.detail.c_str()));
+      }
+    }
+  }
 
   const int n = opt_.workers > 0 ? opt_.workers
                                  : std::max(1, par::thread_count());
@@ -264,6 +288,16 @@ void Server::wait() {
   if (!opt_.trace_out.empty() && !tel.write_chrome_trace(opt_.trace_out))
     util::log_warn(util::strfmt("smartd: cannot write trace to %s",
                                 opt_.trace_out.c_str()));
+  if (profiling_) {
+    auto& profiler = prof::Profiler::instance();
+    profiler.stop();
+    profiling_ = false;
+    const std::string base = opt_.profile_dir + "/profile-full";
+    if (!profiler.write_folded(base + ".folded") ||
+        !profiler.write_speedscope(base + ".speedscope.json", "smartd"))
+      util::log_warn(util::strfmt("smartd: cannot write run profile to %s",
+                                  opt_.profile_dir.c_str()));
+  }
 }
 
 ServerStats Server::stats() const {
@@ -684,6 +718,7 @@ void Server::process(WorkItem item) {
   HandlerOutcome out;
   {
     obs::Span span("serve.worker", "serve");
+    prof::ResourceScope worker_rusage("serve.worker");
     span.arg("queue_ms", queue_ms);
     out = handle_request(ctx_, item.frame.type, item.frame.payload,
                          budget_ms);
@@ -750,6 +785,27 @@ void Server::process(WorkItem item) {
     if (spool_.capture(rec, item.frame.payload, out.diag)) {
       bump(&ServerStats::slow_captured);
       tel.counter_add("serve.slow_captured");
+    }
+    // SMART-Prof join: snapshot this slow request's CPU samples (matched
+    // by trace id) next to its spool entry, so "why was it slow" comes
+    // with a flamegraph, not just a record.
+    if (profiling_ && item.frame.trace_id != 0) {
+      auto& profiler = prof::Profiler::instance();
+      profiler.drain();
+      prof::FoldedOptions fopt;
+      fopt.trace_filter = item.frame.trace_id;
+      const std::string folded = profiler.folded(fopt);
+      if (!folded.empty()) {
+        const std::string path = util::strfmt(
+            "%s/profile-%016llx.folded", opt_.profile_dir.c_str(),
+            static_cast<unsigned long long>(item.frame.trace_id));
+        FILE* f = std::fopen(path.c_str(), "w");
+        if (f != nullptr) {
+          std::fputs(folded.c_str(), f);
+          std::fclose(f);
+          tel.counter_add("serve.profile_captured");
+        }
+      }
     }
   }
   finish();
@@ -925,6 +981,17 @@ std::string Server::stats_json() const {
   out += util::strfmt("\"slow\":{\"threshold_ms\":%.1f,\"captured\":%llu},",
                       spool_.threshold_ms(),
                       static_cast<unsigned long long>(spool_.captured()));
+  if (profiling_) {
+    auto& profiler = prof::Profiler::instance();
+    profiler.drain();
+    out += util::strfmt(
+        "\"profile\":{\"hz\":%.1f,\"samples\":%llu,\"dropped\":%llu,"
+        "\"threads\":%llu},",
+        profiler.hz(),
+        static_cast<unsigned long long>(profiler.sample_count()),
+        static_cast<unsigned long long>(profiler.dropped()),
+        static_cast<unsigned long long>(prof::registered_thread_count()));
+  }
   out += "\"requests_total\":" + u64(access_log_.total()) + ",";
   out += "\"recent\":" + access_log_.recent_json();
   out += "}";

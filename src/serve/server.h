@@ -82,6 +82,17 @@ struct ServerOptions {
   /// slow_spool_dir. Empty dir or non-positive threshold disables it.
   std::string slow_spool_dir;
   double slow_threshold_ms = -1.0;
+  /// SMART-Prof per-request profiling: when profile_dir is non-empty the
+  /// daemon samples continuously at profile_hz (per-thread CPU-time
+  /// timers, so idle workers cost nothing). Requests the slow capture
+  /// fires on additionally get their samples — matched by trace id —
+  /// written to profile_dir/profile-<trace>.folded, and a whole-run
+  /// profile (folded + speedscope) lands there at drain.
+  std::string profile_dir;
+  double profile_hz = 99.0;
+  /// Retained-sample cap for the daemon's profiler (bounds memory; at
+  /// 99 Hz the default keeps roughly the last 10 CPU-minutes).
+  size_t profile_max_samples = 1 << 16;
 };
 
 /// Monotonic counters snapshot; every field counts since start().
@@ -228,6 +239,8 @@ class Server {
   StageHists stage_;
   AccessLog access_log_;
   SlowSpool spool_;
+  /// True when start() brought up the SMART-Prof sampler (profile_dir set).
+  bool profiling_ = false;
   /// Worker-time accounting for utilization: µs spent handling + encoding
   /// across all workers since start().
   std::atomic<uint64_t> busy_us_{0};

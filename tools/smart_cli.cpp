@@ -68,6 +68,8 @@
 #include "netlist/spice_export.h"
 #include "obs/obs.h"
 #include "par/par.h"
+#include "prof/prof.h"
+#include "prof/resource.h"
 #include "refsim/critical_path.h"
 #include "refsim/noise.h"
 #include "scope/scope.h"
@@ -159,6 +161,10 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
       {"report",
        {"type", "topology", "n", "bits", "m", "load", "slope", "delay",
         "top-k", "format", "out"}},
+      {"profile",
+       {"type", "topology", "n", "bits", "m", "load", "slope", "delay",
+        "hz", "repeat", "top-k", "folded-out", "speedscope-out",
+        "no-span-prefix", "alloc"}},
       {"client",
        {"port", "host", "unix", "type", "topology", "n", "bits", "m",
         "load", "slope", "delay", "precharge", "cost", "top-k",
@@ -545,6 +551,117 @@ int cmd_report(const Args& args) {
   return report.message == "ok" ? 0 : 1;
 }
 
+// Runs one sizing target under the SMART-Prof sampling profiler and
+// reports where the CPU time went: top frames (self/total), sample counts
+// per obs span path, and rusage deltas. --folded-out / --speedscope-out
+// write flamegraph-ready exports; --repeat accumulates samples over
+// several solves so short targets still profile meaningfully.
+int cmd_profile(const Args& args) {
+  Args one = args;
+  if (const int rc = target_into_flags(args, "profile", "", one); rc != 0)
+    return rc;
+  const auto nl = generate_named(one);
+
+  core::SizerOptions opt;
+  opt.delay_spec_ps = args.num("delay", -1.0);
+  if (opt.delay_spec_ps <= 0.0) {
+    // Same rule as advise/report: derive the spec from the hand baseline.
+    core::BaselineSizer baseline(tech::default_tech());
+    const refsim::RcTimer timer(tech::default_tech());
+    const auto rep = timer.analyze(nl, baseline.size(nl));
+    opt.delay_spec_ps = rep.worst_delay;
+    if (rep.worst_precharge > 0.0)
+      opt.precharge_spec_ps = rep.worst_precharge;
+  }
+  const int repeat = std::max(1, static_cast<int>(args.num("repeat", 1)));
+  const double hz = args.num("hz", 997.0);
+  if (args.has("alloc")) prof::set_alloc_hook_enabled(true);
+
+  auto& profiler = prof::Profiler::instance();
+  profiler.reset();
+  if (const auto st = profiler.start({.hz = hz}); !st.ok()) {
+    std::fprintf(stderr, "profiler start failed: %s\n", st.detail.c_str());
+    return 1;
+  }
+  const prof::ResourceUsage before = prof::snapshot_usage();
+  obs::StopWatch watch;
+  core::Sizer sizer(tech::default_tech(), models::default_library());
+  core::SizerResult result;
+  for (int i = 0; i < repeat; ++i) result = sizer.size(nl, opt);
+  const double wall_ms = watch.elapsed_ms();
+  profiler.stop();
+  const prof::ResourceUsage after = prof::snapshot_usage();
+
+  if (!result.ok)
+    std::fprintf(stderr, "warning: sizing failed: %s (profile still "
+                 "captured)\n", result.message.c_str());
+
+  std::printf("profiled %s/%s: %d solve%s, %.1f ms wall, %zu samples "
+              "@ %.0f Hz (%llu dropped, %zu threads)\n",
+              one.flags["type"].c_str(), one.flags["topology"].c_str(),
+              repeat, repeat == 1 ? "" : "s", wall_ms,
+              profiler.sample_count(),
+              profiler.hz(),
+              static_cast<unsigned long long>(profiler.dropped()),
+              prof::registered_thread_count());
+  std::printf("rusage: %.1f ms user, %.1f ms sys, %lld minflt, "
+              "peak rss %lld KiB\n",
+              after.utime_ms - before.utime_ms,
+              after.stime_ms - before.stime_ms,
+              static_cast<long long>(after.minflt - before.minflt),
+              static_cast<long long>(after.peak_rss_kb));
+  if (prof::alloc_hook_enabled())
+    std::printf("allocs: %llu (%llu bytes) on the main thread\n",
+                static_cast<unsigned long long>(after.allocs - before.allocs),
+                static_cast<unsigned long long>(after.alloc_bytes -
+                                                before.alloc_bytes));
+
+  const size_t total = profiler.sample_count();
+  if (total > 0) {
+    const size_t top_k = static_cast<size_t>(args.num("top-k", 10));
+    util::Table frames({"self", "self %", "total", "frame"});
+    for (const auto& f : profiler.top_frames(top_k))
+      frames.add_row({util::strfmt("%zu", f.self),
+                      util::strfmt("%.1f", 100.0 * f.self / total),
+                      util::strfmt("%zu", f.total), f.frame});
+    std::printf("\n%s", frames.render("hottest frames").c_str());
+
+    util::Table spans({"samples", "%", "span path"});
+    for (const auto& [path, count] : profiler.samples_by_span())
+      spans.add_row({util::strfmt("%zu", count),
+                     util::strfmt("%.1f", 100.0 * count / total),
+                     path.empty() ? "(no span)" : path});
+    std::printf("\n%s", spans.render("samples by span").c_str());
+  } else {
+    std::printf("no samples captured (target too fast? try --repeat or a "
+                "higher --hz)\n");
+  }
+
+  prof::FoldedOptions fopt;
+  fopt.span_prefix = !args.has("no-span-prefix");
+  const std::string folded_out = args.str("folded-out");
+  if (!folded_out.empty()) {
+    if (!profiler.write_folded(folded_out, fopt)) {
+      std::fprintf(stderr, "cannot write folded stacks to %s\n",
+                   folded_out.c_str());
+      return 1;
+    }
+    std::printf("\nfolded stacks -> %s\n", folded_out.c_str());
+  }
+  const std::string speedscope_out = args.str("speedscope-out");
+  if (!speedscope_out.empty()) {
+    const std::string name = one.flags["type"] + "/" + one.flags["topology"];
+    if (!profiler.write_speedscope(speedscope_out, name)) {
+      std::fprintf(stderr, "cannot write speedscope profile to %s\n",
+                   speedscope_out.c_str());
+      return 1;
+    }
+    std::printf("speedscope profile -> %s (open at "
+                "https://www.speedscope.app)\n", speedscope_out.c_str());
+  }
+  return result.ok ? 0 : 1;
+}
+
 // Endpoint plumbing shared by the daemon-facing commands (client, stats,
 // health). False (with the usage error printed) when no endpoint is given.
 bool endpoint_options(const Args& args, const char* cmd,
@@ -868,6 +985,9 @@ void usage() {
                "[--format text|json] [--suppress ID,ID] [--out FILE]\n"
                "       smart_cli report <type/topology[/n]> [--delay PS] "
                "[--top-k K] [--format text|json] [--out FILE]\n"
+               "       smart_cli profile <type/topology[/n]> [--hz HZ] "
+               "[--repeat N] [--delay PS] [--folded-out FILE] "
+               "[--speedscope-out FILE] [--top-k K] [--alloc]\n"
                "       smart_cli client <ping|size|advise|lint|report|"
                "shutdown> (--port N | --unix PATH) [--type T --topology X "
                "--n N ...] [--deadline-ms MS] [--retries N] [--no-cache]"
@@ -888,6 +1008,7 @@ int dispatch(const Args& args) {
   if (args.command == "corners") return cmd_corners(args);
   if (args.command == "lint") return cmd_lint(args);
   if (args.command == "report") return cmd_report(args);
+  if (args.command == "profile") return cmd_profile(args);
   if (args.command == "client") return cmd_client(args);
   if (args.command == "stats") return cmd_stats(args);
   if (args.command == "health") return cmd_health(args);
@@ -911,8 +1032,8 @@ int validate(const Args& args) {
     }
   }
   if (!args.positional.empty() && args.command != "lint" &&
-      args.command != "report" && args.command != "client" &&
-      args.command != "trace-merge") {
+      args.command != "report" && args.command != "profile" &&
+      args.command != "client" && args.command != "trace-merge") {
     std::fprintf(stderr, "unexpected argument '%s' for command '%s'\n",
                  args.positional.front().c_str(), args.command.c_str());
     usage();

@@ -11,6 +11,7 @@
 //          [--metrics-out FILE] [--trace-out FILE] [--metrics-flush-ms MS]
 //          [--access-log FILE] [--access-log-size N]
 //          [--slow-spool DIR] [--slow-threshold-ms MS]
+//          [--profile-dir DIR] [--profile-hz HZ]
 //          [--log-level LVL] [--threads N]
 //
 // Prints "smartd listening on <endpoint>" to stdout once ready (smoke
@@ -62,6 +63,7 @@ void usage() {
       " [--metrics-flush-ms MS]\n"
       "              [--access-log FILE] [--access-log-size N]\n"
       "              [--slow-spool DIR] [--slow-threshold-ms MS]\n"
+      "              [--profile-dir DIR] [--profile-hz HZ]\n"
       "              [--log-level LVL] [--threads N]\n"
       "              [--arm-fault frame-corrupt|io-fail|worker-stall|"
       "cache-poison]\n");
@@ -74,6 +76,7 @@ const char* const kKnownFlags[] = {
     "write-timeout-ms", "metrics-out",  "trace-out",
     "metrics-flush-ms", "access-log",   "access-log-size",
     "slow-spool",     "slow-threshold-ms",
+    "profile-dir",    "profile-hz",
     "log-level",      "threads",        "arm-fault"};
 
 /// Chaos mode for smoke runs: arms one serve-layer fault site in situ so an
@@ -188,6 +191,8 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.num("access-log-size", 64));
   opt.slow_spool_dir = flags.str("slow-spool");
   opt.slow_threshold_ms = flags.num("slow-threshold-ms", -1.0);
+  opt.profile_dir = flags.str("profile-dir");
+  opt.profile_hz = flags.num("profile-hz", 99.0);
   if (!opt.metrics_out.empty() || !opt.trace_out.empty()) {
     obs::Telemetry::instance().enable(true);
     obs::Telemetry::instance().set_process_label("smartd");
